@@ -1,0 +1,149 @@
+"""Ablations of the fast path's design choices (DESIGN.md).
+
+Three knobs the paper fixes are swept here:
+
+* **delta** — ComputeThresh's eviction-probability parameter (the
+  paper suggests 0.05).  Larger delta widens the eviction margin:
+  fewer O(k) passes, looser bounds.
+* **amortized eviction itself** — Algorithm 1 vs the single-eviction
+  Misra-Gries step, isolated from the rest of the system.
+* **buffer size** — the FIFO that decides *when* the fast path engages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataplane.cost_model import CostModel
+from repro.dataplane.switch import SoftwareSwitch
+from repro.fastpath.misra_gries import MisraGriesTopK
+from repro.fastpath.topk import FastPath
+from repro.sketches.deltoid import Deltoid
+
+
+def _bound_width(tracker, truth, k=50):
+    ranked = sorted(
+        tracker.bounds().items(),
+        key=lambda item: item[1][0],
+        reverse=True,
+    )[:k]
+    widths = [
+        (high - low) / max(truth.get(flow, 1.0), 1.0)
+        for flow, (low, high) in ranked
+    ]
+    return float(np.mean(widths))
+
+
+def test_ablation_delta(result_table, large_trace):
+    table = result_table(
+        "ablation_delta",
+        "Ablation: ComputeThresh delta (eviction probability bound)",
+    )
+    truth = large_trace.flow_sizes()
+    table.row(
+        f"{'delta':>7} {'kickouts':>9} {'evict/pass':>11} "
+        f"{'top-50 bound width':>19}"
+    )
+    results = {}
+    for delta in (0.01, 0.05, 0.2, 0.5):
+        fastpath = FastPath(8192, delta=delta)
+        for packet in large_trace:
+            fastpath.update(packet.flow, packet.size)
+        width = _bound_width(fastpath, truth)
+        results[delta] = (fastpath.num_kickouts, width)
+        table.row(
+            f"{delta:>7.2f} {fastpath.num_kickouts:>9} "
+            f"{fastpath.num_evicted / max(fastpath.num_kickouts, 1):>11.2f} "
+            f"{width:>19.4f}"
+        )
+    # Larger delta -> wider eviction margin -> fewer passes.
+    assert results[0.5][0] <= results[0.01][0]
+    # The paper's 0.05 keeps top-flow bounds tight.
+    assert results[0.05][1] < 0.05
+
+
+def test_ablation_topk_algorithms(result_table, large_trace):
+    """Three counter-based top-k trackers head to head: Algorithm 1's
+    amortized eviction vs Misra-Gries' single eviction vs Space-Saving's
+    O(1) replacement (which trades passes for per-flow overestimation)."""
+    from repro.fastpath.space_saving import SpaceSavingTopK
+
+    table = result_table(
+        "ablation_topk_algorithms",
+        "Ablation: top-k algorithm in the fast path",
+    )
+    truth = large_trace.flow_sizes()
+    trackers = {
+        "SketchVisor": FastPath(8192),
+        "MisraGries": MisraGriesTopK(8192),
+        "SpaceSaving": SpaceSavingTopK(8192),
+    }
+    for packet in large_trace:
+        for tracker in trackers.values():
+            tracker.update(packet.flow, packet.size)
+    table.row(
+        f"{'tracker':<12} {'kickouts':>9} {'evict/pass':>11} "
+        f"{'top-50 bound width':>19}"
+    )
+    widths = {}
+    for name, tracker in trackers.items():
+        widths[name] = _bound_width(tracker, truth)
+        table.row(
+            f"{name:<12} {tracker.num_kickouts:>9} "
+            f"{tracker.num_evicted / max(tracker.num_kickouts, 1):>11.2f} "
+            f"{widths[name]:>19.4f}"
+        )
+    sv = trackers["SketchVisor"]
+    mg = trackers["MisraGries"]
+    assert sv.num_kickouts < mg.num_kickouts
+    # Both Algorithm 1 and Space-Saving keep top-flow bounds orders of
+    # magnitude tighter than Misra-Gries' shared slack.
+    assert widths["SketchVisor"] < 0.1 * widths["MisraGries"]
+    assert widths["SpaceSaving"] < 0.1 * widths["MisraGries"]
+
+
+def test_ablation_buffer_size(result_table, bench_trace, benchmark):
+    """The FIFO absorbs transient spikes; its size shifts the normal/
+    fast-path split but not the robustness property."""
+    table = result_table(
+        "ablation_buffer_size",
+        "Ablation: FIFO buffer size (Deltoid, saturating load)",
+    )
+    model = CostModel.in_memory()
+    table.row(f"{'packets':>8} {'tput Gbps':>10} {'fastpath bytes':>15}")
+    results = {}
+    for capacity in (64, 256, 1024, 4096):
+        switch = SoftwareSwitch(
+            Deltoid(width=512, depth=4),
+            fastpath=FastPath(8192),
+            cost_model=model,
+            buffer_packets=capacity,
+        )
+        report = switch.process(bench_trace)
+        results[capacity] = report
+        table.row(
+            f"{capacity:>8} {report.throughput_gbps:>10.1f} "
+            f"{report.fastpath_byte_fraction:>14.0%}"
+        )
+    # Bigger buffer -> (weakly) more packets reach the normal path.
+    assert (
+        results[4096].normal_packets >= results[64].normal_packets
+    )
+    # Robustness holds at every size: nothing is lost.
+    for report in results.values():
+        assert (
+            report.normal_packets + report.fastpath_packets
+            == report.total_packets
+        )
+
+    benchmark.pedantic(
+        lambda: SoftwareSwitch(
+            Deltoid(width=256, depth=4),
+            fastpath=FastPath(8192),
+            cost_model=model,
+            buffer_packets=256,
+        ).process(bench_trace),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,87 @@
+"""Figure 5: low-rank approximation error of sketch matrices.
+
+The paper: RevSketch, Deltoid, and TwoLevel achieve <10% relative
+error keeping ~50% / ~32% / ~15% of singular values; Count-Min's error
+falls linearly (no exploitable rank structure).  The benchmark fills
+each sketch from the same trace and regenerates the error curves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.controlplane.rank_analysis import (
+    low_rank_error_curve,
+    ratio_for_error,
+)
+from repro.sketches.countmin import CountMinSketch
+from repro.sketches.deltoid import Deltoid
+from repro.sketches.revsketch import ReversibleSketch
+from repro.sketches.twolevel import TwoLevelSketch
+
+SKETCHES = {
+    "countmin": lambda: CountMinSketch(width=4000, depth=4),
+    "revsketch": lambda: ReversibleSketch(depth=4),
+    "deltoid": lambda: Deltoid(width=512, depth=4),
+    "twolevel": lambda: TwoLevelSketch(
+        outer_width=512, inner_width=64
+    ),
+}
+
+
+def _filled(build, trace):
+    sketch = build()
+    for packet in trace:
+        sketch.update(packet.flow, packet.size)
+    return sketch
+
+
+def test_fig05_error_curves(result_table, bench_trace, benchmark):
+    table = result_table(
+        "fig05_low_rank",
+        "Figure 5: low-rank approximation error vs ratio of top "
+        "singular values",
+    )
+    ratios = [i / 10 for i in range(11)]
+    table.row(
+        f"{'sketch':<10}"
+        + "".join(f"{ratio:>7.1f}" for ratio in ratios)
+    )
+    matrices = {
+        name: _filled(build, bench_trace).to_matrix()
+        for name, build in SKETCHES.items()
+    }
+
+    curves = {}
+    for name, matrix in matrices.items():
+        curves[name] = dict(low_rank_error_curve(matrix, ratios))
+        table.row(
+            f"{name:<10}"
+            + "".join(
+                f"{curves[name][ratio]:>7.2f}" for ratio in ratios
+            )
+        )
+
+    needed = {
+        name: ratio_for_error(matrix, 0.10)
+        for name, matrix in matrices.items()
+    }
+    table.row("")
+    table.row("ratio of singular values for <10% error:")
+    for name, ratio in needed.items():
+        table.row(f"  {name:<10} {ratio:.2f}")
+
+    # Paper shape: Deltoid and TwoLevel compress into a small fraction
+    # of their singular values; Count-Min has essentially no low-rank
+    # structure (error ~linear in ratio).  Deviation note: with the
+    # 32-bit-fingerprint RevSketch used here (4 x 4096, rank 4), the
+    # reversible sketch behaves like Count-Min rather than reaching the
+    # paper's ~50% — see EXPERIMENTS.md.
+    assert needed["twolevel"] <= 0.35
+    assert needed["deltoid"] <= 0.35
+    assert needed["countmin"] > 0.7
+    half = curves["countmin"][0.5]
+    assert 0.3 < half < 0.9  # roughly linear decay
+
+    # Time the SVD analysis itself.
+    benchmark(lambda: low_rank_error_curve(matrices["deltoid"], ratios))

@@ -1,0 +1,156 @@
+"""Figure 8: DDoS and superspreader accuracy across recovery arms.
+
+Paper shape: NR detects nothing (the attack traffic rides the fast
+path); LR and UR give identical results (host counting ignores flow
+sizes); SketchVisor reaches >90% recall / >84% precision for DDoS and
+near-perfect superspreader detection.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.controlplane.recovery import RecoveryMode
+from repro.framework.modes import DataPlaneMode
+from repro.framework.pipeline import PipelineConfig, SketchVisorPipeline
+from repro.tasks.ddos import DDoSTask
+from repro.tasks.superspreader import SuperspreaderTask
+from repro.traffic.anomalies import (
+    inject_ddos_victims,
+    inject_superspreaders,
+)
+from repro.traffic.groundtruth import GroundTruth
+
+ARMS: list[tuple[str, DataPlaneMode, RecoveryMode]] = [
+    ("NR", DataPlaneMode.SKETCHVISOR, RecoveryMode.NO_RECOVERY),
+    ("LR", DataPlaneMode.SKETCHVISOR, RecoveryMode.LOWER),
+    ("UR", DataPlaneMode.SKETCHVISOR, RecoveryMode.UPPER),
+    ("SketchVisor", DataPlaneMode.SKETCHVISOR, RecoveryMode.SKETCHVISOR),
+    ("Ideal", DataPlaneMode.IDEAL, RecoveryMode.NO_RECOVERY),
+]
+
+THRESHOLD = 120
+PARAMS = {"inner_width": 256}
+
+
+@pytest.fixture(scope="module")
+def ddos_scores(bench_trace):
+    trace, _victims = inject_ddos_victims(
+        bench_trace, num_victims=3, sources_per_victim=300
+    )
+    truth = GroundTruth.from_trace(trace)
+    task = DDoSTask(threshold=THRESHOLD, sketch_params=PARAMS)
+    scores = {}
+    for arm, dataplane, recovery in ARMS:
+        pipeline = SketchVisorPipeline(
+            task, dataplane=dataplane, recovery=recovery
+        )
+        scores[arm] = pipeline.run_epoch(trace, truth).score
+    return scores
+
+
+@pytest.fixture(scope="module")
+def ss_scores(bench_trace):
+    trace, _spreaders = inject_superspreaders(
+        bench_trace, num_spreaders=3, destinations_per_spreader=300
+    )
+    truth = GroundTruth.from_trace(trace)
+    task = SuperspreaderTask(threshold=THRESHOLD, sketch_params=PARAMS)
+    scores = {}
+    for arm, dataplane, recovery in ARMS:
+        pipeline = SketchVisorPipeline(
+            task, dataplane=dataplane, recovery=recovery
+        )
+        scores[arm] = pipeline.run_epoch(trace, truth).score
+    return scores
+
+
+def _print(table, label, scores):
+    table.row(label)
+    table.row(
+        f"  {'arm':<12} {'recall':>8} {'precision':>10} {'rel.err':>9}"
+    )
+    for arm, score in scores.items():
+        table.row(
+            f"  {arm:<12} {score.recall:>7.0%} "
+            f"{score.precision:>9.0%} {score.relative_error:>8.1%}"
+        )
+
+
+def test_fig08_tables(result_table, ddos_scores, ss_scores):
+    table = result_table(
+        "fig08_ddos_ss",
+        "Figure 8: DDoS / superspreader accuracy (TwoLevel)",
+    )
+    _print(table, "DDoS detection:", ddos_scores)
+    table.row("")
+    _print(table, "Superspreader detection:", ss_scores)
+
+
+def test_fig08_ddos_shape(ddos_scores):
+    assert ddos_scores["SketchVisor"].recall >= 0.9
+    assert ddos_scores["SketchVisor"].precision >= 0.8
+    assert (
+        ddos_scores["SketchVisor"].recall >= ddos_scores["NR"].recall
+    )
+
+
+def test_fig08_ss_shape(ss_scores):
+    assert ss_scores["SketchVisor"].recall >= 0.9
+    assert ss_scores["SketchVisor"].precision >= 0.8
+
+
+def test_fig08_lr_ur_identical(ddos_scores):
+    """LR and UR differ only in flow-size estimates, which host
+    counting ignores — the paper notes identical detection results."""
+    assert ddos_scores["LR"].recall == ddos_scores["UR"].recall
+    assert ddos_scores["LR"].precision == ddos_scores["UR"].precision
+
+
+def test_fig08_low_observability_regime(result_table, bench_trace):
+    """The paper's NR-detects-nothing regime: attack flows so short
+    (2 packets per source) that the overloaded normal path sees only a
+    fraction of the sources, and victims hover at the threshold.  All
+    partial-information arms degrade; recovery never does worse."""
+    trace, victims = inject_ddos_victims(
+        bench_trace,
+        num_victims=3,
+        sources_per_victim=200,
+        packets_per_source=2,
+    )
+    truth = GroundTruth.from_trace(trace)
+    task = DDoSTask(threshold=150, sketch_params=PARAMS)
+    table = result_table(
+        "fig08_low_observability",
+        "Figure 8 regime note: 2-packet flood flows, threshold at 75% "
+        "of true fan-in",
+    )
+    table.row(
+        f"{'arm':<12} {'recall':>8} {'precision':>10}"
+    )
+    scores = {}
+    for arm, dataplane, recovery in ARMS:
+        pipeline = SketchVisorPipeline(
+            task, dataplane=dataplane, recovery=recovery
+        )
+        scores[arm] = pipeline.run_epoch(trace, truth).score
+        table.row(
+            f"{arm:<12} {scores[arm].recall:>7.0%} "
+            f"{scores[arm].precision:>9.0%}"
+        )
+    assert scores["SketchVisor"].recall >= scores["NR"].recall
+    assert scores["Ideal"].recall >= scores["NR"].recall
+
+
+def test_fig08_timing(benchmark, bench_trace):
+    trace, _victims = inject_ddos_victims(
+        bench_trace, num_victims=2, sources_per_victim=200
+    )
+    truth = GroundTruth.from_trace(trace)
+    task = DDoSTask(threshold=THRESHOLD, sketch_params=PARAMS)
+
+    def run():
+        return SketchVisorPipeline(task).run_epoch(trace, truth)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.score.recall >= 0.5

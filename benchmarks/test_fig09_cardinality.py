@@ -1,0 +1,87 @@
+"""Figure 9: cardinality estimation error across recovery arms.
+
+Paper shape: NR/LR/UR roughly double Ideal's error for FM and kMin
+(~17% for LC) because the fast path's flows leave counters at zero;
+SketchVisor restores the non-zero counters and lands near Ideal.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.controlplane.recovery import RecoveryMode
+from repro.framework.modes import DataPlaneMode
+from repro.framework.pipeline import SketchVisorPipeline
+from repro.tasks.cardinality import CardinalityTask
+
+SOLUTIONS = ["fm", "kmin", "lc"]
+
+ARMS: list[tuple[str, DataPlaneMode, RecoveryMode]] = [
+    ("NR", DataPlaneMode.SKETCHVISOR, RecoveryMode.NO_RECOVERY),
+    ("LR", DataPlaneMode.SKETCHVISOR, RecoveryMode.LOWER),
+    ("UR", DataPlaneMode.SKETCHVISOR, RecoveryMode.UPPER),
+    ("SketchVisor", DataPlaneMode.SKETCHVISOR, RecoveryMode.SKETCHVISOR),
+    ("Ideal", DataPlaneMode.IDEAL, RecoveryMode.NO_RECOVERY),
+]
+
+
+@pytest.fixture(scope="module")
+def cardinality_errors(bench_trace, bench_truth):
+    errors = {}
+    for solution in SOLUTIONS:
+        task = CardinalityTask(solution)
+        for arm, dataplane, recovery in ARMS:
+            pipeline = SketchVisorPipeline(
+                task, dataplane=dataplane, recovery=recovery
+            )
+            result = pipeline.run_epoch(bench_trace, bench_truth)
+            errors[(solution, arm)] = result.score.relative_error
+    return errors
+
+
+def test_fig09_table(result_table, cardinality_errors, bench_truth):
+    table = result_table(
+        "fig09_cardinality",
+        f"Figure 9: cardinality relative error "
+        f"(true = {bench_truth.cardinality} flows)",
+    )
+    table.row(
+        f"{'solution':<8}"
+        + "".join(f"{arm:>13}" for arm, _d, _r in ARMS)
+    )
+    for solution in SOLUTIONS:
+        table.row(
+            f"{solution:<8}"
+            + "".join(
+                f"{cardinality_errors[(solution, arm)]:>12.1%} "
+                for arm, _d, _r in ARMS
+            )
+        )
+
+
+@pytest.mark.parametrize("solution", SOLUTIONS)
+def test_fig09_shape(cardinality_errors, solution):
+    nr = cardinality_errors[(solution, "NR")]
+    sketchvisor = cardinality_errors[(solution, "SketchVisor")]
+    ideal = cardinality_errors[(solution, "Ideal")]
+    # Recovery beats discarding, and lands in Ideal's neighborhood.
+    assert sketchvisor <= nr
+    assert sketchvisor <= max(2.5 * ideal, 0.25)
+
+
+def test_fig09_nr_misses_flows(cardinality_errors):
+    """Dropping fast-path flows must underestimate substantially for
+    at least the zero-counting estimators."""
+    assert cardinality_errors[("lc", "NR")] > 0.2
+
+
+def test_fig09_timing(benchmark, bench_trace, bench_truth):
+    task = CardinalityTask("lc")
+
+    def run():
+        return SketchVisorPipeline(task).run_epoch(
+            bench_trace, bench_truth
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.score.relative_error < 0.5

@@ -1,0 +1,90 @@
+"""Figure 10: flow size distribution (MRD) across recovery arms.
+
+Paper shape: MRAC is cheap enough that almost nothing reaches the fast
+path, so every arm scores the same (~0.2% MRD); FlowRadar overflows,
+NR/LR/UR inflate the MRD (~10x Ideal), and SketchVisor halves it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.controlplane.recovery import RecoveryMode
+from repro.framework.modes import DataPlaneMode
+from repro.framework.pipeline import SketchVisorPipeline
+from repro.tasks.distribution import FlowSizeDistributionTask
+
+SOLUTIONS = ["mrac", "flowradar"]
+
+ARMS: list[tuple[str, DataPlaneMode, RecoveryMode]] = [
+    ("NR", DataPlaneMode.SKETCHVISOR, RecoveryMode.NO_RECOVERY),
+    ("LR", DataPlaneMode.SKETCHVISOR, RecoveryMode.LOWER),
+    ("UR", DataPlaneMode.SKETCHVISOR, RecoveryMode.UPPER),
+    ("SketchVisor", DataPlaneMode.SKETCHVISOR, RecoveryMode.SKETCHVISOR),
+    ("Ideal", DataPlaneMode.IDEAL, RecoveryMode.NO_RECOVERY),
+]
+
+
+@pytest.fixture(scope="module")
+def fsd_scores(bench_trace, bench_truth):
+    scores = {}
+    for solution in SOLUTIONS:
+        task = FlowSizeDistributionTask(solution)
+        for arm, dataplane, recovery in ARMS:
+            pipeline = SketchVisorPipeline(
+                task, dataplane=dataplane, recovery=recovery
+            )
+            result = pipeline.run_epoch(bench_trace, bench_truth)
+            scores[(solution, arm)] = result.score
+    return scores
+
+
+def test_fig10_table(result_table, fsd_scores):
+    table = result_table(
+        "fig10_flow_size_distribution",
+        "Figure 10: flow size distribution MRD per recovery arm",
+    )
+    table.row(
+        f"{'solution':<10}"
+        + "".join(f"{arm:>13}" for arm, _d, _r in ARMS)
+    )
+    for solution in SOLUTIONS:
+        table.row(
+            f"{solution:<10}"
+            + "".join(
+                f"{fsd_scores[(solution, arm)].mrd:>12.4f} "
+                for arm, _d, _r in ARMS
+            )
+        )
+
+
+def test_fig10_mrac_insensitive_to_arm(fsd_scores):
+    """MRAC barely overflows; all arms score alike (paper: ~0.2%)."""
+    mrds = [fsd_scores[("mrac", arm)].mrd for arm, _d, _r in ARMS]
+    assert max(mrds) - min(mrds) < 0.25
+
+
+def test_fig10_flowradar_ordering(fsd_scores):
+    """Ideal (complete decode) is best; SketchVisor stays within the
+    NR band.  Deviation note (see EXPERIMENTS.md): the paper halves
+    NR's MRD, while our recovery only reaches parity — the fast path
+    tracks byte volumes, so re-injected flows land in packet-count
+    bins via a mean-packet-size conversion that blurs exactly the
+    histogram this task scores."""
+    nr = fsd_scores[("flowradar", "NR")].mrd
+    sketchvisor = fsd_scores[("flowradar", "SketchVisor")].mrd
+    ideal = fsd_scores[("flowradar", "Ideal")].mrd
+    assert ideal <= sketchvisor
+    assert sketchvisor < 1.25 * nr
+
+
+def test_fig10_timing(benchmark, bench_trace, bench_truth):
+    task = FlowSizeDistributionTask("mrac")
+
+    def run():
+        return SketchVisorPipeline(task).run_epoch(
+            bench_trace, bench_truth
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.score.mrd is not None

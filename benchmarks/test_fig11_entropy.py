@@ -1,0 +1,79 @@
+"""Figure 11: entropy estimation error across recovery arms.
+
+Paper shape: NR/LR/UR inflate the error; SketchVisor lands at (or even
+slightly below) Ideal, since the recovery can denoise sketch-induced
+error while restoring the fast path's contribution.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.controlplane.recovery import RecoveryMode
+from repro.framework.modes import DataPlaneMode
+from repro.framework.pipeline import SketchVisorPipeline
+from repro.tasks.entropy import EntropyTask
+
+SOLUTIONS = ["flowradar", "univmon"]
+
+ARMS: list[tuple[str, DataPlaneMode, RecoveryMode]] = [
+    ("NR", DataPlaneMode.SKETCHVISOR, RecoveryMode.NO_RECOVERY),
+    ("LR", DataPlaneMode.SKETCHVISOR, RecoveryMode.LOWER),
+    ("UR", DataPlaneMode.SKETCHVISOR, RecoveryMode.UPPER),
+    ("SketchVisor", DataPlaneMode.SKETCHVISOR, RecoveryMode.SKETCHVISOR),
+    ("Ideal", DataPlaneMode.IDEAL, RecoveryMode.NO_RECOVERY),
+]
+
+
+@pytest.fixture(scope="module")
+def entropy_errors(bench_trace, bench_truth):
+    errors = {}
+    for solution in SOLUTIONS:
+        task = EntropyTask(solution)
+        for arm, dataplane, recovery in ARMS:
+            pipeline = SketchVisorPipeline(
+                task, dataplane=dataplane, recovery=recovery
+            )
+            result = pipeline.run_epoch(bench_trace, bench_truth)
+            errors[(solution, arm)] = result.score.relative_error
+    return errors
+
+
+def test_fig11_table(result_table, entropy_errors, bench_truth):
+    table = result_table(
+        "fig11_entropy",
+        f"Figure 11: entropy relative error "
+        f"(true H = {bench_truth.entropy:.2f} bits)",
+    )
+    table.row(
+        f"{'solution':<10}"
+        + "".join(f"{arm:>13}" for arm, _d, _r in ARMS)
+    )
+    for solution in SOLUTIONS:
+        table.row(
+            f"{solution:<10}"
+            + "".join(
+                f"{entropy_errors[(solution, arm)]:>12.1%} "
+                for arm, _d, _r in ARMS
+            )
+        )
+
+
+@pytest.mark.parametrize("solution", SOLUTIONS)
+def test_fig11_shape(entropy_errors, solution):
+    sketchvisor = entropy_errors[(solution, "SketchVisor")]
+    nr = entropy_errors[(solution, "NR")]
+    assert sketchvisor <= nr + 0.02
+    assert sketchvisor < 0.25
+
+
+def test_fig11_timing(benchmark, bench_trace, bench_truth):
+    task = EntropyTask("flowradar")
+
+    def run():
+        return SketchVisorPipeline(task).run_epoch(
+            bench_trace, bench_truth
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.score.relative_error < 0.5

@@ -1,0 +1,96 @@
+"""Figure 14: impact of the fast-path size (4/8/16/32 KB).
+
+Paper shape: throughput varies by under ~5% across sizes (a bigger
+table scans longer per kick-out but kicks out less often); accuracy
+jumps from 4 KB to 8 KB (Deltoid HH recall 65% -> 97%) and then
+plateaus.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.framework.pipeline import PipelineConfig, SketchVisorPipeline
+from repro.tasks.cardinality import CardinalityTask
+from repro.tasks.heavy_hitter import HeavyHitterTask
+
+SIZES = [4096, 8192, 16384, 32768]
+
+
+@pytest.fixture(scope="module")
+def size_sweep(paper_scale_trace, paper_scale_truth):
+    threshold = 0.003 * paper_scale_truth.total_bytes
+    rows = {}
+    for size in SIZES:
+        config = PipelineConfig(fastpath_bytes=size)
+        hh = SketchVisorPipeline(
+            HeavyHitterTask("deltoid", threshold=threshold),
+            config=config,
+        ).run_epoch(paper_scale_trace, paper_scale_truth)
+        card = SketchVisorPipeline(
+            CardinalityTask("lc"), config=config
+        ).run_epoch(paper_scale_trace, paper_scale_truth)
+        rows[size] = (
+            hh.throughput_gbps,
+            hh.score.recall,
+            hh.score.precision,
+            card.score.relative_error,
+        )
+    return rows
+
+
+def test_fig14_table(result_table, size_sweep):
+    table = result_table(
+        "fig14_fastpath_size",
+        "Figure 14: fast-path size sweep (Deltoid HH + LC cardinality)",
+    )
+    table.row(
+        f"{'size':>7} {'tput Gbps':>10} {'HH recall':>10} "
+        f"{'HH prec':>9} {'card err':>9}"
+    )
+    for size, (tput, recall, precision, card) in size_sweep.items():
+        table.row(
+            f"{size // 1024:>5}KB {tput:>10.1f} {recall:>9.1%} "
+            f"{precision:>8.1%} {card:>8.1%}"
+        )
+
+
+def test_fig14_throughput_insensitive(size_sweep):
+    """Throughput varies modestly across fast-path sizes (paper: <5%;
+    here within ~2x — the two effects, longer kick-out scans vs fewer
+    kick-outs, cancel only partially at our smaller trace scale)."""
+    rates = [row[0] for row in size_sweep.values()]
+    assert max(rates) / min(rates) < 2.0
+
+def test_fig14_accuracy_plateaus_at_8kb(size_sweep):
+    recall_8k = size_sweep[8192][1]
+    recall_32k = size_sweep[32768][1]
+    assert recall_8k >= 0.9
+    assert abs(recall_32k - recall_8k) < 0.1
+
+
+def test_fig14_accuracy_not_worse_with_more_memory(size_sweep):
+    assert size_sweep[32768][1] >= size_sweep[4096][1] - 0.05
+
+
+def test_fig14_cardinality_band(size_sweep):
+    """Cardinality error stays in a moderate band across sizes.
+
+    The paper's Figure 14(b) is nearly flat; our count-anchored
+    recovery keeps errors bounded but drifts somewhat at the extremes
+    (see EXPERIMENTS.md)."""
+    for size, row in size_sweep.items():
+        assert row[3] < 0.45, (size, row)
+
+
+def test_fig14_timing(benchmark, bench_trace, bench_truth):
+    threshold = 0.005 * bench_truth.total_bytes
+    task = HeavyHitterTask("deltoid", threshold=threshold)
+
+    def run():
+        return SketchVisorPipeline(
+            task, config=PipelineConfig(fastpath_bytes=16384)
+        ).run_epoch(bench_trace, bench_truth)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.score.recall > 0.8

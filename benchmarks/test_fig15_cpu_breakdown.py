@@ -1,0 +1,127 @@
+"""Figure 15: CPU cycles per packet, all nine solutions + fast path.
+
+Paper numbers: Deltoid 10,454 / UnivMon 4,382 / TwoLevel 4,292 /
+RevSketch 3,858 / FlowRadar 2,584 / FM 2,403 / kMin 2,388 / LC 2,276 /
+MRAC 404; fast-path update 47; fast-path kick-out 12,332.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataplane.cost_model import (
+    FASTPATH_UPDATE_CYCLES,
+    PAPER_CYCLES_PER_PACKET,
+    CostModel,
+)
+from repro.fastpath.topk import FastPath
+from repro.sketches.cardinality import FMSketch, KMinSketch, LinearCounting
+from repro.sketches.deltoid import Deltoid
+from repro.sketches.flowradar import FlowRadar
+from repro.sketches.mrac import MRAC
+from repro.sketches.revsketch import ReversibleSketch
+from repro.sketches.twolevel import TwoLevelSketch
+from repro.sketches.univmon import UnivMon
+
+PAPER_CONFIGS = {
+    "deltoid": lambda: Deltoid(width=4000, depth=4),
+    "univmon": lambda: UnivMon(),
+    "twolevel": lambda: TwoLevelSketch.paper_config(),
+    "revsketch": lambda: ReversibleSketch(
+        word_bits=16, num_words=7, subindex_bits=2, depth=4
+    ),
+    "flowradar": lambda: FlowRadar(),
+    "fm": lambda: FMSketch(num_registers=65_536, depth=4),
+    "kmin": lambda: KMinSketch(k=65_536, depth=4),
+    "lc": lambda: LinearCounting(width=10_000, depth=4),
+    "mrac": lambda: MRAC(width=4000),
+}
+
+
+def test_fig15_cycles_table(result_table):
+    table = result_table(
+        "fig15_cpu_breakdown",
+        "Figure 15: CPU cycles per packet (paper configs + fast path)",
+    )
+    model = CostModel.in_memory()
+    table.row(f"{'component':<12} {'cycles':>8} {'paper':>8}")
+    for name, build in PAPER_CONFIGS.items():
+        cycles = model.sketch_cycles(build())
+        table.row(
+            f"{name:<12} {cycles:>8.0f} "
+            f"{PAPER_CYCLES_PER_PACKET[name]:>8.0f}"
+        )
+        assert cycles == pytest.approx(
+            PAPER_CYCLES_PER_PACKET[name], rel=1e-6
+        )
+    update = FASTPATH_UPDATE_CYCLES
+    kickout = model.fastpath_kickout_cycles(8192)
+    table.row(f"{'FP update':<12} {update:>8.0f} {47:>8}")
+    table.row(f"{'FP kickout':<12} {kickout:>8.0f} {12332:>8}")
+    assert update == 47.0
+    assert kickout == pytest.approx(12_332, rel=0.05)
+
+
+def test_fig15_breakdown_structure(result_table):
+    """§2.2's bottleneck breakdown: who spends cycles on what."""
+    table = result_table(
+        "fig15_op_breakdown",
+        "Operation breakdown per packet (op counts from cost profiles)",
+    )
+    table.row(
+        f"{'solution':<12} {'hashes':>8} {'ctr upd':>8} "
+        f"{'heap':>6} {'mem':>6}"
+    )
+    profiles = {
+        name: build().cost_profile()
+        for name, build in PAPER_CONFIGS.items()
+    }
+    for name, profile in profiles.items():
+        table.row(
+            f"{name:<12} {profile.hashes:>8.0f} "
+            f"{profile.counter_updates:>8.0f} "
+            f"{profile.heap_ops:>6.0f} {profile.memory_words:>6.0f}"
+        )
+    # Deltoid: counter updates dominate (86% of cycles, §2.2).
+    assert (
+        profiles["deltoid"].counter_updates
+        > 10 * profiles["deltoid"].hashes
+    )
+    # RevSketch / FlowRadar: hashing dominates (95% / 67%, §2.2).
+    assert (
+        profiles["revsketch"].hashes
+        > 2 * profiles["revsketch"].counter_updates
+    )
+    # UnivMon splits between hashing and heap maintenance.
+    assert profiles["univmon"].heap_ops > 0
+
+
+def test_fig15_fastpath_update_timing(benchmark):
+    """Real wall-clock of the fast-path update (hit path)."""
+    from tests.conftest import make_flow
+
+    fastpath = FastPath(8192)
+    flows = [make_flow(i) for i in range(100)]
+    for flow in flows:
+        fastpath.update(flow, 1000)
+
+    def hits():
+        for flow in flows:
+            fastpath.update(flow, 64)
+
+    benchmark(hits)
+
+
+def test_fig15_fastpath_kickout_timing(benchmark):
+    """Real wall-clock of a forced kick-out pass (O(k) scan)."""
+    from tests.conftest import make_flow
+
+    def kickout_round():
+        fastpath = FastPath(8192)
+        for i in range(fastpath.capacity):
+            fastpath.update(make_flow(i), 10_000)
+        fastpath.update(make_flow(99_999), 64)  # the O(k) pass
+        return fastpath
+
+    fastpath = benchmark.pedantic(kickout_round, rounds=3, iterations=1)
+    assert fastpath.num_kickouts >= 1

@@ -1,0 +1,113 @@
+"""Figure 16: the fast path vs the original Misra-Gries algorithm.
+
+(a) number of O(k) kick-out passes: Misra-Gries evicts one flow per
+    pass, Algorithm 1 amortizes several — MG performs substantially
+    more passes (an order of magnitude on the paper's CAIDA traces);
+(b) per-flow error bounds of the top-k flows: MG's upper bound shares
+    the global decrement slack and reaches ~35% relative error at
+    k = 100, while the three-counter bounds stay under ~2%.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fastpath.misra_gries import MisraGriesTopK
+from repro.fastpath.topk import FastPath
+
+
+@pytest.fixture(scope="module")
+def trackers(large_trace):
+    sv = FastPath(8192)
+    mg = MisraGriesTopK(8192)
+    for packet in large_trace:
+        sv.update(packet.flow, packet.size)
+        mg.update(packet.flow, packet.size)
+    return sv, mg
+
+
+def test_fig16a_kickout_counts(result_table, trackers, large_trace):
+    sv, mg = trackers
+    table = result_table(
+        "fig16a_kickouts",
+        "Figure 16(a): number of O(k) kick-out passes",
+    )
+    table.row(f"{'algorithm':<14} {'kick-outs':>10} {'evicted/pass':>13}")
+    table.row(
+        f"{'MGFastPath':<14} {mg.num_kickouts:>10} "
+        f"{mg.num_evicted / max(mg.num_kickouts, 1):>13.2f}"
+    )
+    table.row(
+        f"{'SketchVisor':<14} {sv.num_kickouts:>10} "
+        f"{sv.num_evicted / max(sv.num_kickouts, 1):>13.2f}"
+    )
+    assert mg.num_kickouts > sv.num_kickouts
+    # Multi-eviction amortization is the mechanism.
+    assert (
+        sv.num_evicted / max(sv.num_kickouts, 1)
+        > mg.num_evicted / max(mg.num_kickouts, 1)
+    )
+
+
+def test_fig16b_topk_error_bounds(result_table, trackers, large_trace):
+    sv, mg = trackers
+    truth = large_trace.flow_sizes()
+    table = result_table(
+        "fig16b_topk_errors",
+        "Figure 16(b): relative error of lower/upper bounds vs top-k",
+    )
+    table.row(
+        f"{'k':>5} {'MG lower':>9} {'MG upper':>9} "
+        f"{'SV lower':>9} {'SV upper':>9}"
+    )
+
+    def bound_errors(tracker, k):
+        ranked = sorted(
+            tracker.bounds().items(),
+            key=lambda item: item[1][0],
+            reverse=True,
+        )[:k]
+        lows, highs = [], []
+        for flow, (low, high) in ranked:
+            true_size = truth.get(flow, 0)
+            if true_size <= 0:
+                continue
+            lows.append(abs(low - true_size) / true_size)
+            highs.append(abs(high - true_size) / true_size)
+        return float(np.mean(lows)), float(np.mean(highs))
+
+    sv_final, mg_final = {}, {}
+    for k in (10, 25, 50, 100):
+        mg_low, mg_high = bound_errors(mg, k)
+        sv_low, sv_high = bound_errors(sv, k)
+        mg_final[k] = (mg_low, mg_high)
+        sv_final[k] = (sv_low, sv_high)
+        table.row(
+            f"{k:>5} {mg_low:>8.1%} {mg_high:>8.1%} "
+            f"{sv_low:>8.1%} {sv_high:>8.1%}"
+        )
+
+    # Paper shape: SV bounds stay tight for the upper ranks (<2% at
+    # k=50 here; the paper holds <2% to k=100 on CAIDA's deeper heavy
+    # tail); MG's bounds blow up as k grows — its shared decrement
+    # slack dominates every non-giant flow.
+    assert sv_final[50][0] < 0.02 and sv_final[50][1] < 0.02
+    assert mg_final[50][0] > 10 * max(sv_final[50][0], 1e-4)
+    assert mg_final[100][1] > 3 * sv_final[100][1]
+    assert mg_final[100][1] > mg_final[10][1]
+
+
+def test_fig16_update_throughput(benchmark, bench_trace):
+    """Wall-clock comparison of one full pass of each tracker."""
+
+    def run_both():
+        sv = FastPath(8192)
+        mg = MisraGriesTopK(8192)
+        for packet in bench_trace:
+            sv.update(packet.flow, packet.size)
+            mg.update(packet.flow, packet.size)
+        return sv, mg
+
+    sv, mg = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    assert sv.num_updates == mg.num_updates == len(bench_trace)

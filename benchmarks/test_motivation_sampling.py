@@ -1,0 +1,97 @@
+"""§1 motivation: why not just sample?
+
+Open vSwitch ships NetFlow/sFlow sampling; the paper's opening argument
+is that "packet sampling inherently suffers from low measurement
+accuracy and achieves only coarse-grained measurement".  This bench
+quantifies the claim on the same workload the figures use: plain 1%
+sampling vs sample-and-hold [19] vs SketchVisor (FlowRadar normal path).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.sample_and_hold import SampleAndHold
+from repro.baselines.sampling import SampledNetFlow
+from repro.framework.pipeline import SketchVisorPipeline
+from repro.metrics import precision, recall, relative_error
+from repro.tasks.heavy_hitter import HeavyHitterTask
+
+
+@pytest.fixture(scope="module")
+def contenders(bench_trace, bench_truth):
+    threshold = 0.005 * bench_truth.total_bytes
+    true_hh = {
+        flow: float(size)
+        for flow, size in bench_truth.heavy_hitters(threshold).items()
+    }
+
+    sampler = SampledNetFlow(sample_rate=0.01, seed=3)
+    sampler.process(bench_trace)
+
+    snh = SampleAndHold.for_threshold(threshold, seed=3)
+    snh.process(bench_trace)
+
+    task = HeavyHitterTask("flowradar", threshold=threshold)
+    sketchvisor = SketchVisorPipeline(task).run_epoch(
+        bench_trace, bench_truth
+    )
+
+    return {
+        "netflow-1%": (
+            sampler.heavy_hitters(threshold),
+            len(sampler.sampled) * 32,
+        ),
+        "sample&hold": (
+            snh.heavy_hitters(threshold),
+            snh.memory_bytes(),
+        ),
+        "sketchvisor": (
+            sketchvisor.answer,
+            task.create_sketch().memory_bytes() + 8192,
+        ),
+    }, true_hh
+
+
+def test_motivation_table(result_table, contenders):
+    answers, true_hh = contenders
+    table = result_table(
+        "motivation_sampling",
+        "§1 motivation: sampling vs SketchVisor on heavy hitters",
+    )
+    table.row(
+        f"{'system':<12} {'recall':>8} {'precision':>10} "
+        f"{'rel.err':>9} {'memory KB':>10}"
+    )
+    for name, (found, memory) in answers.items():
+        table.row(
+            f"{name:<12} {recall(found, true_hh):>7.0%} "
+            f"{precision(found, true_hh):>9.0%} "
+            f"{relative_error(found, true_hh):>8.1%} "
+            f"{memory / 1024:>10.0f}"
+        )
+
+
+def test_motivation_sampling_inaccurate(contenders):
+    """Plain sampling's relative error dwarfs SketchVisor's."""
+    answers, true_hh = contenders
+    netflow_error = relative_error(answers["netflow-1%"][0], true_hh)
+    sketchvisor_error = relative_error(
+        answers["sketchvisor"][0], true_hh
+    )
+    assert sketchvisor_error < 0.1
+    assert netflow_error > 2 * sketchvisor_error
+
+
+def test_motivation_sketchvisor_best_recall(contenders):
+    answers, true_hh = contenders
+    sv_recall = recall(answers["sketchvisor"][0], true_hh)
+    assert sv_recall >= recall(answers["netflow-1%"][0], true_hh)
+    assert sv_recall >= 0.95
+
+
+def test_motivation_timing(benchmark, bench_trace):
+    sampler = SampledNetFlow(sample_rate=0.01, seed=5)
+    benchmark.pedantic(
+        lambda: sampler.process(bench_trace), rounds=1, iterations=1
+    )

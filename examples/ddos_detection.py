@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""DDoS and superspreader detection with the TwoLevel sketch.
+
+Injects synthetic attacks into background traffic — victims flooded by
+hundreds of distinct sources, and superspreaders scanning hundreds of
+destinations — then detects both with the volume-form TwoLevel sketch
+(§4.2) running under SketchVisor.
+
+Run:  python examples/ddos_detection.py
+"""
+
+from repro import (
+    DDoSTask,
+    GroundTruth,
+    SketchVisorPipeline,
+    SuperspreaderTask,
+    TraceConfig,
+    generate_trace,
+)
+from repro.traffic.anomalies import (
+    inject_ddos_victims,
+    inject_superspreaders,
+)
+
+THRESHOLD = 100  # distinct peers
+
+
+def run_detection(task, trace, truth, label, injected) -> None:
+    pipeline = SketchVisorPipeline(task)
+    result = pipeline.run_epoch(trace, truth)
+    detected = set(result.answer)
+    print(f"\n{label}")
+    print(f"  injected entities : {sorted(injected)}")
+    print(f"  detected          : {len(detected)}")
+    print(f"  injected found    : {len(detected & set(injected))}"
+          f"/{len(injected)}")
+    print(f"  recall            : {result.score.recall:.0%}")
+    print(f"  precision         : {result.score.precision:.0%}")
+
+
+def main() -> None:
+    base = generate_trace(TraceConfig(num_flows=4_000, seed=33))
+
+    # Attack 1: three victims, each flooded from 250 distinct sources.
+    ddos_trace, victims = inject_ddos_victims(
+        base, num_victims=3, sources_per_victim=250
+    )
+    run_detection(
+        DDoSTask(threshold=THRESHOLD, sketch_params={"inner_width": 256}),
+        ddos_trace,
+        GroundTruth.from_trace(ddos_trace),
+        "DDoS detection (TwoLevel, volume form)",
+        victims,
+    )
+
+    # Attack 2: two superspreaders, each scanning 250 destinations.
+    ss_trace, spreaders = inject_superspreaders(
+        base, num_spreaders=2, destinations_per_spreader=250
+    )
+    run_detection(
+        SuperspreaderTask(
+            threshold=THRESHOLD, sketch_params={"inner_width": 256}
+        ),
+        ss_trace,
+        GroundTruth.from_trace(ss_trace),
+        "Superspreader detection (mirrored TwoLevel)",
+        spreaders,
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Accuracy vs deployment size: the Figure 12 effect, interactively.
+
+The paper's network-wide recovery *improves* as hosts are added:
+merging more per-host reports fills more sketch counters and adds more
+constraints to the interpolation.  This example sweeps the host count
+and prints heavy hitter recall plus cardinality error at each size.
+
+Run:  python examples/network_wide_recovery.py
+"""
+
+from repro import (
+    CardinalityTask,
+    GroundTruth,
+    HeavyHitterTask,
+    PipelineConfig,
+    SketchVisorPipeline,
+    TraceConfig,
+    generate_trace,
+)
+
+HOST_COUNTS = [1, 2, 4, 8, 16]
+
+
+def main() -> None:
+    trace = generate_trace(TraceConfig(num_flows=8_000, seed=12))
+    truth = GroundTruth.from_trace(trace)
+    threshold = 0.004 * truth.total_bytes
+
+    header = (
+        f"{'hosts':>6} {'HH recall':>10} {'HH precision':>13} "
+        f"{'cardinality err':>16}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    for hosts in HOST_COUNTS:
+        config = PipelineConfig(num_hosts=hosts)
+        hh = SketchVisorPipeline(
+            HeavyHitterTask("univmon", threshold=threshold),
+            config=config,
+        ).run_epoch(trace, truth)
+        card = SketchVisorPipeline(
+            CardinalityTask("lc"), config=config
+        ).run_epoch(trace, truth)
+        print(
+            f"{hosts:>6} {hh.score.recall:>9.1%} "
+            f"{hh.score.precision:>12.1%} "
+            f"{card.score.relative_error:>15.2%}"
+        )
+
+    print(
+        "\nEach host's switch overflows less (its shard is smaller),"
+        "\nand the merged recovery constraints tighten — accuracy"
+        "\nimproves with deployment size, matching Figure 12."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""One sketch, many statistics: UnivMon as a universal telemetry core.
+
+UnivMon's promise (Table 1's only multi-task solution) is that a single
+structure answers heavy hitters, cardinality, entropy, and the whole
+frequency-moment family.  This example runs one UnivMon through a
+SketchVisor data plane under bursty traffic and reads every statistic
+off the recovered sketch, comparing against exact ground truth.
+
+Run:  python examples/universal_telemetry.py
+"""
+
+from repro import (
+    GroundTruth,
+    HeavyHitterTask,
+    SketchVisorPipeline,
+    TraceConfig,
+    generate_trace,
+)
+from repro.reporting import ascii_bar_chart, comparison_table
+
+
+def main() -> None:
+    # Bursty arrivals: 60% of packets inside short spikes (§1's
+    # motivating regime — bursts are when measurement must not fail).
+    trace = generate_trace(
+        TraceConfig(num_flows=5_000, seed=77, burstiness=0.6)
+    )
+    truth = GroundTruth.from_trace(trace)
+    threshold = 0.005 * truth.total_bytes
+
+    task = HeavyHitterTask("univmon", threshold=threshold)
+    result = SketchVisorPipeline(task).run_epoch(trace, truth)
+    univmon = result.network.sketch  # the recovered sketch
+
+    total = univmon.g_sum(lambda v: v)
+    stats = {
+        "heavy hitters": (
+            float(len(result.answer)),
+            float(len(truth.heavy_hitters(threshold))),
+        ),
+        "cardinality": (
+            univmon.cardinality(),
+            float(truth.cardinality),
+        ),
+        "entropy (bits)": (univmon.entropy(total), truth.entropy),
+        "volume (MB)": (total / 1e6, truth.total_bytes / 1e6),
+        "F2 (x1e12)": (
+            univmon.moment(2) / 1e12,
+            sum(v * v for v in truth.flow_bytes.values()) / 1e12,
+        ),
+    }
+
+    print("universal statistics from ONE recovered UnivMon:\n")
+    print(
+        comparison_table(
+            {
+                name: {
+                    "estimated": est,
+                    "true": true,
+                    "error": abs(est - true) / max(true, 1e-12),
+                }
+                for name, (est, true) in stats.items()
+            },
+            formats={"error": ".1%", "estimated": ".4g", "true": ".4g"},
+        )
+    )
+
+    print("\ntop heavy hitters (estimated bytes):\n")
+    top = dict(
+        sorted(
+            result.answer.items(),
+            key=lambda item: item[1],
+            reverse=True,
+        )[:8]
+    )
+    print(
+        ascii_bar_chart(
+            {
+                f"{f.src_ip}->{f.dst_ip}": size / 1e3
+                for f, size in top.items()
+            },
+            width=36,
+            unit=" KB",
+        )
+    )
+    print(
+        f"\nfast path absorbed {result.fastpath_byte_fraction:.0%} of "
+        f"bytes during the bursts; recovery kept every statistic close."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Setuptools shim so ``pip install -e .`` works without the wheel package.
+
+Metadata lives in pyproject.toml; this file only exists to enable the
+legacy editable-install path in offline environments.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "SketchVisor (SIGCOMM 2017) reproduction: robust sketch-based "
+        "network measurement for software packet processing"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+)

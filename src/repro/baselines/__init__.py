@@ -1,0 +1,15 @@
+"""Baselines the paper compares against.
+
+* :class:`~repro.baselines.trumpet.TrumpetMonitor` — Trumpet [38], a
+  hash-table-per-flow monitor (Figure 17: similar throughput, much more
+  memory than sketches).
+* :class:`~repro.baselines.sampling.SampledNetFlow` — NetFlow/sFlow
+  style packet sampling, the status quo in Open vSwitch the paper's
+  introduction argues against (coarse-grained, misses information).
+"""
+
+from repro.baselines.sample_and_hold import SampleAndHold
+from repro.baselines.sampling import SampledNetFlow
+from repro.baselines.trumpet import TrumpetMonitor
+
+__all__ = ["SampleAndHold", "SampledNetFlow", "TrumpetMonitor"]

@@ -1,0 +1,74 @@
+"""NetFlow/sFlow-style packet sampling — the software-switch status quo.
+
+Open vSwitch ships only sampling-based measurement (§1); the paper's
+motivation is that sampling "inherently suffers from low measurement
+accuracy and achieves only coarse-grained measurement".  This baseline
+quantifies that: sample 1-in-N packets, scale estimates by N.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.common.flow import FlowKey
+from repro.traffic.trace import Trace
+
+
+class SampledNetFlow:
+    """Uniform 1-in-N packet sampler with scaled-up flow estimates.
+
+    Parameters
+    ----------
+    sample_rate:
+        Probability of recording each packet (NetFlow's 1/N).
+    seed:
+        Sampling RNG seed.
+    """
+
+    def __init__(self, sample_rate: float = 0.01, seed: int = 1):
+        if not 0.0 < sample_rate <= 1.0:
+            raise ConfigError("sample_rate must be in (0, 1]")
+        self.sample_rate = sample_rate
+        self._rng = np.random.default_rng(seed)
+        self.sampled: dict[FlowKey, float] = {}
+        self.sampled_packets = 0
+        self.total_packets = 0
+
+    def update(self, flow: FlowKey, value: int) -> None:
+        self.total_packets += 1
+        if self._rng.random() < self.sample_rate:
+            self.sampled_packets += 1
+            self.sampled[flow] = self.sampled.get(flow, 0.0) + value
+
+    def process(self, trace: Trace) -> None:
+        for packet in trace:
+            self.update(packet.flow, packet.size)
+
+    # ------------------------------------------------------------------
+    def flow_estimates(self) -> dict[FlowKey, float]:
+        """Per-flow byte estimates, inverse-probability scaled."""
+        scale = 1.0 / self.sample_rate
+        return {
+            flow: size * scale for flow, size in self.sampled.items()
+        }
+
+    def heavy_hitters(self, threshold: float) -> dict[FlowKey, float]:
+        return {
+            flow: estimate
+            for flow, estimate in self.flow_estimates().items()
+            if estimate > threshold
+        }
+
+    def cardinality_estimate(self) -> float:
+        """Naive scaled distinct count — badly biased, by design.
+
+        Sampling cannot see flows whose every packet was skipped, which
+        is why the paper dismisses it for fine-grained measurement.
+        """
+        return len(self.sampled) / self.sample_rate
+
+    def reset(self) -> None:
+        self.sampled.clear()
+        self.sampled_packets = 0
+        self.total_packets = 0

@@ -1,0 +1,293 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+generate
+    Produce a synthetic heavy-tailed trace and save it (npz or csv).
+run
+    Run one measurement task over a trace (generated or loaded) through
+    the full SketchVisor pipeline and print the score.
+inspect
+    Print ground-truth statistics of a trace.
+convert
+    Convert between trace formats (npz / csv / pcap).
+bench-summary
+    Digest the experiment tables under benchmarks/results/.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.controlplane.recovery import RecoveryMode
+from repro.framework.modes import DataPlaneMode
+from repro.framework.pipeline import PipelineConfig, SketchVisorPipeline
+from repro.framework.registry import TASK_REGISTRY, create_task
+from repro.traffic.generator import TraceConfig, generate_trace
+from repro.traffic.groundtruth import GroundTruth
+from repro.traffic.io import export_csv, import_csv, load_trace, save_trace
+from repro.traffic.trace import Trace
+
+
+def _load_any(path: str) -> Trace:
+    if path.endswith(".csv"):
+        return import_csv(path)
+    if path.endswith(".pcap"):
+        from repro.traffic.pcap import read_pcap
+
+        trace, _stats = read_pcap(path)
+        return trace
+    return load_trace(path)
+
+
+def _save_any(trace: Trace, path: str) -> None:
+    if path.endswith(".csv"):
+        export_csv(trace, path)
+    elif path.endswith(".pcap"):
+        from repro.traffic.pcap import write_pcap
+
+        write_pcap(trace, path)
+    else:
+        save_trace(trace, path)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    trace = generate_trace(
+        TraceConfig(
+            num_flows=args.flows,
+            zipf_alpha=args.alpha,
+            duration=args.duration,
+            seed=args.seed,
+            burstiness=args.burstiness,
+        )
+    )
+    _save_any(trace, args.output)
+    truth = GroundTruth.from_trace(trace)
+    print(
+        f"wrote {args.output}: {len(trace):,} packets, "
+        f"{truth.cardinality:,} flows, "
+        f"{truth.total_bytes / 1e6:.1f} MB"
+    )
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    trace = _load_any(args.trace)
+    truth = GroundTruth.from_trace(trace)
+    threshold = args.hh_fraction * truth.total_bytes
+    print(f"packets        : {len(trace):,}")
+    print(f"flows          : {truth.cardinality:,}")
+    print(f"bytes          : {truth.total_bytes:,}")
+    print(f"duration       : {trace.duration:.3f}s")
+    print(f"entropy        : {truth.entropy:.3f} bits")
+    print(
+        f"heavy hitters  : {len(truth.heavy_hitters(threshold))} "
+        f"(>{threshold / 1e3:.0f} KB)"
+    )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.trace:
+        trace = _load_any(args.trace)
+    else:
+        trace = generate_trace(
+            TraceConfig(num_flows=args.flows, seed=args.seed)
+        )
+    truth = GroundTruth.from_trace(trace)
+
+    kwargs: dict = {}
+    if args.task in ("heavy_hitter", "heavy_changer"):
+        kwargs["threshold"] = args.threshold_fraction * truth.total_bytes
+    elif args.task in ("ddos", "superspreader"):
+        kwargs["threshold"] = args.spread_threshold
+    task = create_task(args.task, args.solution, **kwargs)
+
+    if args.cores > 1:
+        # Multi-core data plane (§7.2): run per-core switches directly
+        # and aggregate through the controller.
+        from repro.controlplane.controller import Controller
+        from repro.dataplane.host import MultiCoreHost
+
+        host = MultiCoreHost(
+            0,
+            lambda: task.create_sketch(seed=1),
+            num_cores=args.cores,
+            fastpath_bytes=args.fastpath_bytes,
+        )
+        report = host.run_epoch(trace)
+        network = Controller(RecoveryMode(args.recovery)).aggregate(
+            [report]
+        )
+        answer = task.answer(network.sketch)
+        score = task.score(answer, truth)
+        print(f"task            : {args.task} / {args.solution}")
+        print(f"cores           : {args.cores}")
+        if score.recall is not None:
+            print(f"recall          : {score.recall:.1%}")
+            print(f"precision       : {score.precision:.1%}")
+        if score.relative_error is not None:
+            print(f"relative error  : {score.relative_error:.2%}")
+        print(
+            f"throughput      : "
+            f"{report.switch.throughput_gbps:.1f} Gbps"
+        )
+        return 0
+
+    pipeline = SketchVisorPipeline(
+        task,
+        dataplane=DataPlaneMode(args.dataplane),
+        recovery=RecoveryMode(args.recovery),
+        config=PipelineConfig(
+            num_hosts=args.hosts, fastpath_bytes=args.fastpath_bytes
+        ),
+    )
+    if args.task == "heavy_changer":
+        half = len(trace) // 2
+        epoch_a = Trace(trace.packets[:half])
+        epoch_b = Trace(trace.packets[half:])
+        result = pipeline.run_epoch_pair(epoch_a, epoch_b)
+    else:
+        result = pipeline.run_epoch(trace, truth)
+
+    score = result.score
+    print(f"task            : {args.task} / {args.solution}")
+    print(f"dataplane       : {args.dataplane}   recovery: {args.recovery}")
+    print(f"hosts           : {args.hosts}")
+    if score.recall is not None:
+        print(f"recall          : {score.recall:.1%}")
+        print(f"precision       : {score.precision:.1%}")
+    if score.relative_error is not None:
+        print(f"relative error  : {score.relative_error:.2%}")
+    if score.mrd is not None:
+        print(f"MRD             : {score.mrd:.4f}")
+    print(f"throughput      : {result.throughput_gbps:.1f} Gbps")
+    print(
+        f"fast-path bytes : {result.fastpath_byte_fraction:.0%}"
+    )
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    trace = _load_any(args.source)
+    _save_any(trace, args.destination)
+    print(
+        f"converted {args.source} -> {args.destination} "
+        f"({len(trace):,} packets)"
+    )
+    return 0
+
+
+def _cmd_bench_summary(args: argparse.Namespace) -> int:
+    import pathlib
+
+    results = pathlib.Path(args.results_dir)
+    if not results.is_dir():
+        print(f"no results directory at {results}", file=sys.stderr)
+        return 1
+    files = sorted(results.glob("*.txt"))
+    if not files:
+        print("no experiment results found; run "
+              "`pytest benchmarks/ --benchmark-only` first")
+        return 1
+    for path in files:
+        lines = path.read_text().splitlines()
+        title = lines[0] if lines else path.stem
+        print(f"* {path.stem}: {title}")
+        if args.full:
+            for line in lines[2:]:
+                print(f"    {line}")
+    print(f"\n{len(files)} experiment tables in {results}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SketchVisor reproduction command-line interface",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="generate a synthetic trace"
+    )
+    generate.add_argument("output", help=".npz or .csv output path")
+    generate.add_argument("--flows", type=int, default=5000)
+    generate.add_argument("--alpha", type=float, default=1.2)
+    generate.add_argument("--duration", type=float, default=1.0)
+    generate.add_argument("--seed", type=int, default=1)
+    generate.add_argument("--burstiness", type=float, default=0.0)
+    generate.set_defaults(func=_cmd_generate)
+
+    convert = commands.add_parser(
+        "convert", help="convert a trace between npz / csv / pcap"
+    )
+    convert.add_argument("source")
+    convert.add_argument("destination")
+    convert.set_defaults(func=_cmd_convert)
+
+    bench_summary = commands.add_parser(
+        "bench-summary",
+        help="digest the experiment tables in benchmarks/results/",
+    )
+    bench_summary.add_argument(
+        "--results-dir", default="benchmarks/results"
+    )
+    bench_summary.add_argument(
+        "--full", action="store_true", help="print full tables"
+    )
+    bench_summary.set_defaults(func=_cmd_bench_summary)
+
+    inspect = commands.add_parser(
+        "inspect", help="print ground-truth statistics of a trace"
+    )
+    inspect.add_argument("trace", help=".npz or .csv trace path")
+    inspect.add_argument("--hh-fraction", type=float, default=0.005)
+    inspect.set_defaults(func=_cmd_inspect)
+
+    run = commands.add_parser(
+        "run", help="run a measurement task over a trace"
+    )
+    run.add_argument(
+        "--task",
+        choices=sorted(TASK_REGISTRY),
+        default="heavy_hitter",
+    )
+    run.add_argument("--solution", default="deltoid")
+    run.add_argument("--trace", help="trace file; omit to generate")
+    run.add_argument("--flows", type=int, default=5000)
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--hosts", type=int, default=1)
+    run.add_argument(
+        "--cores",
+        type=int,
+        default=1,
+        help="per-host worker cores (§7.2 parallel mode)",
+    )
+    run.add_argument("--fastpath-bytes", type=int, default=8192)
+    run.add_argument(
+        "--dataplane",
+        choices=[mode.value for mode in DataPlaneMode],
+        default=DataPlaneMode.SKETCHVISOR.value,
+    )
+    run.add_argument(
+        "--recovery",
+        choices=[mode.value for mode in RecoveryMode],
+        default=RecoveryMode.SKETCHVISOR.value,
+    )
+    run.add_argument("--threshold-fraction", type=float, default=0.005)
+    run.add_argument("--spread-threshold", type=int, default=100)
+    run.set_defaults(func=_cmd_run)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

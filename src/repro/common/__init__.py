@@ -1,0 +1,37 @@
+"""Shared substrate: flow keys, hash families, configuration, errors.
+
+Everything in :mod:`repro` builds on these primitives.  The hash family is
+seedable and deterministic so that the data plane (which records packets
+into sketches) and the control plane (which reconstructs sketch positions
+for compressive-sensing recovery) agree on where every flow lands.
+"""
+
+from repro.common.errors import (
+    ConfigError,
+    DecodeError,
+    MergeError,
+    ReproError,
+)
+from repro.common.flow import (
+    FlowKey,
+    Packet,
+    destination_key,
+    flow_pair_key,
+    source_key,
+)
+from repro.common.hashing import HashFamily, fold_key, mix64
+
+__all__ = [
+    "ConfigError",
+    "DecodeError",
+    "FlowKey",
+    "HashFamily",
+    "MergeError",
+    "Packet",
+    "ReproError",
+    "destination_key",
+    "flow_pair_key",
+    "fold_key",
+    "mix64",
+    "source_key",
+]

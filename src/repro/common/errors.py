@@ -1,0 +1,31 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch everything from this package with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """Raised when a sketch, task, or pipeline is misconfigured."""
+
+
+class DecodeError(ReproError):
+    """Raised when a reversible sketch cannot decode its contents.
+
+    FlowRadar, for example, can only single-decode when the number of
+    distinct flows stays below its design capacity; exceeding it leaves
+    undecodable cells.
+    """
+
+
+class MergeError(ReproError):
+    """Raised when two incompatible structures are merged.
+
+    Sketches can only be merged (matrix-added) when they share shape,
+    hash seeds, and type; hash tables only when they track the same key
+    kind.
+    """

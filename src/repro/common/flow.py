@@ -1,0 +1,113 @@
+"""Flow and packet abstractions.
+
+The paper identifies flow-based statistics by 5-tuples and host-based
+statistics by IP addresses (§2.1).  :class:`FlowKey` is an immutable
+5-tuple; helper functions project it to the key kinds the different
+measurement tasks use (source host, destination host, src→dst pair).
+
+Keys carry a cached 64-bit fold (``key64``) so hot loops hash a plain
+integer instead of re-folding the tuple per sketch row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.hashing import fold_key, mix64
+
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+
+@dataclass(frozen=True, slots=True)
+class FlowKey:
+    """An immutable 5-tuple flow identifier.
+
+    Addresses are stored as 32-bit integers and ports as 16-bit integers,
+    matching the 104-bit flow-header space the paper reasons about
+    (2 x 32 + 2 x 16 + 8 = 104 bits).
+    """
+
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    proto: int = PROTO_TCP
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.src_ip < 2**32 or not 0 <= self.dst_ip < 2**32:
+            raise ValueError("IP addresses must fit in 32 bits")
+        if not 0 <= self.src_port < 2**16 or not 0 <= self.dst_port < 2**16:
+            raise ValueError("ports must fit in 16 bits")
+        if not 0 <= self.proto < 2**8:
+            raise ValueError("protocol must fit in 8 bits")
+
+    @property
+    def key104(self) -> int:
+        """The exact 104-bit packed header, used by reversible sketches."""
+        return (
+            (self.src_ip << 72)
+            | (self.dst_ip << 40)
+            | (self.src_port << 24)
+            | (self.dst_port << 8)
+            | self.proto
+        )
+
+    @property
+    def key64(self) -> int:
+        """A mixed 64-bit fold of the header, used by hashing sketches."""
+        packed = self.key104
+        return mix64((packed >> 64) ^ (packed & ((1 << 64) - 1)))
+
+    @classmethod
+    def from_key104(cls, packed: int) -> "FlowKey":
+        """Inverse of :attr:`key104` — unpack a 104-bit header."""
+        return cls(
+            src_ip=(packed >> 72) & 0xFFFFFFFF,
+            dst_ip=(packed >> 40) & 0xFFFFFFFF,
+            src_port=(packed >> 24) & 0xFFFF,
+            dst_port=(packed >> 8) & 0xFFFF,
+            proto=packed & 0xFF,
+        )
+
+    def reversed(self) -> "FlowKey":
+        """The flow of the opposite direction (dst↔src swapped)."""
+        return FlowKey(
+            src_ip=self.dst_ip,
+            dst_ip=self.src_ip,
+            src_port=self.dst_port,
+            dst_port=self.src_port,
+            proto=self.proto,
+        )
+
+
+def source_key(flow: FlowKey) -> int:
+    """Host key for superspreader detection: the source IP."""
+    return flow.src_ip
+
+
+def destination_key(flow: FlowKey) -> int:
+    """Host key for DDoS detection: the destination IP."""
+    return flow.dst_ip
+
+
+def flow_pair_key(flow: FlowKey) -> int:
+    """(src, dst) host-pair key, folded to 64 bits."""
+    return fold_key((flow.src_ip, flow.dst_ip))
+
+
+@dataclass(frozen=True, slots=True)
+class Packet:
+    """A single observed packet: flow identity, byte size, timestamp.
+
+    ``timestamp`` is in seconds from the start of the trace; the data
+    plane uses it to derive arrival spacing when simulating offered load.
+    """
+
+    flow: FlowKey
+    size: int
+    timestamp: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"packet size must be positive, got {self.size}")

@@ -1,0 +1,45 @@
+"""Control plane (§3.2, §5): network-wide recovery via compressive sensing.
+
+The controller collects per-host :class:`~repro.dataplane.host.LocalReport`
+objects, merges them into a single sketch ``N``, a single top-k table
+``H`` (with Lemma 4.1 bounds) and a total fast-path volume ``V``, then
+recovers the *true* sketch ``T = N + sk(x + y)`` by solving the matrix
+interpolation problem of §5.2 with the LENS-style objective (Eq. 4):
+
+    minimize  alpha*||T||_*  +  beta*||x||_1  +  (1/2 gamma)*||y||_F^2
+
+subject to the volume constraint (Eq. 2) and the per-flow box
+constraints from the fast path (Eq. 3).
+"""
+
+from repro.controlplane.controller import Controller, NetworkResult
+from repro.controlplane.lens import LensConfig, LensResult, lens_interpolate
+from repro.controlplane.merge import (
+    merge_fastpath_snapshots,
+    merge_sketches,
+)
+from repro.controlplane.rank_analysis import low_rank_error_curve
+from repro.controlplane.recovery import RecoveryMode, recover
+from repro.controlplane.transport import (
+    decode_report,
+    decode_stream,
+    encode_report,
+    encode_stream,
+)
+
+__all__ = [
+    "Controller",
+    "LensConfig",
+    "LensResult",
+    "NetworkResult",
+    "RecoveryMode",
+    "decode_report",
+    "decode_stream",
+    "encode_report",
+    "encode_stream",
+    "lens_interpolate",
+    "low_rank_error_curve",
+    "merge_fastpath_snapshots",
+    "merge_sketches",
+    "recover",
+]

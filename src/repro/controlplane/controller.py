@@ -1,0 +1,79 @@
+"""The SketchVisor controller: one-big-switch aggregation (§3.2).
+
+Collects per-host :class:`LocalReport` objects for an epoch, merges the
+normal-path sketches and fast-path tables, runs network-wide recovery,
+and hands measurement tasks a single recovered sketch — as if all
+traffic had been recorded by one switch's normal path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+from repro.common.errors import MergeError
+from repro.common.flow import FlowKey
+from repro.controlplane.lens import LensConfig
+from repro.controlplane.merge import (
+    merge_fastpath_snapshots,
+    merge_sketches,
+)
+from repro.controlplane.recovery import RecoveryMode, recover
+from repro.dataplane.host import LocalReport
+from repro.fastpath.topk import FastPathSnapshot
+from repro.sketches.base import Sketch
+
+
+@dataclass
+class NetworkResult:
+    """Network-wide measurement state for one epoch."""
+
+    sketch: Sketch
+    flow_estimates: dict[FlowKey, float] = field(default_factory=dict)
+    snapshot: FastPathSnapshot | None = None
+    num_hosts: int = 0
+    lens_iterations: int = 0
+    lens_converged: bool = True
+
+
+class Controller:
+    """Centralized control plane.
+
+    Parameters
+    ----------
+    mode:
+        Recovery strategy applied after merging (§7.3 arms).
+    lens_config:
+        Optional compressive-sensing solver parameters.
+    """
+
+    def __init__(
+        self,
+        mode: RecoveryMode = RecoveryMode.SKETCHVISOR,
+        lens_config: LensConfig | None = None,
+    ):
+        self.mode = mode
+        self.lens_config = lens_config
+
+    def aggregate(self, reports: Sequence[LocalReport]) -> NetworkResult:
+        """Merge per-host reports and run network-wide recovery."""
+        if not reports:
+            raise MergeError("no host reports to aggregate")
+        merged_sketch = merge_sketches([r.sketch for r in reports])
+        merged_snapshot = merge_fastpath_snapshots(
+            [r.fastpath for r in reports]
+        )
+        state = recover(
+            normal=merged_sketch,
+            snapshot=merged_snapshot,
+            mode=self.mode,
+            lens_config=self.lens_config,
+        )
+        return NetworkResult(
+            sketch=state.sketch,
+            flow_estimates=state.flow_estimates,
+            snapshot=merged_snapshot,
+            num_hosts=len(reports),
+            lens_iterations=state.lens_iterations,
+            lens_converged=state.lens_converged,
+        )

@@ -1,0 +1,66 @@
+"""Merging local results into global views (§5.1).
+
+Sketches merge by counter-wise (matrix) addition; fast-path hash tables
+merge by union.  Hosts monitor disjoint flow sets (§3.1), so a flow
+normally appears in at most one table; if partitioning ever double-sees
+a flow, its counters add (``e`` bounds add conservatively).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.common.errors import MergeError
+from repro.fastpath.topk import FastPathSnapshot, FlowEntry
+from repro.sketches.base import Sketch
+
+
+def merge_sketches(sketches: Sequence[Sketch]) -> Sketch:
+    """Matrix-add per-host sketches into the global sketch ``N``.
+
+    The inputs are not modified.  All sketches must share type, shape,
+    and seed (enforced by each sketch's ``merge``).
+    """
+    if not sketches:
+        raise MergeError("no sketches to merge")
+    merged = sketches[0].clone_empty()
+    for sketch in sketches:
+        merged.merge(sketch)
+    return merged
+
+
+def merge_fastpath_snapshots(
+    snapshots: Sequence[FastPathSnapshot | None],
+) -> FastPathSnapshot:
+    """Union per-host fast-path tables into the global table ``H``.
+
+    ``V`` and ``E`` add across hosts.  Missing snapshots (hosts that ran
+    without a fast path) contribute nothing.
+    """
+    entries: dict = {}
+    total_bytes = 0.0
+    total_decremented = 0.0
+    insert_count = 0
+    evict_count = 0
+    for snapshot in snapshots:
+        if snapshot is None:
+            continue
+        total_bytes += snapshot.total_bytes
+        total_decremented += snapshot.total_decremented
+        insert_count += snapshot.insert_count
+        evict_count += snapshot.evict_count
+        for flow, entry in snapshot.entries.items():
+            existing = entries.get(flow)
+            if existing is None:
+                entries[flow] = FlowEntry(entry.e, entry.r, entry.d)
+            else:
+                existing.e += entry.e
+                existing.r += entry.r
+                existing.d += entry.d
+    return FastPathSnapshot(
+        entries=entries,
+        total_bytes=total_bytes,
+        total_decremented=total_decremented,
+        insert_count=insert_count,
+        evict_count=evict_count,
+    )

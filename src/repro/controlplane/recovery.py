@@ -1,0 +1,254 @@
+"""Network-wide recovery (§5): rebuild the true sketch ``T``.
+
+Five recovery modes reproduce the paper's accuracy arms (§7.3):
+
+* ``NO_RECOVERY`` (NR) — use the merged normal-path sketch only,
+  discarding everything the fast path saw;
+* ``LOWER`` (LR) — re-inject each tracked flow at its Lemma 4.1 lower
+  bound;
+* ``UPPER`` (UR) — re-inject at the upper bound;
+* ``SKETCHVISOR`` — solve the compressive-sensing interpolation
+  (Eq. 4) for the per-flow estimates ``x`` *and* the small-flow noise
+  ``Y``, then rebuild ``T = N + sk(x) + Y``;
+* ``IDEAL`` is not a recovery mode — it is produced by running the data
+  plane with no capacity limit (see :mod:`repro.dataplane.switch`).
+
+Re-injection uses the sketch's own ``update``/``inject`` path so that
+non-linear structures (FlowRadar's XOR fields, UnivMon's trackers,
+TwoLevel's candidate sketch) are restored exactly for tracked flows —
+their headers are known from the merged hash table ``H``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.common.flow import FlowKey
+from repro.controlplane.lens import LensConfig, lens_interpolate
+from repro.fastpath.topk import FastPathSnapshot
+from repro.sketches.base import Sketch
+
+#: Synthetic small-flow prior: untracked flows are smaller than the
+#: fast path's tracking boundary and follow the same power law the
+#: fast path itself assumes (PLC, §4.2); a theta=1 Pareto truncated to
+#: [64 B, boundary] matches the missing-flow mean within ~10% across
+#: fast-path sizes on heavy-tailed workloads.  The number of synthetic
+#: flows realizing a given missing volume is what zero-counting
+#: estimators (LC/FM/kMin, TwoLevel inner arrays) ultimately see.
+_MIN_FLOW_BYTES = 64.0
+_MAX_SYNTHETIC_FLOWS = 500_000
+
+
+class RecoveryMode(Enum):
+    """Control-plane recovery strategy (§7.3 alternatives)."""
+
+    NO_RECOVERY = "nr"
+    LOWER = "lr"
+    UPPER = "ur"
+    SKETCHVISOR = "sketchvisor"
+
+
+@dataclass
+class RecoveredState:
+    """Output of network-wide recovery."""
+
+    sketch: Sketch
+    flow_estimates: dict[FlowKey, float]
+    lens_iterations: int = 0
+    lens_converged: bool = True
+
+
+def _copy_sketch(sketch: Sketch) -> Sketch:
+    clone = sketch.clone_empty()
+    clone.merge(sketch)
+    return clone
+
+
+def _inject(sketch: Sketch, flow: FlowKey, value: float) -> None:
+    amount = int(round(value))
+    if amount > 0:
+        sketch.inject(flow, amount)
+
+
+def recover(
+    normal: Sketch,
+    snapshot: FastPathSnapshot | None,
+    mode: RecoveryMode = RecoveryMode.SKETCHVISOR,
+    lens_config: LensConfig | None = None,
+) -> RecoveredState:
+    """Recover the network-wide sketch from merged local results.
+
+    Parameters
+    ----------
+    normal:
+        The merged normal-path sketch ``N`` (not modified).
+    snapshot:
+        The merged fast-path table ``H`` plus globals ``V``/``E``; may
+        be ``None`` when the fast path never activated.
+    mode:
+        Recovery strategy.
+    """
+    if snapshot is None or (
+        not snapshot.entries and snapshot.total_bytes == 0
+    ):
+        return RecoveredState(
+            sketch=_copy_sketch(normal), flow_estimates={}
+        )
+
+    if mode is RecoveryMode.NO_RECOVERY:
+        return RecoveredState(
+            sketch=_copy_sketch(normal), flow_estimates={}
+        )
+
+    flows = list(snapshot.entries)
+    lower = [snapshot.entries[f].lower_bound for f in flows]
+    upper = [snapshot.entries[f].upper_bound for f in flows]
+
+    if mode is RecoveryMode.LOWER or mode is RecoveryMode.UPPER:
+        bounds = lower if mode is RecoveryMode.LOWER else upper
+        recovered = _copy_sketch(normal)
+        estimates: dict[FlowKey, float] = {}
+        for flow, value in zip(flows, bounds):
+            _inject(recovered, flow, value)
+            estimates[flow] = float(value)
+        return RecoveredState(sketch=recovered, flow_estimates=estimates)
+
+    # SketchVisor: full compressive-sensing interpolation.
+    try:
+        positions = [normal.matrix_positions(flow) for flow in flows]
+    except NotImplementedError:
+        # Sketch without a linear operator (e.g. kMin): fall back to
+        # midpoint injection, which still honours the Eq. 3 box, and
+        # realize the small-flow mass the same way as the solver path.
+        recovered = _copy_sketch(normal)
+        estimates = {}
+        for flow, lo, hi in zip(flows, lower, upper):
+            midpoint = (lo + hi) / 2.0
+            _inject(recovered, flow, midpoint)
+            estimates[flow] = midpoint
+        remaining = max(
+            0.0, snapshot.total_bytes - sum(estimates.values())
+        )
+        _inject_synthetic_small_flows(
+            recovered,
+            remaining,
+            _tracking_boundary(snapshot),
+            count=_missing_flow_count(snapshot),
+        )
+        return RecoveredState(sketch=recovered, flow_estimates=estimates)
+
+    result = lens_interpolate(
+        n_matrix=normal.to_matrix(),
+        positions=positions,
+        lower=lower,
+        upper=upper,
+        volume=snapshot.total_bytes,
+        low_rank=normal.low_rank,
+        config=lens_config,
+    )
+
+    recovered = _copy_sketch(normal)
+    estimates = {}
+    for flow, value in zip(flows, result.x):
+        _inject(recovered, flow, value)
+        estimates[flow] = float(value)
+    # Realize the small-flow component y as synthetic flows rather than
+    # the solver's dense noise matrix: sk(y) is *sparse* (each missed
+    # small flow touches a handful of counters), and zero-counting
+    # estimators (Linear Counting, FM, TwoLevel's inner arrays) are
+    # destroyed by dense noise but restored by a sparse realization
+    # with the right total volume.  See DESIGN.md.
+    remaining = max(0.0, snapshot.total_bytes - float(result.x.sum()))
+    _inject_synthetic_small_flows(
+        recovered,
+        remaining,
+        _tracking_boundary(snapshot),
+        count=_missing_flow_count(snapshot),
+    )
+    return RecoveredState(
+        sketch=recovered,
+        flow_estimates=estimates,
+        lens_iterations=result.iterations,
+        lens_converged=result.converged,
+    )
+
+
+def _missing_flow_count(snapshot: FastPathSnapshot) -> int | None:
+    """Estimated number of flows the fast path saw but no longer tracks.
+
+    ``None`` when the snapshot carries no insert/evict counters (then
+    the caller falls back to the mass-anchored Pareto estimate).
+    """
+    if snapshot.insert_count <= 0:
+        return None
+    return max(
+        0,
+        int(round(snapshot.distinct_flow_hint)) - len(snapshot.entries),
+    )
+
+
+def _tracking_boundary(snapshot: FastPathSnapshot) -> float:
+    """The smallest byte count still tracked in the merged table ``H``.
+
+    Untracked flows must sit below it (a larger flow would have been
+    kept, Lemma 4.1), so it truncates the synthetic small-flow prior.
+    """
+    if not snapshot.entries:
+        return 1500.0
+    return max(
+        min(entry.estimate for entry in snapshot.entries.values()),
+        _MIN_FLOW_BYTES * 1.01,
+    )
+
+
+def _inject_synthetic_small_flows(
+    sketch: Sketch,
+    volume: float,
+    boundary: float,
+    count: int | None = None,
+) -> None:
+    """Deposit ``volume`` bytes of untracked small-flow mass (Eq. 2).
+
+    Flow sizes are drawn from a theta=1 Pareto truncated to
+    ``[64 B, boundary]`` — the same skew assumption the fast path's
+    eviction threshold fits (§4.2, PLC) — where ``boundary`` is the
+    smallest flow still tracked in ``H`` (nothing larger can be
+    missing, by Lemma 4.1).  When ``count`` is given (from the
+    snapshot's insert/evict counters) exactly that many flows are
+    injected with sizes rescaled to the target mass, so both the
+    missing flow *count* and the missing *volume* are honoured.
+    5-tuples are drawn uniformly from the flow space (collisions with
+    real flows are negligible at 2^-32).  Deterministic for a given
+    sketch seed, so repeated recoveries agree.
+    """
+    if volume <= 0:
+        return
+    low = _MIN_FLOW_BYTES
+    high = max(boundary, low * 1.01)
+    rng = np.random.default_rng(sketch.seed ^ 0x5EED_CAFE)
+    inv_low, inv_high = 1.0 / low, 1.0 / high
+
+    if count is None:
+        # Mass-anchored: Pareto mean ~ low * ln(high/low).
+        import math
+
+        mean = low * math.log(high / low) / (1.0 - low / high)
+        count = int(round(volume / max(mean, low)))
+    count = max(0, min(count, _MAX_SYNTHETIC_FLOWS))
+    if count == 0:
+        return
+    draws = 1.0 / (
+        inv_low - rng.random(count) * (inv_low - inv_high)
+    )
+    draws *= volume / draws.sum()
+    for size in draws:
+        flow = FlowKey(
+            src_ip=int(rng.integers(1, 2**32)),
+            dst_ip=int(rng.integers(1, 2**32)),
+            src_port=int(rng.integers(1024, 65536)),
+            dst_port=int(rng.integers(1, 1024)),
+        )
+        sketch.inject(flow, max(1, int(round(size))))

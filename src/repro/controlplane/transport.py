@@ -1,0 +1,105 @@
+"""Report serialization: the host → controller wire format.
+
+The prototype ships per-epoch results over ZeroMQ (§6).  This module
+provides the equivalent encoding for :class:`LocalReport` objects —
+length-prefixed frames carrying a pickled payload — with a *restricted*
+unpickler that only resolves classes from this package, numpy, and
+Python builtins, so a controller cannot be made to execute arbitrary
+constructors from a hostile host.
+
+Framing:  ``MAGIC (4B) | version (1B) | length (4B, BE) | payload``.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+import struct
+
+from repro.common.errors import ConfigError
+from repro.dataplane.host import LocalReport
+
+_MAGIC = b"SKVR"
+_VERSION = 1
+_HEADER = struct.Struct(">4sBI")
+
+#: Module prefixes the unpickler will resolve classes from.
+_ALLOWED_PREFIXES = (
+    "repro.",
+    "numpy",
+    "builtins",
+    "collections",
+)
+
+#: Builtins that are never safe to resolve, regardless of module.
+_DENIED_NAMES = {"eval", "exec", "open", "compile", "__import__"}
+
+
+class _RestrictedUnpickler(pickle.Unpickler):
+    def find_class(self, module: str, name: str):  # noqa: D102
+        if name in _DENIED_NAMES:
+            raise ConfigError(
+                f"refusing to unpickle builtin {name!r}"
+            )
+        if not any(
+            module == prefix.rstrip(".") or module.startswith(prefix)
+            for prefix in _ALLOWED_PREFIXES
+        ):
+            raise ConfigError(
+                f"refusing to unpickle {module}.{name} "
+                "(module not allowlisted)"
+            )
+        return super().find_class(module, name)
+
+
+def encode_report(report: LocalReport) -> bytes:
+    """Serialize one host's epoch report into a framed message."""
+    payload = pickle.dumps(report, protocol=pickle.HIGHEST_PROTOCOL)
+    return _HEADER.pack(_MAGIC, _VERSION, len(payload)) + payload
+
+
+def decode_report(message: bytes) -> LocalReport:
+    """Parse a framed message back into a :class:`LocalReport`.
+
+    Raises :class:`ConfigError` on bad magic, version, truncation, or
+    any attempt to resolve a non-allowlisted class.
+    """
+    if len(message) < _HEADER.size:
+        raise ConfigError("message too short for a report frame")
+    magic, version, length = _HEADER.unpack_from(message, 0)
+    if magic != _MAGIC:
+        raise ConfigError(f"bad frame magic {magic!r}")
+    if version != _VERSION:
+        raise ConfigError(f"unsupported frame version {version}")
+    payload = message[_HEADER.size :]
+    if len(payload) != length:
+        raise ConfigError(
+            f"frame length mismatch: header says {length}, "
+            f"got {len(payload)}"
+        )
+    report = _RestrictedUnpickler(io.BytesIO(payload)).load()
+    if not isinstance(report, LocalReport):
+        raise ConfigError(
+            f"frame did not contain a LocalReport "
+            f"(got {type(report).__name__})"
+        )
+    return report
+
+
+def encode_stream(reports: list[LocalReport]) -> bytes:
+    """Concatenate framed reports (a whole epoch's worth)."""
+    return b"".join(encode_report(report) for report in reports)
+
+
+def decode_stream(data: bytes) -> list[LocalReport]:
+    """Split a concatenation of frames back into reports."""
+    reports: list[LocalReport] = []
+    offset = 0
+    while offset < len(data):
+        if offset + _HEADER.size > len(data):
+            raise ConfigError("trailing bytes are not a full frame")
+        _magic, _version, length = _HEADER.unpack_from(data, offset)
+        end = offset + _HEADER.size + length
+        reports.append(decode_report(data[offset:end]))
+        offset = end
+    return reports

@@ -1,0 +1,60 @@
+"""The bounded FIFO between the kernel module and the normal path.
+
+The prototype implements this as a lock-free circular buffer in shared
+memory (§6, [27]).  For the simulation we track, per queued packet, the
+cycle timestamp at which it was enqueued — the consumer cannot start
+serving a packet before that.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.common.errors import ConfigError
+from repro.common.flow import Packet
+
+
+class BoundedFIFO:
+    """A bounded single-producer / single-consumer packet queue.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum queued packets.  The paper sizes it to "hold all packets
+        to be processed and absorb any transient spike"; its fullness is
+        the (only) signal that diverts traffic to the fast path.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ConfigError("FIFO capacity must be >= 1")
+        self.capacity = capacity
+        self._queue: deque[tuple[Packet, float]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def full(self) -> bool:
+        return len(self._queue) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._queue
+
+    def push(self, packet: Packet, enqueue_cycle: float) -> None:
+        """Enqueue; caller must check :attr:`full` first."""
+        if self.full:
+            raise OverflowError("FIFO is full")
+        self._queue.append((packet, enqueue_cycle))
+
+    def pop(self) -> tuple[Packet, float]:
+        """Dequeue the oldest packet and its enqueue cycle."""
+        return self._queue.popleft()
+
+    def peek_enqueue_cycle(self) -> float:
+        """Enqueue cycle of the head packet (queue must be non-empty)."""
+        return self._queue[0][1]
+
+    def clear(self) -> None:
+        self._queue.clear()

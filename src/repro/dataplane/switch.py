@@ -1,0 +1,203 @@
+"""The software-switch measurement module: normal path + fast path.
+
+Two coupled actors simulate the prototype's architecture (§6):
+
+* the **producer** models the kernel module: it receives each packet
+  (``dispatch_cycles``), then either enqueues its header into the
+  bounded FIFO (when there is room) or updates the fast path in place
+  (when the FIFO is full) — exactly the paper's dispatch rule, with no
+  proactive packet classification (§3.1);
+* the **consumer** models the user-space daemon: it drains the FIFO and
+  records each packet into the normal-path sketch at the sketch's
+  calibrated per-packet cycle cost, running concurrently on its own
+  core.
+
+Three operating modes cover the paper's evaluation arms:
+
+* ``fastpath`` given — SketchVisor (or MGFastPath when handed a
+  :class:`~repro.fastpath.misra_gries.MisraGriesTopK`);
+* ``fastpath=None`` — NoFastPath: the producer *blocks* on a full FIFO
+  (nothing is dropped, so the measured throughput collapses to the
+  normal path's rate, matching Figure 6);
+* ``ideal=True`` — the accuracy yardstick: every packet goes through
+  the normal path with no capacity constraint (§7.3 "Ideal").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+from repro.common.flow import FlowKey
+from repro.dataplane.buffer import BoundedFIFO
+from repro.dataplane.cost_model import CostModel
+from repro.fastpath.misra_gries import MisraGriesTopK
+from repro.fastpath.topk import FastPath
+from repro.sketches.base import Sketch
+
+
+@dataclass
+class SwitchReport:
+    """Per-epoch statistics of one software switch."""
+
+    total_packets: int = 0
+    total_bytes: float = 0.0
+    normal_packets: int = 0
+    normal_bytes: float = 0.0
+    fastpath_packets: int = 0
+    fastpath_bytes: float = 0.0
+    producer_cycles: float = 0.0
+    consumer_cycles: float = 0.0
+    makespan_cycles: float = 0.0
+    throughput_gbps: float = 0.0
+    normal_flows: set[FlowKey] = field(default_factory=set)
+    fastpath_flows: set[FlowKey] = field(default_factory=set)
+
+    @property
+    def fastpath_packet_fraction(self) -> float:
+        if self.total_packets == 0:
+            return 0.0
+        return self.fastpath_packets / self.total_packets
+
+    @property
+    def fastpath_byte_fraction(self) -> float:
+        if self.total_bytes == 0:
+            return 0.0
+        return self.fastpath_bytes / self.total_bytes
+
+    @property
+    def fastpath_flow_fraction(self) -> float:
+        total = len(self.normal_flows | self.fastpath_flows)
+        if total == 0:
+            return 0.0
+        return len(self.fastpath_flows) / total
+
+
+class SoftwareSwitch:
+    """One host's measurement module.
+
+    Parameters
+    ----------
+    sketch:
+        The normal-path sketch-based solution (operator's choice, §3.1).
+    fastpath:
+        A :class:`FastPath` / :class:`MisraGriesTopK`, or None for
+        NoFastPath (blocking) behaviour.
+    cost_model:
+        Cycle accounting (in-memory or testbed profile).
+    buffer_packets:
+        FIFO capacity in packets.
+    ideal:
+        When True, bypass all capacity limits (accuracy yardstick).
+    """
+
+    def __init__(
+        self,
+        sketch: Sketch,
+        fastpath: FastPath | MisraGriesTopK | None = None,
+        cost_model: CostModel | None = None,
+        buffer_packets: int = 1024,
+        ideal: bool = False,
+    ):
+        if ideal and fastpath is not None:
+            raise ConfigError("ideal mode does not use a fast path")
+        self.sketch = sketch
+        self.fastpath = fastpath
+        self.cost_model = cost_model or CostModel.in_memory()
+        self.buffer = BoundedFIFO(buffer_packets)
+        self.ideal = ideal
+
+    # ------------------------------------------------------------------
+    def process(self, trace, offered_gbps: float | None = None) -> SwitchReport:
+        """Run one epoch of traffic through the measurement module.
+
+        ``offered_gbps`` scales the trace's timestamps to the given
+        arrival rate; ``None`` replays back-to-back ("each host sends
+        out traffic as fast as possible", §7.1), which measures the
+        switch's maximum sustainable throughput.
+        """
+        report = SwitchReport()
+        sketch_cycles = self.cost_model.sketch_cycles(self.sketch)
+        dispatch = self.cost_model.dispatch_cycles
+        arrivals = self._arrival_cycles(trace, offered_gbps)
+
+        producer = 0.0  # next cycle the producer is free
+        consumer = 0.0  # next cycle the consumer is free
+        fifo = self.buffer
+        fifo.clear()
+
+        for packet, arrival in zip(trace, arrivals):
+            now = max(producer, arrival)
+            # Let the consumer catch up to `now` in parallel.
+            while not fifo.empty:
+                start = max(consumer, fifo.peek_enqueue_cycle())
+                if start + sketch_cycles > now:
+                    break
+                fifo.pop()
+                consumer = start + sketch_cycles
+
+            producer = now + dispatch
+            report.total_packets += 1
+            report.total_bytes += packet.size
+
+            if self.ideal:
+                self.sketch.update(packet.flow, packet.size)
+                consumer = max(consumer, producer) + sketch_cycles
+                report.normal_packets += 1
+                report.normal_bytes += packet.size
+                report.normal_flows.add(packet.flow)
+                continue
+
+            if fifo.full and self.fastpath is None:
+                # NoFastPath: block until the daemon frees a slot.
+                start = max(consumer, fifo.peek_enqueue_cycle())
+                fifo.pop()
+                consumer = start + sketch_cycles
+                producer = max(producer, consumer)
+
+            if not fifo.full:
+                fifo.push(packet, producer)
+                # Counter state is order-insensitive within an epoch, so
+                # apply the sketch update now; the *cycles* are charged
+                # to the consumer when the packet is drained.
+                self.sketch.update(packet.flow, packet.size)
+                report.normal_packets += 1
+                report.normal_bytes += packet.size
+                report.normal_flows.add(packet.flow)
+            else:
+                kind = self.fastpath.update(packet.flow, packet.size)
+                producer += self.cost_model.fastpath_cycles(
+                    kind, self.fastpath.capacity
+                )
+                report.fastpath_packets += 1
+                report.fastpath_bytes += packet.size
+                report.fastpath_flows.add(packet.flow)
+
+        # Drain whatever is still buffered.
+        while not fifo.empty:
+            packet, enqueued = fifo.pop()
+            consumer = max(consumer, enqueued) + sketch_cycles
+
+        report.producer_cycles = producer
+        report.consumer_cycles = consumer
+        report.makespan_cycles = max(producer, consumer)
+        report.throughput_gbps = self.cost_model.gbps(
+            report.total_bytes, report.makespan_cycles
+        )
+        return report
+
+    # ------------------------------------------------------------------
+    def _arrival_cycles(self, trace, offered_gbps: float | None):
+        if offered_gbps is None:
+            return (0.0 for _ in range(len(trace)))
+        if offered_gbps <= 0:
+            raise ConfigError("offered_gbps must be positive")
+        total_bytes = trace.total_bytes
+        target_duration = total_bytes * 8.0 / (offered_gbps * 1e9)
+        span = trace.duration
+        start = trace[0].timestamp if len(trace) else 0.0
+        hz = self.cost_model.cpu_hz
+        if span <= 0:
+            return (0.0 for _ in range(len(trace)))
+        scale = target_duration / span * hz
+        return ((p.timestamp - start) * scale for p in trace)

@@ -1,0 +1,263 @@
+"""Algorithm 1: the fast path's top-k tracker.
+
+The hash table ``H`` holds at most ``k`` flows, each with three counters:
+
+* ``e`` — the maximum byte count possibly missed before insertion,
+* ``r`` — the residual byte count,
+* ``d`` — bytes decremented since insertion.
+
+Two globals support control-plane recovery: ``V`` (total bytes seen by
+the fast path) and ``E`` (sum of all decrements).  When the table is
+full and a new flow arrives, ``compute_thresh`` fits the current values
+to a power law (probabilistic lossy counting [15]) and picks a decrement
+``e`` slightly above the smallest tracked value, so *several* small
+flows are evicted per O(k) pass — the amortization that makes this
+algorithm an order of magnitude cheaper than Misra-Gries (Figure 16a).
+
+Lemma 4.1 invariants (property-tested in ``tests/test_fastpath.py``):
+
+1. any flow with true size ``> E`` is tracked;
+2. for tracked flows, ``r + d <= v_true <= r + d + e``;
+3. every flow's error is at most ``(1 - delta)^(1/theta) * V / (k+1)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.common.errors import ConfigError
+from repro.common.flow import FlowKey
+
+#: Bytes per hash-table entry: 13-byte 5-tuple key + three 8-byte
+#: counters + pointer/bookkeeping overhead.  8 KB of fast-path memory
+#: therefore holds ~204 flows, matching the paper's observation that the
+#: default fast path tracks ~0.7% of flows (§7.5).
+ENTRY_BYTES = 40
+
+_DEFAULT_DELTA = 0.05
+
+
+class UpdateKind(Enum):
+    """What one fast-path update did — the data plane charges CPU by it."""
+
+    HIT = "hit"  # existing flow: one counter update
+    INSERT = "insert"  # new flow into a non-full table
+    KICKOUT = "kickout"  # full table: threshold pass over all k entries
+
+
+@dataclass
+class FlowEntry:
+    """Per-flow counters ``(e, r, d)`` of Algorithm 1."""
+
+    e: float
+    r: float
+    d: float
+
+    @property
+    def lower_bound(self) -> float:
+        """Guaranteed minimum of the flow's true byte count (Lemma 4.1)."""
+        return self.r + self.d
+
+    @property
+    def upper_bound(self) -> float:
+        """Guaranteed maximum of the flow's true byte count (Lemma 4.1)."""
+        return self.r + self.d + self.e
+
+    @property
+    def estimate(self) -> float:
+        """Midpoint estimate used when a single value is required."""
+        return self.r + self.d + self.e / 2.0
+
+
+def compute_thresh(values: list[float], delta: float = _DEFAULT_DELTA) -> float:
+    """``ComputeThresh`` of Algorithm 1 (power-law eviction threshold).
+
+    Fits the ``k+1`` input values to ``Pr{Y > y} = eps * y^theta`` using
+    the two largest values, then returns the threshold ``e`` such that a
+    flow larger than the smallest input is evicted with probability at
+    most ``delta``:
+
+        theta = log_b(1/2),  b = (a1 - 1) / (a2 - 1)
+        e = (1 - delta)^(1/theta) * a_{k+1}
+
+    Degenerate fits (fewer than two values above 1, or ``a1 == a2``)
+    fall back to the Misra-Gries decrement ``e = a_{k+1}``, which keeps
+    every Lemma 4.1 guarantee.
+    """
+    if not values:
+        raise ConfigError("compute_thresh needs at least one value")
+    ordered = sorted(values, reverse=True)
+    a1 = ordered[0]
+    a2 = ordered[1] if len(ordered) > 1 else a1
+    a_min = ordered[-1]
+    if a1 <= 1.0 or a2 <= 1.0 or a1 == a2:
+        return max(a_min, 1.0)
+    b = (a1 - 1.0) / (a2 - 1.0)
+    theta = math.log(0.5) / math.log(b)  # log_b(1/2) < 0
+    scale = (1.0 - delta) ** (1.0 / theta)  # > 1 since 1/theta < 0
+    return max(scale * a_min, a_min, 1.0)
+
+
+class FastPath:
+    """The fast path of one SketchVisor data plane (Algorithm 1).
+
+    Parameters
+    ----------
+    memory_bytes:
+        Fast-path memory budget; capacity is ``memory_bytes // 40``
+        flows (paper default: 8 KB ≈ 204 flows).
+    delta:
+        Eviction-probability parameter of ``ComputeThresh``.
+    """
+
+    def __init__(
+        self, memory_bytes: int = 8192, delta: float = _DEFAULT_DELTA
+    ):
+        capacity = memory_bytes // ENTRY_BYTES
+        if capacity < 1:
+            raise ConfigError(
+                f"memory_bytes={memory_bytes} holds no entries "
+                f"(need >= {ENTRY_BYTES})"
+            )
+        if not 0.0 < delta < 1.0:
+            raise ConfigError("delta must be in (0, 1)")
+        self.capacity = capacity
+        self.memory_bytes = memory_bytes
+        self.delta = delta
+        self.table: dict[FlowKey, FlowEntry] = {}
+        self.total_bytes = 0.0  # V
+        self.total_decremented = 0.0  # E
+        # Operation statistics (Figures 15 and 16a).
+        self.num_updates = 0
+        self.num_hits = 0
+        self.num_inserts = 0
+        self.num_kickouts = 0
+        self.num_evicted = 0
+        self.num_rejected = 0  # kick-out passes that admitted nobody
+
+    # ------------------------------------------------------------------
+    def update(self, flow: FlowKey, value: int) -> UpdateKind:
+        """Record one packet ``(flow, value)``; returns the work done."""
+        self.num_updates += 1
+        self.total_bytes += value
+
+        entry = self.table.get(flow)
+        if entry is not None:
+            entry.r += value
+            self.num_hits += 1
+            return UpdateKind.HIT
+
+        if len(self.table) < self.capacity:
+            self.table[flow] = FlowEntry(
+                e=self.total_decremented, r=float(value), d=0.0
+            )
+            self.num_inserts += 1
+            return UpdateKind.INSERT
+
+        # Table full: amortized kick-out pass (lines 11-19).
+        self.num_kickouts += 1
+        residuals = [entry.r for entry in self.table.values()]
+        threshold = compute_thresh(residuals + [float(value)], self.delta)
+        evicted = []
+        for key, entry in self.table.items():
+            entry.r -= threshold
+            entry.d += threshold
+            if entry.r <= 0:
+                evicted.append(key)
+        for key in evicted:
+            del self.table[key]
+        self.num_evicted += len(evicted)
+        if value > threshold and len(self.table) < self.capacity:
+            self.table[flow] = FlowEntry(
+                e=self.total_decremented,
+                r=float(value) - threshold,
+                d=threshold,
+            )
+            self.num_inserts += 1
+        else:
+            self.num_rejected += 1
+        self.total_decremented += threshold
+        return UpdateKind.KICKOUT
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def bounds(self) -> dict[FlowKey, tuple[float, float]]:
+        """Per-flow (lower, upper) byte-count bounds (Lemma 4.1)."""
+        return {
+            flow: (entry.lower_bound, entry.upper_bound)
+            for flow, entry in self.table.items()
+        }
+
+    def estimates(self) -> dict[FlowKey, float]:
+        """Midpoint per-flow estimates."""
+        return {
+            flow: entry.estimate for flow, entry in self.table.items()
+        }
+
+    def snapshot(self) -> "FastPathSnapshot":
+        """Freeze the current state for the control-plane report.
+
+        Mirrors the prototype, where the user-space daemon snapshots the
+        shared-memory fast path each epoch while the kernel module keeps
+        updating it (§6).
+        """
+        return FastPathSnapshot(
+            entries={
+                flow: FlowEntry(entry.e, entry.r, entry.d)
+                for flow, entry in self.table.items()
+            },
+            total_bytes=self.total_bytes,
+            total_decremented=self.total_decremented,
+            insert_count=self.num_inserts,
+            evict_count=self.num_evicted,
+        )
+
+    def reset(self) -> None:
+        """Clear all state for the next epoch."""
+        self.table.clear()
+        self.total_bytes = 0.0
+        self.total_decremented = 0.0
+
+    def error_bound(self) -> float:
+        """Appendix B bound on any flow's error: ``~ V / (k+1)``."""
+        return self.total_bytes / (self.capacity + 1)
+
+
+@dataclass
+class FastPathSnapshot:
+    """Immutable epoch report of one host's fast path.
+
+    Beyond the paper's ``V`` and ``E`` globals this carries two more
+    O(1) counters, insertions and evictions.  Without them the number
+    of *missed* small flows is unidentifiable from the snapshot (any
+    volume can be few large or many tiny flows), and cardinality-style
+    recovery has no anchor; with them it becomes well-posed.  See
+    DESIGN.md ("small-flow component y").
+    """
+
+    entries: dict[FlowKey, FlowEntry]
+    total_bytes: float
+    total_decremented: float
+    insert_count: int = 0
+    evict_count: int = 0
+
+    @property
+    def tracked_bytes_lower(self) -> float:
+        """Sum of tracked flows' lower bounds."""
+        return sum(entry.lower_bound for entry in self.entries.values())
+
+    @property
+    def distinct_flow_hint(self) -> float:
+        """Estimated distinct flows the fast path ever inserted.
+
+        Evicted flows that later return re-insert and double count;
+        splitting the difference (half of evictions assumed returns)
+        keeps the hint between the two extremes.
+        """
+        return max(
+            len(self.entries),
+            self.insert_count - 0.5 * self.evict_count,
+        )

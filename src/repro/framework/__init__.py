@@ -1,0 +1,35 @@
+"""Top-level SketchVisor framework: data plane + control plane, wired.
+
+:class:`~repro.framework.pipeline.SketchVisorPipeline` is the main
+entry point: pick a measurement task and a sketch-based solution
+(Table 1), a data-plane mode (NoFastPath / MGFastPath / SketchVisor /
+Ideal) and a recovery mode (NR / LR / UR / SketchVisor), then run
+traffic through per-host software switches and aggregate network-wide.
+"""
+
+from repro.framework.modes import DataPlaneMode
+from repro.framework.monitor import (
+    Alert,
+    AlertKind,
+    ContinuousMonitor,
+    EpochSummary,
+)
+from repro.framework.pipeline import (
+    EpochResult,
+    PipelineConfig,
+    SketchVisorPipeline,
+)
+from repro.framework.registry import TASK_REGISTRY, create_task
+
+__all__ = [
+    "Alert",
+    "AlertKind",
+    "ContinuousMonitor",
+    "DataPlaneMode",
+    "EpochResult",
+    "EpochSummary",
+    "PipelineConfig",
+    "SketchVisorPipeline",
+    "TASK_REGISTRY",
+    "create_task",
+]

@@ -1,0 +1,23 @@
+"""Data-plane operating modes (the §7.2/§7.3 evaluation arms)."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class DataPlaneMode(Enum):
+    """How each host's measurement module runs.
+
+    * ``NO_FASTPATH`` — normal path only; the producer blocks on a full
+      FIFO, collapsing throughput to the sketch's rate (§7.2).
+    * ``MG_FASTPATH`` — overflow goes to the original Misra-Gries
+      top-k algorithm (§7.2 "MGFastPath").
+    * ``SKETCHVISOR`` — overflow goes to Algorithm 1's fast path.
+    * ``IDEAL`` — all packets through the normal path with no capacity
+      limit; the accuracy yardstick of §7.3.
+    """
+
+    NO_FASTPATH = "no_fastpath"
+    MG_FASTPATH = "mg_fastpath"
+    SKETCHVISOR = "sketchvisor"
+    IDEAL = "ideal"

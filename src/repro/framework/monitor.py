@@ -1,0 +1,167 @@
+"""Continuous multi-epoch monitoring: the operator-facing loop.
+
+The paper's deployment story (§3) is a long-running service: every
+epoch, hosts report, the controller recovers, tasks answer, and
+heavy-changer detection compares consecutive epochs.  This module wires
+that loop around the per-epoch pipeline, tracks history, and raises
+typed alerts when detections cross their thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.common.errors import ConfigError
+from repro.controlplane.recovery import RecoveryMode
+from repro.framework.modes import DataPlaneMode
+from repro.framework.pipeline import (
+    EpochResult,
+    PipelineConfig,
+    SketchVisorPipeline,
+)
+from repro.tasks.base import MeasurementTask
+from repro.tasks.heavy_changer import HeavyChangerTask
+from repro.traffic.trace import Trace
+
+
+class AlertKind(Enum):
+    HEAVY_HITTER = "heavy_hitter"
+    HEAVY_CHANGER = "heavy_changer"
+    DDOS = "ddos"
+    SUPERSPREADER = "superspreader"
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One detection event raised during continuous monitoring."""
+
+    epoch: int
+    kind: AlertKind
+    subject: object  # flow key or host IP
+    magnitude: float
+
+
+@dataclass
+class EpochSummary:
+    """What one epoch produced in the monitoring loop."""
+
+    epoch: int
+    results: dict[str, EpochResult] = field(default_factory=dict)
+    alerts: list[Alert] = field(default_factory=list)
+
+
+_ALERT_KINDS = {
+    "heavy_hitter": AlertKind.HEAVY_HITTER,
+    "heavy_changer": AlertKind.HEAVY_CHANGER,
+    "ddos": AlertKind.DDOS,
+    "superspreader": AlertKind.SUPERSPREADER,
+}
+
+
+class ContinuousMonitor:
+    """Run a set of measurement tasks over an epoch stream.
+
+    Parameters
+    ----------
+    tasks:
+        The tasks to run each epoch.  A :class:`HeavyChangerTask`
+        compares each epoch against the previous one (its first epoch
+        produces no answer).
+    config:
+        Deployment parameters shared by all tasks.
+    """
+
+    def __init__(
+        self,
+        tasks: list[MeasurementTask],
+        dataplane: DataPlaneMode = DataPlaneMode.SKETCHVISOR,
+        recovery: RecoveryMode = RecoveryMode.SKETCHVISOR,
+        config: PipelineConfig | None = None,
+    ):
+        if not tasks:
+            raise ConfigError("need at least one task")
+        self.tasks = tasks
+        self.config = config or PipelineConfig()
+        self._pipelines = {
+            task.name: SketchVisorPipeline(
+                task,
+                dataplane=dataplane,
+                recovery=recovery,
+                config=self.config,
+            )
+            for task in tasks
+        }
+        self._epoch_index = 0
+        self._previous_trace: Trace | None = None
+        self.history: list[EpochSummary] = []
+
+    # ------------------------------------------------------------------
+    def process_epoch(self, trace: Trace) -> EpochSummary:
+        """Feed one epoch of traffic; returns its summary with alerts."""
+        summary = EpochSummary(epoch=self._epoch_index)
+        for task in self.tasks:
+            pipeline = self._pipelines[task.name]
+            if isinstance(task, HeavyChangerTask):
+                if self._previous_trace is None:
+                    continue
+                result = pipeline.run_epoch_pair(
+                    self._previous_trace, trace
+                )
+            else:
+                result = pipeline.run_epoch(trace)
+            summary.results[task.name] = result
+            summary.alerts.extend(
+                self._alerts_from(task, result)
+            )
+        self._previous_trace = trace
+        self._epoch_index += 1
+        self.history.append(summary)
+        return summary
+
+    def _alerts_from(
+        self, task: MeasurementTask, result: EpochResult
+    ) -> list[Alert]:
+        kind = _ALERT_KINDS.get(task.name)
+        if kind is None or not isinstance(result.answer, dict):
+            return []
+        return [
+            Alert(
+                epoch=self._epoch_index,
+                kind=kind,
+                subject=subject,
+                magnitude=float(magnitude),
+            )
+            for subject, magnitude in result.answer.items()
+        ]
+
+    # ------------------------------------------------------------------
+    def alerts(self, kind: AlertKind | None = None) -> list[Alert]:
+        """All alerts so far, optionally filtered by kind."""
+        collected = [
+            alert
+            for summary in self.history
+            for alert in summary.alerts
+        ]
+        if kind is None:
+            return collected
+        return [alert for alert in collected if alert.kind is kind]
+
+    def recurring_subjects(
+        self, kind: AlertKind, min_epochs: int = 2
+    ) -> set:
+        """Subjects alerted in at least ``min_epochs`` distinct epochs.
+
+        Persistent heavy hitters / attackers matter more to operators
+        than one-epoch blips.
+        """
+        epochs_by_subject: dict[object, set[int]] = {}
+        for alert in self.alerts(kind):
+            epochs_by_subject.setdefault(alert.subject, set()).add(
+                alert.epoch
+            )
+        return {
+            subject
+            for subject, epochs in epochs_by_subject.items()
+            if len(epochs) >= min_epochs
+        }

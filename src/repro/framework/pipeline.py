@@ -1,0 +1,174 @@
+"""The end-to-end SketchVisor pipeline.
+
+One call wires together everything the paper builds: per-host software
+switches running the chosen sketch in the normal path (with or without
+a fast path), the centralized controller merging their per-epoch
+reports, compressive-sensing recovery, and task-level answers scored
+against exact ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+from repro.controlplane.controller import Controller, NetworkResult
+from repro.controlplane.lens import LensConfig
+from repro.controlplane.recovery import RecoveryMode
+from repro.dataplane.cost_model import CostModel
+from repro.dataplane.host import Host, LocalReport
+from repro.framework.modes import DataPlaneMode
+from repro.tasks.base import MeasurementTask, TaskScore
+from repro.tasks.heavy_changer import HeavyChangerTask
+from repro.traffic.groundtruth import GroundTruth
+from repro.traffic.trace import Trace
+
+
+@dataclass
+class PipelineConfig:
+    """Deployment parameters for one pipeline run."""
+
+    num_hosts: int = 1
+    fastpath_bytes: int = 8192  # paper default (§7.1)
+    buffer_packets: int = 1024
+    offered_gbps: float | None = None  # None = send as fast as possible
+    seed: int = 1
+    cost_model: CostModel = field(default_factory=CostModel.in_memory)
+    lens: LensConfig | None = None
+
+
+@dataclass
+class EpochResult:
+    """Everything one epoch produced."""
+
+    answer: object
+    score: TaskScore
+    network: NetworkResult
+    reports: list[LocalReport]
+
+    @property
+    def throughput_gbps(self) -> float:
+        """Mean per-host throughput for the epoch."""
+        if not self.reports:
+            return 0.0
+        return sum(
+            r.switch.throughput_gbps for r in self.reports
+        ) / len(self.reports)
+
+    @property
+    def fastpath_byte_fraction(self) -> float:
+        total = sum(r.switch.total_bytes for r in self.reports)
+        if total == 0:
+            return 0.0
+        return (
+            sum(r.switch.fastpath_bytes for r in self.reports) / total
+        )
+
+
+class SketchVisorPipeline:
+    """Task + solution + deployment, runnable on traces.
+
+    Parameters
+    ----------
+    task:
+        A measurement task bound to a solution (e.g.
+        ``HeavyHitterTask("deltoid", threshold)``).
+    dataplane:
+        Data-plane mode (§7.2 arms).
+    recovery:
+        Control-plane recovery mode (§7.3 arms).  Ignored for IDEAL
+        and NO_FASTPATH data planes, which produce no fast-path state.
+    """
+
+    def __init__(
+        self,
+        task: MeasurementTask,
+        dataplane: DataPlaneMode = DataPlaneMode.SKETCHVISOR,
+        recovery: RecoveryMode = RecoveryMode.SKETCHVISOR,
+        config: PipelineConfig | None = None,
+    ):
+        self.task = task
+        self.dataplane = dataplane
+        self.recovery = recovery
+        self.config = config or PipelineConfig()
+        self.controller = Controller(
+            mode=recovery, lens_config=self.config.lens
+        )
+
+    # ------------------------------------------------------------------
+    def _build_hosts(self) -> list[Host]:
+        cfg = self.config
+        hosts = []
+        for host_id in range(cfg.num_hosts):
+            sketch = self.task.create_sketch(seed=cfg.seed)
+            hosts.append(
+                Host(
+                    host_id=host_id,
+                    sketch=sketch,
+                    fastpath_bytes=(
+                        None
+                        if self.dataplane
+                        in (
+                            DataPlaneMode.NO_FASTPATH,
+                            DataPlaneMode.IDEAL,
+                        )
+                        else cfg.fastpath_bytes
+                    ),
+                    use_misra_gries=(
+                        self.dataplane is DataPlaneMode.MG_FASTPATH
+                    ),
+                    ideal=self.dataplane is DataPlaneMode.IDEAL,
+                    cost_model=cfg.cost_model,
+                    buffer_packets=cfg.buffer_packets,
+                )
+            )
+        return hosts
+
+    def _run_dataplane(self, trace: Trace) -> list[LocalReport]:
+        shards = trace.partition(self.config.num_hosts)
+        hosts = self._build_hosts()
+        return [
+            host.run_epoch(shard, self.config.offered_gbps)
+            for host, shard in zip(hosts, shards)
+        ]
+
+    # ------------------------------------------------------------------
+    def run_epoch(
+        self, trace: Trace, truth: GroundTruth | None = None
+    ) -> EpochResult:
+        """Run one epoch end to end and score the answer."""
+        if isinstance(self.task, HeavyChangerTask):
+            raise ConfigError("heavy changer needs run_epoch_pair")
+        reports = self._run_dataplane(trace)
+        network = self.controller.aggregate(reports)
+        answer = self.task.answer(network.sketch)
+        truth = truth or GroundTruth.from_trace(trace)
+        score = self.task.score(answer, truth)
+        return EpochResult(
+            answer=answer, score=score, network=network, reports=reports
+        )
+
+    def run_epoch_pair(
+        self,
+        epoch_a: Trace,
+        epoch_b: Trace,
+        truth_a: GroundTruth | None = None,
+        truth_b: GroundTruth | None = None,
+    ) -> EpochResult:
+        """Run two consecutive epochs (heavy changer detection)."""
+        if not isinstance(self.task, HeavyChangerTask):
+            raise ConfigError("run_epoch_pair is for heavy changer")
+        reports_a = self._run_dataplane(epoch_a)
+        network_a = self.controller.aggregate(reports_a)
+        reports_b = self._run_dataplane(epoch_b)
+        network_b = self.controller.aggregate(reports_b)
+        answer = self.task.answer_pair(network_a.sketch, network_b.sketch)
+        truth_a = truth_a or GroundTruth.from_trace(epoch_a)
+        truth_b = truth_b or GroundTruth.from_trace(epoch_b)
+        score = self.task.score_pair(answer, truth_a, truth_b)
+        return EpochResult(
+            answer=answer,
+            score=score,
+            network=network_b,
+            reports=reports_a + reports_b,
+        )

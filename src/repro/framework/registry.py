@@ -1,0 +1,50 @@
+"""Table 1 as code: which solutions serve which measurement tasks."""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+from repro.tasks.base import MeasurementTask
+from repro.tasks.cardinality import CardinalityTask
+from repro.tasks.ddos import DDoSTask
+from repro.tasks.distribution import FlowSizeDistributionTask
+from repro.tasks.entropy import EntropyTask
+from repro.tasks.heavy_changer import HeavyChangerTask
+from repro.tasks.heavy_hitter import HeavyHitterTask
+from repro.tasks.superspreader import SuperspreaderTask
+
+#: task name -> (task class, supported solution names) — Table 1.
+TASK_REGISTRY: dict[str, tuple[type[MeasurementTask], tuple[str, ...]]] = {
+    "heavy_hitter": (
+        HeavyHitterTask,
+        ("flowradar", "revsketch", "univmon", "deltoid"),
+    ),
+    "heavy_changer": (
+        HeavyChangerTask,
+        ("flowradar", "revsketch", "univmon", "deltoid"),
+    ),
+    "ddos": (DDoSTask, ("twolevel",)),
+    "superspreader": (SuperspreaderTask, ("twolevel",)),
+    "cardinality": (CardinalityTask, ("fm", "kmin", "lc")),
+    "flow_size_distribution": (
+        FlowSizeDistributionTask,
+        ("flowradar", "mrac"),
+    ),
+    "entropy": (EntropyTask, ("flowradar", "univmon")),
+}
+
+
+def create_task(
+    task_name: str, solution: str, **kwargs
+) -> MeasurementTask:
+    """Instantiate a task by name (validates against Table 1)."""
+    if task_name not in TASK_REGISTRY:
+        raise ConfigError(
+            f"unknown task {task_name!r}; "
+            f"choose from {sorted(TASK_REGISTRY)}"
+        )
+    task_class, solutions = TASK_REGISTRY[task_name]
+    if solution not in solutions:
+        raise ConfigError(
+            f"task {task_name!r} supports {solutions}, got {solution!r}"
+        )
+    return task_class(solution=solution, **kwargs)

@@ -1,0 +1,89 @@
+"""Accuracy metrics (§7.1).
+
+* recall — ratio of true instances reported;
+* precision — ratio of reported instances that are true;
+* relative error — mean of ``|v_hat - v| / v`` over true instances;
+* MRD (mean relative difference) — for flow size distributions,
+  ``(1/z) * sum_i |n_i - n_hat_i| / ((n_i + n_hat_i) / 2)`` with ``z``
+  the maximum flow size.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+
+def recall(reported: Mapping, truth: Mapping) -> float:
+    """Fraction of true instances that were reported."""
+    if not truth:
+        return 1.0
+    hits = sum(1 for key in truth if key in reported)
+    return hits / len(truth)
+
+
+def precision(reported: Mapping, truth: Mapping) -> float:
+    """Fraction of reported instances that are true."""
+    if not reported:
+        return 1.0 if not truth else 0.0
+    hits = sum(1 for key in reported if key in truth)
+    return hits / len(reported)
+
+
+def f1_score(reported: Mapping, truth: Mapping) -> float:
+    """Harmonic mean of precision and recall."""
+    p = precision(reported, truth)
+    r = recall(reported, truth)
+    if p + r == 0:
+        return 0.0
+    return 2 * p * r / (p + r)
+
+
+def relative_error(
+    reported: Mapping[object, float], truth: Mapping[object, float]
+) -> float:
+    """Mean relative estimation error over *true* instances (§7.1).
+
+    True instances missing from ``reported`` count as 100% error
+    (estimate zero), matching how the paper's NR arm reaches ~100%
+    relative error when the fast path's traffic is discarded.
+    """
+    if not truth:
+        return 0.0
+    total = 0.0
+    for key, true_value in truth.items():
+        if true_value == 0:
+            continue
+        estimate = float(reported.get(key, 0.0))
+        total += abs(estimate - true_value) / true_value
+    return total / len(truth)
+
+
+def scalar_relative_error(estimate: float, truth: float) -> float:
+    """Relative error of a scalar estimate (cardinality, entropy)."""
+    if truth == 0:
+        return 0.0 if estimate == 0 else float("inf")
+    return abs(estimate - truth) / abs(truth)
+
+
+def mean_relative_difference(
+    estimated: Mapping[int, float], truth: Mapping[int, float]
+) -> float:
+    """MRD between two flow size distributions (§7.1).
+
+    ``z`` is the maximum flow size present in either distribution;
+    sizes absent from both contribute zero.
+    """
+    sizes = set(estimated) | set(truth)
+    if not sizes:
+        return 0.0
+    z = max(sizes)
+    if z == 0:
+        return 0.0
+    total = 0.0
+    for size in sizes:
+        n_true = float(truth.get(size, 0.0))
+        n_est = float(estimated.get(size, 0.0))
+        denominator = (n_true + n_est) / 2.0
+        if denominator > 0:
+            total += abs(n_true - n_est) / denominator
+    return total / z

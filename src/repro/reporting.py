@@ -1,0 +1,110 @@
+"""Plain-text reporting helpers: bar charts and comparison tables.
+
+Terminal-friendly rendering for example scripts, the CLI, and the
+experiment result files — no plotting dependency required.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+_BAR = "█"
+_HALF = "▌"
+
+
+def ascii_bar_chart(
+    values: Mapping[str, float],
+    width: int = 40,
+    unit: str = "",
+    max_value: float | None = None,
+) -> str:
+    """Render a horizontal bar chart.
+
+    >>> print(ascii_bar_chart({"a": 2.0, "b": 1.0}, width=4))
+    a  ████  2
+    b  ██    1
+    """
+    if not values:
+        return "(no data)"
+    peak = max_value if max_value is not None else max(values.values())
+    peak = max(peak, 1e-12)
+    label_width = max(len(str(label)) for label in values)
+    lines = []
+    for label, value in values.items():
+        filled = value / peak * width
+        bar = _BAR * int(filled)
+        if filled - int(filled) >= 0.5:
+            bar += _HALF
+        bar = bar.ljust(width)
+        rendered = _format_number(value)
+        lines.append(
+            f"{str(label):<{label_width}}  {bar}  {rendered}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def comparison_table(
+    rows: Mapping[str, Mapping[str, float]],
+    columns: Sequence[str] | None = None,
+    formats: Mapping[str, str] | None = None,
+) -> str:
+    """Render ``{row: {column: value}}`` as an aligned text table.
+
+    ``formats`` maps column names to format specs (default ``.3g``);
+    use e.g. ``{"recall": ".1%"}`` for percentages.
+    """
+    if not rows:
+        return "(no data)"
+    if columns is None:
+        columns = list(next(iter(rows.values())))
+    formats = formats or {}
+    label_width = max(len(str(label)) for label in rows)
+    col_width = {
+        column: max(
+            len(column),
+            max(
+                len(_apply_format(values.get(column), formats.get(column)))
+                for values in rows.values()
+            ),
+        )
+        for column in columns
+    }
+    header = " " * label_width + "  " + "  ".join(
+        f"{column:>{col_width[column]}}" for column in columns
+    )
+    lines = [header, "-" * len(header)]
+    for label, values in rows.items():
+        cells = "  ".join(
+            f"{_apply_format(values.get(column), formats.get(column)):>{col_width[column]}}"
+            for column in columns
+        )
+        lines.append(f"{str(label):<{label_width}}  {cells}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line trend: ``sparkline([1, 5, 3])`` -> ``'▁█▄'``."""
+    if not values:
+        return ""
+    blocks = "▁▂▃▄▅▆▇█"
+    low = min(values)
+    high = max(values)
+    span = max(high - low, 1e-12)
+    return "".join(
+        blocks[int((value - low) / span * (len(blocks) - 1))]
+        for value in values
+    )
+
+
+def _format_number(value: float) -> str:
+    if value == int(value) and abs(value) < 1e6:
+        return str(int(value))
+    return f"{value:.3g}"
+
+
+def _apply_format(value, spec: str | None) -> str:
+    if value is None:
+        return "-"
+    if spec:
+        return format(value, spec)
+    return _format_number(float(value))

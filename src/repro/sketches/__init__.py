@@ -1,0 +1,57 @@
+"""Sketch-based measurement solutions (Table 1 of the paper).
+
+Every solution the paper evaluates in its normal path is implemented
+here, from scratch:
+
+* :class:`~repro.sketches.countmin.CountMinSketch` — Count-Min [14]
+* :class:`~repro.sketches.countsketch.CountSketch` — CountSketch [8]
+* :class:`~repro.sketches.bloom.BloomFilter` — Bloom filter substrate
+* :class:`~repro.sketches.deltoid.Deltoid` — Deltoid [13]
+* :class:`~repro.sketches.revsketch.ReversibleSketch` — Reversible Sketch [46]
+* :class:`~repro.sketches.flowradar.FlowRadar` — FlowRadar [28]
+* :class:`~repro.sketches.univmon.UnivMon` — UnivMon [30]
+* :class:`~repro.sketches.twolevel.TwoLevelSketch` — TwoLevel [56]
+* :class:`~repro.sketches.cardinality` — FM [20], kMin [2], Linear Counting [55]
+* :class:`~repro.sketches.mrac.MRAC` — MRAC [26]
+
+All sketches share the :class:`~repro.sketches.base.Sketch` interface:
+``update`` to record traffic, ``merge`` for network-wide aggregation,
+``to_matrix``/``load_matrix`` for compressive-sensing recovery, and
+``cost_profile`` for the CPU cost model.
+"""
+
+from repro.sketches.base import CostProfile, Sketch
+from repro.sketches.bloom import BloomFilter, CountingBloomFilter
+from repro.sketches.cardinality import (
+    FMSketch,
+    HyperLogLog,
+    KMinSketch,
+    LinearCounting,
+)
+from repro.sketches.countmin import CountMinSketch
+from repro.sketches.countsketch import CountSketch
+from repro.sketches.deltoid import Deltoid
+from repro.sketches.flowradar import FlowRadar
+from repro.sketches.mrac import MRAC
+from repro.sketches.revsketch import ReversibleSketch
+from repro.sketches.twolevel import TwoLevelSketch
+from repro.sketches.univmon import UnivMon
+
+__all__ = [
+    "BloomFilter",
+    "CostProfile",
+    "CountMinSketch",
+    "CountSketch",
+    "CountingBloomFilter",
+    "Deltoid",
+    "FMSketch",
+    "FlowRadar",
+    "HyperLogLog",
+    "KMinSketch",
+    "LinearCounting",
+    "MRAC",
+    "ReversibleSketch",
+    "Sketch",
+    "TwoLevelSketch",
+    "UnivMon",
+]

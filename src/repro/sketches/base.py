@@ -1,0 +1,163 @@
+"""Common sketch interface and CPU cost profiles.
+
+The paper's central observation (§2.2) is that sketches are *primitives*:
+what makes them expensive in software is the per-packet work — hash
+computations, counter updates, heap maintenance — required to keep them
+reversible and queryable.  Every sketch here therefore exposes, besides
+its measurement interface, a :class:`CostProfile` describing the abstract
+per-packet operation counts of its §7.1 configuration.  The data-plane
+cost model (:mod:`repro.dataplane.cost_model`) weighs those operations to
+reproduce the paper's measured cycles-per-packet (Figures 2a and 15).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import MergeError
+from repro.common.flow import FlowKey
+
+
+@dataclass(frozen=True)
+class CostProfile:
+    """Abstract per-packet operation counts for one sketch configuration.
+
+    Attributes
+    ----------
+    hashes:
+        Hash computations per packet (incl. header randomization the
+        paper mentions for FlowRadar/RevSketch collision resolution).
+    counter_updates:
+        Counter read-modify-writes per packet.  Deltoid's header-bit
+        counters make this its dominant term (86% of cycles, §2.2).
+    heap_ops:
+        Heap/priority-structure operations per packet (UnivMon spends
+        47% of its cycles here, §2.2).
+    memory_words:
+        Extra word-sized memory touches (buffer copies, key writes).
+    """
+
+    hashes: float = 0.0
+    counter_updates: float = 0.0
+    heap_ops: float = 0.0
+    memory_words: float = 0.0
+
+    def scaled(self, factor: float) -> "CostProfile":
+        return CostProfile(
+            hashes=self.hashes * factor,
+            counter_updates=self.counter_updates * factor,
+            heap_ops=self.heap_ops * factor,
+            memory_words=self.memory_words * factor,
+        )
+
+    def __add__(self, other: "CostProfile") -> "CostProfile":
+        return CostProfile(
+            hashes=self.hashes + other.hashes,
+            counter_updates=self.counter_updates + other.counter_updates,
+            heap_ops=self.heap_ops + other.heap_ops,
+            memory_words=self.memory_words + other.memory_words,
+        )
+
+
+class Sketch(ABC):
+    """Base class for every sketch-based measurement solution.
+
+    Subclasses must keep all hash decisions derived from ``seed`` so
+    that two sketches constructed with equal parameters are *mergeable*
+    (counter-wise addition) and so the control plane can recompute which
+    counters a known flow touched during recovery.
+    """
+
+    #: Short identifier used in reports and benchmark tables.
+    name: str = "sketch"
+
+    #: Whether the sketch matrix has exploitable low-rank structure
+    #: (§5.3: Count-Min-like sketches with few rows do not; for those
+    #: the recovery drops the nuclear-norm term).
+    low_rank: bool = True
+
+    def __init__(self, seed: int = 1):
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def update(self, flow: FlowKey, value: int) -> None:
+        """Record ``value`` bytes for ``flow``."""
+
+    def inject(self, flow: FlowKey, value: int) -> None:
+        """Re-inject a recovered flow (control-plane recovery, §5).
+
+        Defaults to :meth:`update` — recovery replays the flow as if it
+        had been recorded by the normal path.  Sketches whose update
+        semantics are per-packet rather than per-byte (MRAC) override
+        this to convert the recovered byte volume appropriately.
+        """
+        self.update(flow, value)
+
+    # ------------------------------------------------------------------
+    # Aggregation / recovery interface
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def merge(self, other: "Sketch") -> None:
+        """Counter-wise add ``other`` into this sketch (same config)."""
+
+    @abstractmethod
+    def to_matrix(self) -> np.ndarray:
+        """Flatten all volume counters into a 2-D float matrix.
+
+        The layout is sketch-specific but stable: ``load_matrix``
+        inverts it, and :meth:`matrix_positions` indexes into it.
+        """
+
+    @abstractmethod
+    def load_matrix(self, matrix: np.ndarray) -> None:
+        """Replace volume counters from a matrix produced by to_matrix."""
+
+    def matrix_positions(
+        self, flow: FlowKey
+    ) -> list[tuple[int, int, float]]:
+        """Positions ``(row, col, coefficient)`` a unit of ``flow`` adds.
+
+        This is the sketch's linear operator restricted to one flow: the
+        compressive-sensing recovery (§5) uses it to express
+        ``sk(x)`` for the flows tracked in the fast path's hash table.
+        Sketches with non-linear parts (FlowRadar's XOR fields) expose
+        only their *volume* counters here and additionally support exact
+        flow injection via :meth:`update`.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not expose a linear operator"
+        )
+
+    @abstractmethod
+    def memory_bytes(self) -> int:
+        """Configured memory footprint in bytes."""
+
+    @abstractmethod
+    def cost_profile(self) -> CostProfile:
+        """Abstract per-packet operation counts for this configuration."""
+
+    @abstractmethod
+    def clone_empty(self) -> "Sketch":
+        """A zeroed sketch with identical configuration and seeds."""
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _check_mergeable(self, other: "Sketch") -> None:
+        if type(other) is not type(self):
+            raise MergeError(
+                f"cannot merge {type(other).__name__} into "
+                f"{type(self).__name__}"
+            )
+        if other.seed != self.seed:
+            raise MergeError("cannot merge sketches with different seeds")
+
+    def reset(self) -> None:
+        """Zero all counters in place (default: via load_matrix)."""
+        self.load_matrix(np.zeros_like(self.to_matrix()))

@@ -1,0 +1,39 @@
+"""Measurement tasks (§2.1) and their sketch-based solutions (Table 1).
+
+Each task knows how to (a) build its sketch for a given solution name,
+(b) extract its answer from a (recovered) sketch, and (c) score that
+answer against exact ground truth with the §7.1 metrics.
+
+==================  =============================================
+Task                Solutions
+==================  =============================================
+heavy hitter        flowradar, revsketch, univmon, deltoid
+heavy changer       flowradar, revsketch, univmon, deltoid
+DDoS                twolevel
+superspreader       twolevel
+cardinality         fm, kmin, lc
+flow size dist.     flowradar, mrac
+entropy             flowradar, univmon
+==================  =============================================
+"""
+
+from repro.tasks.base import MeasurementTask, TaskScore
+from repro.tasks.cardinality import CardinalityTask
+from repro.tasks.ddos import DDoSTask
+from repro.tasks.distribution import FlowSizeDistributionTask
+from repro.tasks.entropy import EntropyTask
+from repro.tasks.heavy_changer import HeavyChangerTask
+from repro.tasks.heavy_hitter import HeavyHitterTask
+from repro.tasks.superspreader import SuperspreaderTask
+
+__all__ = [
+    "CardinalityTask",
+    "DDoSTask",
+    "EntropyTask",
+    "FlowSizeDistributionTask",
+    "HeavyChangerTask",
+    "HeavyHitterTask",
+    "MeasurementTask",
+    "SuperspreaderTask",
+    "TaskScore",
+]

@@ -1,0 +1,61 @@
+"""Task interface shared by all measurement tasks."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+from repro.sketches.base import Sketch
+from repro.traffic.groundtruth import GroundTruth
+
+
+@dataclass
+class TaskScore:
+    """Accuracy metrics of one task run (§7.1).
+
+    Detection tasks fill recall/precision/relative error; estimation
+    tasks fill only relative error (or MRD for distributions).  Unused
+    metrics stay ``None``.
+    """
+
+    recall: float | None = None
+    precision: float | None = None
+    relative_error: float | None = None
+    mrd: float | None = None
+    extra: dict = field(default_factory=dict)
+
+
+class MeasurementTask(ABC):
+    """One network measurement task bound to a sketch-based solution.
+
+    Parameters
+    ----------
+    solution:
+        Name of the sketch-based solution (see :attr:`solutions`).
+    """
+
+    #: Task identifier used in reports.
+    name: str = "task"
+    #: Solution names accepted by this task (Table 1).
+    solutions: tuple[str, ...] = ()
+
+    def __init__(self, solution: str):
+        if solution not in self.solutions:
+            raise ConfigError(
+                f"{type(self).__name__} supports {self.solutions}, "
+                f"got {solution!r}"
+            )
+        self.solution = solution
+
+    @abstractmethod
+    def create_sketch(self, seed: int = 1) -> Sketch:
+        """Build this task's sketch (same seed across all hosts)."""
+
+    @abstractmethod
+    def answer(self, sketch: Sketch):
+        """Extract the task answer from a (recovered) sketch."""
+
+    @abstractmethod
+    def score(self, answer, truth: GroundTruth) -> TaskScore:
+        """Score an answer against exact ground truth."""

@@ -1,0 +1,74 @@
+"""DDoS detection: destinations contacted by too many distinct sources.
+
+Solution: TwoLevel [56] in volume form (§4.2).  The threshold is an
+absolute distinct-source count (the paper uses 0.5% of the total number
+of IP addresses).
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+from repro.metrics import precision, recall, relative_error
+from repro.sketches.base import Sketch
+from repro.sketches.twolevel import TwoLevelSketch
+from repro.tasks.base import MeasurementTask, TaskScore
+from repro.traffic.groundtruth import GroundTruth
+
+DEFAULT_PARAMS = {
+    "outer_width": 2048,
+    "outer_depth": 2,
+    "inner_width": 128,
+    "inner_depth": 2,
+}
+
+
+class DDoSTask(MeasurementTask):
+    """Detect destination IPs with more than ``threshold`` sources."""
+
+    name = "ddos"
+    solutions = ("twolevel",)
+    _mode = "ddos"
+
+    def __init__(
+        self,
+        solution: str = "twolevel",
+        threshold: float = 50,
+        sketch_params: dict | None = None,
+    ):
+        super().__init__(solution)
+        if threshold <= 0:
+            raise ConfigError("threshold must be positive")
+        self.threshold = float(threshold)
+        self.sketch_params = dict(DEFAULT_PARAMS)
+        if sketch_params:
+            self.sketch_params.update(sketch_params)
+
+    def create_sketch(self, seed: int = 1) -> Sketch:
+        return TwoLevelSketch(
+            mode=self._mode, seed=seed, **self.sketch_params
+        )
+
+    def answer(self, sketch: Sketch) -> dict[int, float]:
+        """``{destination IP: estimated distinct sources}``."""
+        if not isinstance(sketch, TwoLevelSketch):
+            raise ConfigError(
+                f"unsupported sketch {type(sketch).__name__}"
+            )
+        return sketch.detect(self.threshold)
+
+    def _truth(self, truth: GroundTruth) -> dict[int, float]:
+        return {
+            dst: float(count)
+            for dst, count in truth.ddos_victims(
+                int(self.threshold)
+            ).items()
+        }
+
+    def score(self, answer: dict, truth: GroundTruth) -> TaskScore:
+        true_victims = self._truth(truth)
+        return TaskScore(
+            recall=recall(answer, true_victims),
+            precision=precision(answer, true_victims),
+            relative_error=relative_error(answer, true_victims),
+            extra={"reported": len(answer), "true": len(true_victims)},
+        )

@@ -1,0 +1,147 @@
+"""Heavy changer detection: flows whose byte count changes across epochs.
+
+A heavy changer's |delta| between two consecutive epochs exceeds a
+threshold (§2.1).  Linear sketches (Deltoid, RevSketch) decode the
+*difference* of the two epoch sketches in both directions; FlowRadar
+decodes each epoch and differences the flows; UnivMon differences its
+tracked estimates.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+from repro.metrics import precision, recall, relative_error
+from repro.sketches.base import Sketch
+from repro.sketches.deltoid import Deltoid
+from repro.sketches.flowradar import FlowRadar
+from repro.sketches.revsketch import ReversibleSketch
+from repro.sketches.univmon import UnivMon
+from repro.tasks.base import MeasurementTask, TaskScore
+from repro.tasks.heavy_hitter import HeavyHitterTask, build_hh_sketch
+from repro.traffic.groundtruth import GroundTruth
+
+
+class HeavyChangerTask(MeasurementTask):
+    """Detect flows whose across-epoch change exceeds ``threshold`` bytes.
+
+    Uses the same sketches and configurations as heavy hitter detection
+    (§7.1: "the same sketch settings as in HH detection").
+    """
+
+    name = "heavy_changer"
+    solutions = ("deltoid", "revsketch", "flowradar", "univmon")
+
+    def __init__(
+        self,
+        solution: str,
+        threshold: float,
+        sketch_params: dict | None = None,
+        paper_params: bool = False,
+    ):
+        super().__init__(solution)
+        if threshold <= 0:
+            raise ConfigError("threshold must be positive")
+        self.threshold = float(threshold)
+        self.sketch_params = sketch_params
+        self.paper_params = paper_params
+        # Key mapping is shared with the HH task.
+        self._hh = HeavyHitterTask(
+            solution, threshold, sketch_params, paper_params
+        )
+
+    def create_sketch(self, seed: int = 1) -> Sketch:
+        return build_hh_sketch(
+            self.solution, seed, self.sketch_params, self.paper_params
+        )
+
+    # ------------------------------------------------------------------
+    def answer(self, sketch: Sketch):
+        raise ConfigError(
+            "heavy changer needs two epochs; use answer_pair(a, b)"
+        )
+
+    def answer_pair(
+        self, epoch_a: Sketch, epoch_b: Sketch
+    ) -> dict[object, float]:
+        """``{flow key: |delta| bytes}`` for changes above threshold."""
+        threshold = self.threshold
+        if isinstance(epoch_a, (Deltoid, ReversibleSketch)):
+            return self._answer_linear(epoch_a, epoch_b)
+        if isinstance(epoch_a, FlowRadar):
+            decoded_a, _ = epoch_a.decode()
+            decoded_b, _ = epoch_b.decode()
+            changes = {}
+            for flow in set(decoded_a) | set(decoded_b):
+                delta = abs(
+                    decoded_a.get(flow, 0.0) - decoded_b.get(flow, 0.0)
+                )
+                if delta > threshold:
+                    changes[flow] = delta
+            return changes
+        if isinstance(epoch_a, UnivMon):
+            candidates = set()
+            for sketch in (epoch_a, epoch_b):
+                for _flow, key64, _est in sketch._top_flows(0):
+                    candidates.add(key64)
+            key_to_flow = {}
+            for sketch in (epoch_a, epoch_b):
+                for key64, (flow, _est) in sketch.trackers[0].items():
+                    key_to_flow[key64] = flow
+            changes = {}
+            cs_a = epoch_a.sketches[0]
+            cs_b = epoch_b.sketches[0]
+            for key64 in candidates:
+                delta = abs(
+                    cs_a.estimate_key64(key64)
+                    - cs_b.estimate_key64(key64)
+                )
+                if delta > threshold:
+                    changes[key_to_flow[key64]] = delta
+            return changes
+        raise ConfigError(f"unsupported sketch {type(epoch_a).__name__}")
+
+    def _answer_linear(
+        self, epoch_a: Sketch, epoch_b: Sketch
+    ) -> dict[object, float]:
+        """Decode |A - B| via difference sketches in both directions.
+
+        Linearity makes the difference of two same-seed sketches a
+        valid sketch of the per-flow deltas; decoding it in both signs
+        finds growers and shrinkers.  Candidates are re-estimated from
+        the direction they were found in.
+        """
+        matrix_a = epoch_a.to_matrix()
+        matrix_b = epoch_b.to_matrix()
+        changes: dict[object, float] = {}
+        for forward in (matrix_a - matrix_b, matrix_b - matrix_a):
+            diff = epoch_a.clone_empty()
+            diff.load_matrix(forward)
+            for key, estimate in diff.decode(self.threshold).items():
+                if estimate > changes.get(key, 0.0):
+                    changes[key] = estimate
+        return changes
+
+    # ------------------------------------------------------------------
+    def score_pair(
+        self,
+        answer: dict,
+        truth_a: GroundTruth,
+        truth_b: GroundTruth,
+    ) -> TaskScore:
+        true_changes = {
+            self._hh.truth_key(flow): float(delta)
+            for flow, delta in truth_a.heavy_changers(
+                truth_b, self.threshold
+            ).items()
+        }
+        return TaskScore(
+            recall=recall(answer, true_changes),
+            precision=precision(answer, true_changes),
+            relative_error=relative_error(answer, true_changes),
+            extra={"reported": len(answer), "true": len(true_changes)},
+        )
+
+    def score(self, answer, truth: GroundTruth) -> TaskScore:
+        raise ConfigError(
+            "heavy changer needs two ground truths; use score_pair"
+        )

@@ -1,0 +1,41 @@
+"""Superspreader detection: sources contacting too many destinations.
+
+The mirror image of DDoS detection (§2.1), using the same TwoLevel
+sketch with the aggregate/spread roles swapped (§7.1: "the same setting
+as DDoS detection").
+"""
+
+from __future__ import annotations
+
+from repro.metrics import precision, recall, relative_error
+from repro.tasks.base import TaskScore
+from repro.tasks.ddos import DDoSTask
+from repro.traffic.groundtruth import GroundTruth
+
+
+class SuperspreaderTask(DDoSTask):
+    """Detect source IPs with more than ``threshold`` destinations."""
+
+    name = "superspreader"
+    solutions = ("twolevel",)
+    _mode = "superspreader"
+
+    def _truth(self, truth: GroundTruth) -> dict[int, float]:
+        return {
+            src: float(count)
+            for src, count in truth.superspreaders(
+                int(self.threshold)
+            ).items()
+        }
+
+    def score(self, answer: dict, truth: GroundTruth) -> TaskScore:
+        true_spreaders = self._truth(truth)
+        return TaskScore(
+            recall=recall(answer, true_spreaders),
+            precision=precision(answer, true_spreaders),
+            relative_error=relative_error(answer, true_spreaders),
+            extra={
+                "reported": len(answer),
+                "true": len(true_spreaders),
+            },
+        )

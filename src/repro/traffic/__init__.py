@@ -1,0 +1,29 @@
+"""Traffic substrate: synthetic heavy-tailed traces and exact ground truth.
+
+The paper evaluates on one-hour CAIDA 2015 traces (30-70K flows and
+370-480K packets per host-epoch).  Those traces are not redistributable,
+so this package generates synthetic traces with the property the paper's
+results rely on — heavy-tailed (Zipf) flow-size skew — plus injectable
+DDoS, superspreader, and heavy-changer events so that every measurement
+task has true positives to find.  Ground truth is computed exactly from
+the generated packets.
+"""
+
+from repro.traffic.anomalies import (
+    inject_ddos_victims,
+    inject_heavy_changes,
+    inject_superspreaders,
+)
+from repro.traffic.generator import TraceConfig, generate_trace
+from repro.traffic.groundtruth import GroundTruth
+from repro.traffic.trace import Trace
+
+__all__ = [
+    "GroundTruth",
+    "Trace",
+    "TraceConfig",
+    "generate_trace",
+    "inject_ddos_victims",
+    "inject_heavy_changes",
+    "inject_superspreaders",
+]

@@ -1,0 +1,144 @@
+"""Trace container: an ordered packet stream with epoch and host views.
+
+A :class:`Trace` is an immutable ordered sequence of packets.  The paper
+partitions traffic across hosts and reports per-epoch results; both views
+are provided here.  Partitioning is flow-consistent (all packets of one
+flow land on one host) to mirror the paper's hash-based traffic
+assignment [47], which avoids double counting across the distributed data
+plane.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.common.flow import FlowKey, Packet
+from repro.common.hashing import mix64
+
+_PARTITION_SEED = 0x5EED_0F_CAFE
+
+
+class Trace:
+    """An ordered, immutable stream of packets.
+
+    Parameters
+    ----------
+    packets:
+        Packets in arrival order.  Timestamps must be non-decreasing;
+        this is validated because the data-plane simulation derives
+        inter-arrival gaps from them.
+    """
+
+    def __init__(self, packets: Iterable[Packet]):
+        self._packets: tuple[Packet, ...] = tuple(packets)
+        previous = float("-inf")
+        for packet in self._packets:
+            if packet.timestamp < previous:
+                raise ValueError("packet timestamps must be non-decreasing")
+            previous = packet.timestamp
+
+    def __len__(self) -> int:
+        return len(self._packets)
+
+    def __iter__(self) -> Iterator[Packet]:
+        return iter(self._packets)
+
+    def __getitem__(self, index: int) -> Packet:
+        return self._packets[index]
+
+    @property
+    def packets(self) -> tuple[Packet, ...]:
+        return self._packets
+
+    @property
+    def duration(self) -> float:
+        """Time span covered by the trace (0 for an empty trace)."""
+        if not self._packets:
+            return 0.0
+        return self._packets[-1].timestamp - self._packets[0].timestamp
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(packet.size for packet in self._packets)
+
+    def flow_sizes(self) -> dict[FlowKey, int]:
+        """Exact per-flow byte counts (the measurement ground truth)."""
+        sizes: Counter[FlowKey] = Counter()
+        for packet in self._packets:
+            sizes[packet.flow] += packet.size
+        return dict(sizes)
+
+    def flow_packet_counts(self) -> dict[FlowKey, int]:
+        """Exact per-flow packet counts."""
+        counts: Counter[FlowKey] = Counter()
+        for packet in self._packets:
+            counts[packet.flow] += 1
+        return dict(counts)
+
+    def flows(self) -> set[FlowKey]:
+        return {packet.flow for packet in self._packets}
+
+    def split_epochs(self, epoch_length: float) -> list["Trace"]:
+        """Split into consecutive epochs of ``epoch_length`` seconds.
+
+        Epoch boundaries are relative to the first packet's timestamp.
+        Every packet belongs to exactly one epoch; empty trailing epochs
+        are not emitted.
+        """
+        if epoch_length <= 0:
+            raise ValueError("epoch_length must be positive")
+        if not self._packets:
+            return []
+        start = self._packets[0].timestamp
+        epochs: list[list[Packet]] = []
+        for packet in self._packets:
+            index = int((packet.timestamp - start) / epoch_length)
+            while len(epochs) <= index:
+                epochs.append([])
+            epochs[index].append(packet)
+        return [Trace(bucket) for bucket in epochs if bucket]
+
+    def partition(self, num_hosts: int) -> list["Trace"]:
+        """Flow-consistent partition across ``num_hosts`` monitoring hosts.
+
+        Each flow is assigned to ``hash(flow) % num_hosts`` so that no
+        flow is observed (and counted) by two hosts — the paper's
+        disjoint-monitoring assumption (§3.1).
+        """
+        if num_hosts < 1:
+            raise ValueError("num_hosts must be >= 1")
+        if num_hosts == 1:
+            return [self]
+        shards: list[list[Packet]] = [[] for _ in range(num_hosts)]
+        for packet in self._packets:
+            shard = mix64(packet.flow.key64 ^ _PARTITION_SEED) % num_hosts
+            shards[shard].append(packet)
+        return [Trace(shard) for shard in shards]
+
+    def concat(self, other: "Trace") -> "Trace":
+        """Concatenate two traces; ``other`` is shifted to start after self.
+
+        Used to build multi-epoch workloads from per-epoch generators.
+        """
+        if not self._packets:
+            return other
+        if not other._packets:
+            return self
+        shift = self._packets[-1].timestamp - other._packets[0].timestamp
+        if shift < 0:
+            shift = 0.0
+        shifted = [
+            Packet(packet.flow, packet.size, packet.timestamp + shift)
+            for packet in other._packets
+        ]
+        return Trace(list(self._packets) + shifted)
+
+    @staticmethod
+    def merge(traces: Sequence["Trace"]) -> "Trace":
+        """Merge traces by timestamp order (e.g., re-join host shards)."""
+        merged = sorted(
+            (packet for trace in traces for packet in trace),
+            key=lambda packet: packet.timestamp,
+        )
+        return Trace(merged)

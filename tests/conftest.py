@@ -1,0 +1,60 @@
+"""Shared fixtures: small deterministic traces and ground truths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.flow import FlowKey, Packet
+from repro.traffic.generator import TraceConfig, generate_trace
+from repro.traffic.groundtruth import GroundTruth
+from repro.traffic.trace import Trace
+
+
+@pytest.fixture(scope="session")
+def small_trace() -> Trace:
+    """~500 flows, a few thousand packets; fast enough for unit tests."""
+    return generate_trace(TraceConfig(num_flows=500, seed=42))
+
+
+@pytest.fixture(scope="session")
+def small_truth(small_trace: Trace) -> GroundTruth:
+    return GroundTruth.from_trace(small_trace)
+
+
+@pytest.fixture(scope="session")
+def medium_trace() -> Trace:
+    """~2000 flows; used by integration-level tests."""
+    return generate_trace(TraceConfig(num_flows=2000, seed=7))
+
+
+@pytest.fixture(scope="session")
+def medium_truth(medium_trace: Trace) -> GroundTruth:
+    return GroundTruth.from_trace(medium_trace)
+
+
+def make_flow(index: int, dst: int = 9999) -> FlowKey:
+    """A deterministic distinct flow for hand-built streams."""
+    return FlowKey(
+        src_ip=1000 + index,
+        dst_ip=dst,
+        src_port=1024 + (index % 60000),
+        dst_port=80,
+    )
+
+
+def make_trace(sized_flows: list[tuple[FlowKey, list[int]]]) -> Trace:
+    """Build a trace from (flow, [packet sizes]) pairs, interleaved."""
+    packets = []
+    timestamp = 0.0
+    remaining = [
+        (flow, list(sizes)) for flow, sizes in sized_flows if sizes
+    ]
+    while remaining:
+        next_round = []
+        for flow, sizes in remaining:
+            packets.append(Packet(flow, sizes.pop(0), timestamp))
+            timestamp += 0.001
+            if sizes:
+                next_round.append((flow, sizes))
+        remaining = next_round
+    return Trace(packets)

@@ -1,0 +1,84 @@
+"""Anomaly injection produces detectable, known-answer events."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.traffic.anomalies import (
+    inject_ddos_victims,
+    inject_heavy_changes,
+    inject_superspreaders,
+)
+from repro.traffic.groundtruth import GroundTruth
+
+
+class TestDDoSInjection:
+    def test_victims_exceed_fanin(self, small_trace):
+        trace, victims = inject_ddos_victims(
+            small_trace, num_victims=3, sources_per_victim=80
+        )
+        truth = GroundTruth.from_trace(trace)
+        for victim in victims:
+            assert len(truth.fanin[victim]) >= 80
+
+    def test_victims_dominate_detection(self, small_trace):
+        trace, victims = inject_ddos_victims(
+            small_trace, num_victims=2, sources_per_victim=120
+        )
+        truth = GroundTruth.from_trace(trace)
+        detected = truth.ddos_victims(100)
+        assert set(victims) <= set(detected)
+
+    def test_timestamps_remain_ordered(self, small_trace):
+        trace, _ = inject_ddos_victims(small_trace, 2, 50)
+        previous = -1.0
+        for packet in trace:
+            assert packet.timestamp >= previous
+            previous = packet.timestamp
+
+    def test_validates_arguments(self, small_trace):
+        with pytest.raises(ValueError):
+            inject_ddos_victims(small_trace, 0, 10)
+
+
+class TestSuperspreaderInjection:
+    def test_spreaders_exceed_fanout(self, small_trace):
+        trace, spreaders = inject_superspreaders(
+            small_trace, num_spreaders=3, destinations_per_spreader=90
+        )
+        truth = GroundTruth.from_trace(trace)
+        for spreader in spreaders:
+            assert len(truth.fanout[spreader]) >= 90
+
+    def test_distinct_from_ddos_hosts(self, small_trace):
+        _trace_a, victims = inject_ddos_victims(small_trace, 2, 10)
+        _trace_b, spreaders = inject_superspreaders(small_trace, 2, 10)
+        assert not set(victims) & set(spreaders)
+
+
+class TestHeavyChangeInjection:
+    def test_changers_appear_in_truth(self, small_trace):
+        epoch_a, epoch_b, changers = inject_heavy_changes(
+            small_trace, small_trace, num_changers=4, change_bytes=100_000
+        )
+        truth_a = GroundTruth.from_trace(epoch_a)
+        truth_b = GroundTruth.from_trace(epoch_b)
+        detected = truth_a.heavy_changers(truth_b, 50_000)
+        assert set(changers) <= set(detected)
+
+    def test_change_magnitude(self, small_trace):
+        _a, epoch_b, changers = inject_heavy_changes(
+            small_trace, small_trace, num_changers=1, change_bytes=90_000
+        )
+        truth_b = GroundTruth.from_trace(epoch_b)
+        assert truth_b.flow_bytes[changers[0]] == pytest.approx(
+            90_000, rel=0.05
+        )
+
+    def test_epoch_a_untouched(self, small_trace):
+        epoch_a, _b, changers = inject_heavy_changes(
+            small_trace, small_trace, 2, 10_000
+        )
+        truth_a = GroundTruth.from_trace(epoch_a)
+        for changer in changers:
+            assert changer not in truth_a.flow_bytes

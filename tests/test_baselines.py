@@ -1,0 +1,142 @@
+"""Trumpet and sampling baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigError, MergeError
+from repro.baselines.sampling import SampledNetFlow
+from repro.baselines.trumpet import TrumpetMonitor
+from tests.conftest import make_flow
+
+
+class TestTrumpet:
+    def test_exact_flow_counts(self, small_trace):
+        monitor = TrumpetMonitor(expected_flows=1000)
+        for packet in small_trace:
+            monitor.update(packet.flow, packet.size)
+        assert monitor.flow_bytes() == {
+            flow: float(size)
+            for flow, size in small_trace.flow_sizes().items()
+        }
+
+    def test_heavy_hitters_perfect(self, small_trace, small_truth):
+        monitor = TrumpetMonitor(expected_flows=1000)
+        for packet in small_trace:
+            monitor.update(packet.flow, packet.size)
+        threshold = 0.01 * small_truth.total_bytes
+        assert monitor.heavy_hitters(threshold).keys() == (
+            small_truth.heavy_hitters(threshold).keys()
+        )
+
+    def test_memory_grows_with_flows(self):
+        monitor = TrumpetMonitor(expected_flows=100, overprovision=3)
+        base = monitor.memory_bytes()
+        for i in range(500):
+            monitor.update(make_flow(i), 100)
+        assert monitor.memory_bytes() > base + 500 * 30
+
+    def test_memory_exceeds_sketches_at_scale(self):
+        """Figure 17(b): at paper-scale flow counts (30-70k flows per
+        host-epoch) Trumpet's per-flow state dwarfs a sketch."""
+        from repro.sketches.flowradar import FlowRadar
+
+        flows = 50_000
+        monitor = TrumpetMonitor(expected_flows=flows, overprovision=3)
+        for i in range(flows):
+            monitor.update(make_flow(i % 60_000, dst=i // 60_000 + 1), 100)
+        sketch = FlowRadar()  # the paper's FlowRadar configuration
+        assert monitor.memory_bytes() > 2 * sketch.memory_bytes()
+
+    def test_memory_scales_linearly_with_flows(self):
+        """The contrast the paper draws: sketch memory is fixed,
+        Trumpet memory tracks the flow count."""
+        small = TrumpetMonitor(expected_flows=1000, overprovision=3)
+        for i in range(1000):
+            small.update(make_flow(i), 100)
+        large = TrumpetMonitor(expected_flows=10_000, overprovision=3)
+        for i in range(10_000):
+            large.update(make_flow(i), 100)
+        assert large.memory_bytes() > 5 * small.memory_bytes()
+
+    def test_overprovision_reduces_chains(self, medium_trace):
+        flows = len(medium_trace.flows())
+        low = TrumpetMonitor(expected_flows=flows, overprovision=1)
+        high = TrumpetMonitor(expected_flows=flows, overprovision=7)
+        for packet in medium_trace:
+            low.update(packet.flow, packet.size)
+            high.update(packet.flow, packet.size)
+        assert high.mean_chain_length < low.mean_chain_length
+
+    def test_merge(self):
+        a = TrumpetMonitor(expected_flows=100, seed=3)
+        b = TrumpetMonitor(expected_flows=100, seed=3)
+        a.update(make_flow(1), 100)
+        b.update(make_flow(1), 50)
+        b.update(make_flow(2), 70)
+        a.merge(b)
+        flows = a.flow_bytes()
+        assert flows[make_flow(1)] == 150
+        assert flows[make_flow(2)] == 70
+
+    def test_merge_rejects_mismatch(self):
+        with pytest.raises(MergeError):
+            TrumpetMonitor(100).merge(TrumpetMonitor(200))
+
+    def test_load_matrix_unsupported(self):
+        import numpy as np
+
+        with pytest.raises(NotImplementedError):
+            TrumpetMonitor(100).load_matrix(np.zeros((1, 300)))
+
+    def test_reset(self):
+        monitor = TrumpetMonitor(expected_flows=100)
+        monitor.update(make_flow(1), 10)
+        monitor.reset()
+        assert monitor.flow_bytes() == {}
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            TrumpetMonitor(expected_flows=0)
+
+
+class TestSampling:
+    def test_sampling_rate_respected(self, medium_trace):
+        sampler = SampledNetFlow(sample_rate=0.1, seed=3)
+        sampler.process(medium_trace)
+        observed = sampler.sampled_packets / sampler.total_packets
+        assert observed == pytest.approx(0.1, abs=0.02)
+
+    def test_estimates_scaled(self):
+        sampler = SampledNetFlow(sample_rate=1.0)
+        sampler.update(make_flow(1), 500)
+        assert sampler.flow_estimates()[make_flow(1)] == 500
+
+    def test_misses_small_flows(self, medium_trace, medium_truth):
+        """The paper's motivation: sampling misses fine-grained state."""
+        sampler = SampledNetFlow(sample_rate=0.01, seed=5)
+        sampler.process(medium_trace)
+        assert len(sampler.sampled) < 0.5 * medium_truth.cardinality
+
+    def test_heavy_hitters_catch_big_flows(
+        self, medium_trace, medium_truth
+    ):
+        sampler = SampledNetFlow(sample_rate=0.2, seed=5)
+        sampler.process(medium_trace)
+        threshold = 0.01 * medium_truth.total_bytes
+        found = sampler.heavy_hitters(threshold)
+        true_hh = medium_truth.heavy_hitters(threshold)
+        hits = sum(1 for flow in true_hh if flow in found)
+        assert hits / len(true_hh) > 0.7
+
+    def test_rate_validation(self):
+        with pytest.raises(ConfigError):
+            SampledNetFlow(sample_rate=0.0)
+        with pytest.raises(ConfigError):
+            SampledNetFlow(sample_rate=1.5)
+
+    def test_reset(self):
+        sampler = SampledNetFlow(sample_rate=1.0)
+        sampler.update(make_flow(1), 10)
+        sampler.reset()
+        assert sampler.sampled == {}

@@ -1,0 +1,95 @@
+"""Bloom filter substrates: no false negatives, mergeability."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigError, MergeError
+from repro.common.hashing import mix64
+from repro.sketches.bloom import BloomFilter, CountingBloomFilter
+
+
+class TestBloomFilter:
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            BloomFilter(0)
+
+    @given(st.sets(st.integers(0, 2**40), max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_no_false_negatives(self, keys):
+        bloom = BloomFilter(4096, 4)
+        for key in keys:
+            bloom.add(key)
+        for key in keys:
+            assert key in bloom
+
+    def test_add_reports_prior_presence(self):
+        bloom = BloomFilter(4096, 4)
+        assert bloom.add(42) is False
+        assert bloom.add(42) is True
+
+    def test_false_positive_rate_grows_with_fill(self):
+        bloom = BloomFilter(1024, 4)
+        assert bloom.false_positive_rate() == 0.0
+        for key in range(400):
+            bloom.add(mix64(key))
+        assert 0 < bloom.false_positive_rate() < 1
+
+    def test_observed_fpr_reasonable(self):
+        bloom = BloomFilter(10_000, 4)
+        for key in range(1000):
+            bloom.add(mix64(key))
+        false_hits = sum(
+            1 for key in range(1000, 6000) if mix64(key) in bloom
+        )
+        assert false_hits / 5000 < 0.05
+
+    def test_merge_is_union(self):
+        a = BloomFilter(2048, 4, seed=3)
+        b = BloomFilter(2048, 4, seed=3)
+        a.add(1)
+        b.add(2)
+        a.merge(b)
+        assert 1 in a and 2 in a
+
+    def test_merge_rejects_mismatch(self):
+        with pytest.raises(MergeError):
+            BloomFilter(2048, seed=1).merge(BloomFilter(2048, seed=2))
+
+    def test_reset(self):
+        bloom = BloomFilter(256)
+        bloom.add(7)
+        bloom.reset()
+        assert 7 not in bloom
+
+    def test_memory(self):
+        assert BloomFilter(800).memory_bytes() == 100
+
+
+class TestCountingBloomFilter:
+    def test_add_then_remove_restores(self):
+        cbf = CountingBloomFilter(1024, 4)
+        cbf.add(5)
+        assert 5 in cbf
+        cbf.remove(5)
+        assert 5 not in cbf
+
+    def test_volume_form(self):
+        cbf = CountingBloomFilter(1024, 4)
+        cbf.add(5, value=700.0)
+        assert 5 in cbf
+        assert cbf.counters.sum() == pytest.approx(4 * 700.0)
+
+    def test_merge_adds_counters(self):
+        a = CountingBloomFilter(512, 2, seed=1)
+        b = CountingBloomFilter(512, 2, seed=1)
+        a.add(1, 10)
+        b.add(1, 20)
+        a.merge(b)
+        assert a.counters.sum() == pytest.approx(60.0)
+
+    def test_merge_rejects_mismatch(self):
+        with pytest.raises(MergeError):
+            CountingBloomFilter(512).merge(CountingBloomFilter(256))

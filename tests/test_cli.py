@@ -1,0 +1,144 @@
+"""Command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestGenerateInspect:
+    def test_generate_npz(self, tmp_path, capsys):
+        path = tmp_path / "trace.npz"
+        assert main(["generate", str(path), "--flows", "200"]) == 0
+        assert path.exists()
+        out = capsys.readouterr().out
+        assert "200 flows" in out
+
+    def test_generate_csv(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        assert main(["generate", str(path), "--flows", "100"]) == 0
+        assert path.read_text().startswith("timestamp,")
+
+    def test_inspect(self, tmp_path, capsys):
+        path = tmp_path / "trace.npz"
+        main(["generate", str(path), "--flows", "150", "--seed", "3"])
+        capsys.readouterr()
+        assert main(["inspect", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "flows          : 150" in out
+        assert "entropy" in out
+
+
+class TestRun:
+    def test_run_generated(self, capsys):
+        code = main(
+            [
+                "run",
+                "--task",
+                "cardinality",
+                "--solution",
+                "lc",
+                "--flows",
+                "400",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "relative error" in out
+        assert "throughput" in out
+
+    def test_run_from_file(self, tmp_path, capsys):
+        path = tmp_path / "trace.npz"
+        main(["generate", str(path), "--flows", "300"])
+        capsys.readouterr()
+        code = main(
+            [
+                "run",
+                "--trace",
+                str(path),
+                "--task",
+                "heavy_hitter",
+                "--solution",
+                "flowradar",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recall" in out
+
+    def test_bad_task_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--task", "bogus"])
+
+    def test_multicore_run(self, capsys):
+        code = main(
+            [
+                "run",
+                "--task",
+                "heavy_hitter",
+                "--solution",
+                "flowradar",
+                "--flows",
+                "400",
+                "--cores",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cores           : 2" in out
+        assert "recall" in out
+
+    def test_convert_roundtrip(self, tmp_path, capsys):
+        npz = tmp_path / "t.npz"
+        pcap = tmp_path / "t.pcap"
+        csv = tmp_path / "t.csv"
+        main(["generate", str(npz), "--flows", "120"])
+        assert main(["convert", str(npz), str(pcap)]) == 0
+        assert main(["convert", str(pcap), str(csv)]) == 0
+        out = capsys.readouterr().out
+        assert "converted" in out
+        assert csv.read_text().startswith("timestamp,")
+
+    def test_bench_summary_missing_dir(self, tmp_path):
+        assert (
+            main(
+                [
+                    "bench-summary",
+                    "--results-dir",
+                    str(tmp_path / "none"),
+                ]
+            )
+            == 1
+        )
+
+    def test_bench_summary_lists_tables(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "fig01.txt").write_text("Title line\n====\nrow\n")
+        code = main(
+            ["bench-summary", "--results-dir", str(results), "--full"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig01" in out and "row" in out
+
+    def test_dataplane_choices(self, capsys):
+        code = main(
+            [
+                "run",
+                "--task",
+                "cardinality",
+                "--solution",
+                "kmin",
+                "--flows",
+                "300",
+                "--dataplane",
+                "ideal",
+                "--recovery",
+                "nr",
+            ]
+        )
+        assert code == 0
+        assert "ideal" in capsys.readouterr().out

@@ -1,0 +1,174 @@
+"""CPU cost model: calibration against the paper's measurements."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataplane.cost_model import (
+    CPU_HZ,
+    DISPATCH_CYCLES_INMEMORY,
+    DISPATCH_CYCLES_TESTBED,
+    FASTPATH_UPDATE_CYCLES,
+    PAPER_CYCLES_PER_PACKET,
+    CostModel,
+)
+from repro.fastpath.topk import ENTRY_BYTES, UpdateKind
+from repro.sketches.cardinality import FMSketch, KMinSketch, LinearCounting
+from repro.sketches.countmin import CountMinSketch
+from repro.sketches.deltoid import Deltoid
+from repro.sketches.flowradar import FlowRadar
+from repro.sketches.mrac import MRAC
+from repro.sketches.revsketch import ReversibleSketch
+from repro.sketches.twolevel import TwoLevelSketch
+from repro.sketches.univmon import UnivMon
+
+PAPER_SKETCHES = {
+    "deltoid": lambda: Deltoid(width=4000, depth=4),
+    "univmon": lambda: UnivMon(),
+    "twolevel": lambda: TwoLevelSketch.paper_config(),
+    "flowradar": lambda: FlowRadar(),
+    "fm": lambda: FMSketch(num_registers=65_536, depth=4),
+    "kmin": lambda: KMinSketch(k=65_536, depth=4),
+    "lc": lambda: LinearCounting(width=10_000, depth=4),
+    "mrac": lambda: MRAC(width=4000),
+}
+
+
+class TestCalibration:
+    @pytest.mark.parametrize("name", sorted(PAPER_SKETCHES))
+    def test_paper_configs_match_figure15(self, name):
+        """§7.1 configurations land on the measured cycles exactly."""
+        model = CostModel.in_memory()
+        cycles = model.sketch_cycles(PAPER_SKETCHES[name]())
+        assert cycles == pytest.approx(
+            PAPER_CYCLES_PER_PACKET[name], rel=1e-6
+        )
+
+    def test_revsketch_paper_profile(self):
+        """The 5-tuple RevSketch (7x16-bit words, 4 rows) hits 3858."""
+        sketch = ReversibleSketch(
+            word_bits=16, num_words=7, subindex_bits=2, depth=4
+        )
+        model = CostModel.in_memory()
+        # Same op counts as the calibration profile -> same cycles.
+        assert model.sketch_cycles(sketch) == pytest.approx(3858.0)
+
+    def test_cost_scales_with_configuration(self):
+        """Halving Deltoid's rows should roughly halve its cost."""
+        model = CostModel.in_memory()
+        full = model.sketch_cycles(Deltoid(width=4000, depth=4))
+        half = model.sketch_cycles(Deltoid(width=4000, depth=2))
+        assert half == pytest.approx(full / 2, rel=0.2)
+
+    def test_uncalibrated_sketch_uses_raw_profile(self):
+        model = CostModel.in_memory()
+        cycles = model.sketch_cycles(CountMinSketch(width=100, depth=4))
+        assert 100 < cycles < 2000
+
+    def test_paper_ordering_preserved(self):
+        """Deltoid slowest, MRAC fastest (Figure 2a / 15)."""
+        model = CostModel.in_memory()
+        costs = {
+            name: model.sketch_cycles(build())
+            for name, build in PAPER_SKETCHES.items()
+        }
+        assert costs["deltoid"] == max(costs.values())
+        assert costs["mrac"] == min(costs.values())
+
+
+class TestFastPathCosts:
+    def test_update_cost(self):
+        model = CostModel.in_memory()
+        assert (
+            model.fastpath_cycles(UpdateKind.HIT, 204)
+            == FASTPATH_UPDATE_CYCLES
+        )
+        assert (
+            model.fastpath_cycles(UpdateKind.INSERT, 204)
+            == FASTPATH_UPDATE_CYCLES
+        )
+
+    def test_kickout_scales_with_capacity(self):
+        model = CostModel.in_memory()
+        small = model.fastpath_cycles(UpdateKind.KICKOUT, 100)
+        large = model.fastpath_cycles(UpdateKind.KICKOUT, 200)
+        assert large == pytest.approx(2 * small)
+
+    def test_default_kickout_near_figure15(self):
+        """8 KB fast path: kick-out ~= 12,332 cycles (Figure 15)."""
+        model = CostModel.in_memory()
+        cycles = model.fastpath_kickout_cycles(8192)
+        assert cycles == pytest.approx(12_332, rel=0.05)
+
+    def test_update_far_cheaper_than_any_sketch(self):
+        model = CostModel.in_memory()
+        assert FASTPATH_UPDATE_CYCLES < 0.15 * min(
+            PAPER_CYCLES_PER_PACKET.values()
+        )
+
+
+class TestThroughputConversion:
+    def test_gbps_conversion(self):
+        model = CostModel(cpu_hz=1e9)
+        # 1e9 cycles at 1 GHz = 1 second; 125 MB = 1 Gb.
+        assert model.gbps(125_000_000, 1e9) == pytest.approx(1.0)
+
+    def test_consumer_rate_mrac_near_40gbps(self):
+        """2.93 GHz / 404 cycles * 769 B ~= 44 Gbps (Figure 6b)."""
+        model = CostModel.in_memory()
+        rate = model.consumer_rate_gbps(MRAC(width=4000))
+        assert 40 <= rate <= 50
+
+    def test_consumer_rate_deltoid_under_2gbps(self):
+        model = CostModel.in_memory()
+        rate = model.consumer_rate_gbps(Deltoid(width=4000, depth=4))
+        assert 1.0 <= rate <= 2.5
+
+    def test_thread_scaling_sublinear(self):
+        """Figure 2b: Deltoid barely reaches 5 Gbps with 5 threads."""
+        model = CostModel.in_memory()
+        sketch = Deltoid(width=4000, depth=4)
+        one = model.threaded_rate_gbps(sketch, 1)
+        five = model.threaded_rate_gbps(sketch, 5)
+        assert one == pytest.approx(
+            model.consumer_rate_gbps(sketch)
+        )
+        assert one < five < 5 * one
+        assert 4.0 <= five <= 7.5
+
+    def test_thread_validation(self):
+        with pytest.raises(ValueError):
+            CostModel.in_memory().threaded_rate_gbps(MRAC(), 0)
+
+    def test_profiles(self):
+        assert (
+            CostModel.in_memory().dispatch_cycles
+            == DISPATCH_CYCLES_INMEMORY
+        )
+        assert (
+            CostModel.testbed().dispatch_cycles
+            == DISPATCH_CYCLES_TESTBED
+        )
+        assert CostModel.in_memory().cpu_hz == CPU_HZ
+
+    def test_dpdk_profile_boosts_sketchvisor_more(self, medium_trace):
+        """The paper's §6 future-work expectation: with a faster
+        forwarding pipeline, the fast path's relief is worth more."""
+        from repro.dataplane.switch import SoftwareSwitch
+        from repro.fastpath.topk import FastPath
+
+        def gain(model):
+            no_fp = SoftwareSwitch(
+                Deltoid(width=512, depth=4), fastpath=None,
+                cost_model=model,
+            ).process(medium_trace)
+            sv = SoftwareSwitch(
+                Deltoid(width=512, depth=4), fastpath=FastPath(8192),
+                cost_model=model,
+            ).process(medium_trace)
+            return sv.throughput_gbps / no_fp.throughput_gbps
+
+        assert CostModel.dpdk().dispatch_cycles < (
+            CostModel.testbed().dispatch_cycles
+        )
+        assert gain(CostModel.dpdk()) >= gain(CostModel.testbed())

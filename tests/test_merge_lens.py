@@ -1,0 +1,196 @@
+"""Control-plane merging and the LENS compressive-sensing solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigError, MergeError
+from repro.controlplane.lens import (
+    LensConfig,
+    lens_interpolate,
+    singular_value_threshold,
+)
+from repro.controlplane.merge import (
+    merge_fastpath_snapshots,
+    merge_sketches,
+)
+from repro.fastpath.topk import FastPath
+from repro.sketches.countmin import CountMinSketch
+from repro.sketches.deltoid import Deltoid
+from tests.conftest import make_flow
+
+
+class TestMergeSketches:
+    def test_merge_equals_single_observer(self, medium_trace):
+        shards = medium_trace.partition(3)
+        parts = []
+        for shard in shards:
+            sketch = CountMinSketch(width=512, depth=3, seed=7)
+            for packet in shard:
+                sketch.update(packet.flow, packet.size)
+            parts.append(sketch)
+        merged = merge_sketches(parts)
+        whole = CountMinSketch(width=512, depth=3, seed=7)
+        for packet in medium_trace:
+            whole.update(packet.flow, packet.size)
+        assert np.array_equal(merged.counters, whole.counters)
+
+    def test_merge_does_not_mutate_inputs(self):
+        a = CountMinSketch(width=64, depth=2, seed=1)
+        a.update(make_flow(1), 100)
+        before = a.counters.copy()
+        merge_sketches([a, a.clone_empty()])
+        assert np.array_equal(a.counters, before)
+
+    def test_merge_empty_rejected(self):
+        with pytest.raises(MergeError):
+            merge_sketches([])
+
+
+class TestMergeSnapshots:
+    def test_sums_globals(self):
+        fp_a, fp_b = FastPath(4096), FastPath(4096)
+        fp_a.update(make_flow(1), 100)
+        fp_b.update(make_flow(2), 250)
+        merged = merge_fastpath_snapshots(
+            [fp_a.snapshot(), fp_b.snapshot()]
+        )
+        assert merged.total_bytes == 350
+        assert set(merged.entries) == {make_flow(1), make_flow(2)}
+
+    def test_none_snapshots_ignored(self):
+        fp = FastPath(4096)
+        fp.update(make_flow(1), 100)
+        merged = merge_fastpath_snapshots([None, fp.snapshot(), None])
+        assert merged.total_bytes == 100
+
+    def test_shared_flow_counters_add(self):
+        fp_a, fp_b = FastPath(4096), FastPath(4096)
+        fp_a.update(make_flow(1), 100)
+        fp_b.update(make_flow(1), 50)
+        merged = merge_fastpath_snapshots(
+            [fp_a.snapshot(), fp_b.snapshot()]
+        )
+        assert merged.entries[make_flow(1)].r == 150
+
+    def test_all_none(self):
+        merged = merge_fastpath_snapshots([None, None])
+        assert merged.total_bytes == 0 and not merged.entries
+
+
+class TestSVT:
+    def test_shrinks_singular_values(self):
+        matrix = np.diag([10.0, 5.0, 1.0])
+        shrunk = singular_value_threshold(matrix, 2.0)
+        values = np.linalg.svd(shrunk, compute_uv=False)
+        assert values[0] == pytest.approx(8.0)
+        assert values[1] == pytest.approx(3.0)
+        assert values[2] == pytest.approx(0.0, abs=1e-9)
+
+    def test_all_shrunk_to_zero(self):
+        matrix = np.ones((3, 3))
+        assert singular_value_threshold(matrix, 100.0).sum() == 0.0
+
+
+class TestLensInterpolate:
+    def _setup(self, num_flows=20, width=256, seed=3):
+        """A Count-Min N missing a known x; returns pieces + truth."""
+        sketch = CountMinSketch(width=width, depth=4, seed=seed)
+        rng = np.random.default_rng(seed)
+        # Background (normal-path) traffic.
+        for i in range(200):
+            sketch.update(make_flow(1000 + i), int(rng.integers(64, 1500)))
+        flows = [make_flow(i) for i in range(num_flows)]
+        true_x = rng.integers(5_000, 50_000, size=num_flows).astype(float)
+        positions = [sketch.matrix_positions(f) for f in flows]
+        slack = rng.integers(50, 500, size=num_flows).astype(float)
+        lower = true_x - slack
+        upper = true_x + slack
+        small_flow_mass = 30_000.0
+        volume = float(true_x.sum() + small_flow_mass)
+        return sketch, flows, positions, lower, upper, volume, true_x
+
+    def test_x_respects_box(self):
+        sketch, _f, positions, lower, upper, volume, _t = self._setup()
+        result = lens_interpolate(
+            sketch.to_matrix(), positions, lower, upper, volume,
+            low_rank=False,
+        )
+        assert (result.x >= lower - 1e-6).all()
+        assert (result.x <= upper + 1e-6).all()
+
+    def test_x_close_to_truth(self):
+        sketch, _f, positions, lower, upper, volume, truth = self._setup()
+        result = lens_interpolate(
+            sketch.to_matrix(), positions, lower, upper, volume,
+            low_rank=False,
+        )
+        errors = np.abs(result.x - truth) / truth
+        assert errors.mean() < 0.05  # the box is tight; stay inside it
+
+    def test_volume_conserved(self):
+        sketch, _f, positions, lower, upper, volume, _t = self._setup()
+        result = lens_interpolate(
+            sketch.to_matrix(), positions, lower, upper, volume,
+            low_rank=False,
+        )
+        # sum(x) + noise mass / positions-per-flow ~= V
+        mean_mass = np.mean([len(p) for p in positions])
+        recovered_volume = result.x.sum() + result.noise.sum() / mean_mass
+        assert recovered_volume == pytest.approx(volume, rel=0.05)
+
+    def test_noise_nonnegative(self):
+        sketch, _f, positions, lower, upper, volume, _t = self._setup()
+        result = lens_interpolate(
+            sketch.to_matrix(), positions, lower, upper, volume,
+            low_rank=False,
+        )
+        assert (result.noise >= 0).all()
+
+    def test_nuclear_term_runs_on_low_rank_sketch(self):
+        sketch = Deltoid(width=64, depth=2, seed=5)
+        for i in range(100):
+            sketch.update(make_flow(i), 500)
+        flows = [make_flow(1000)]
+        positions = [sketch.matrix_positions(flows[0])]
+        result = lens_interpolate(
+            sketch.to_matrix(),
+            positions,
+            np.array([1000.0]),
+            np.array([1200.0]),
+            2000.0,
+            low_rank=True,
+            config=LensConfig(max_iterations=10),
+        )
+        assert 1000.0 - 1e-6 <= result.x[0] <= 1200.0 + 1e-6
+        assert result.iterations <= 10
+
+    def test_no_tracked_flows_spreads_volume(self):
+        sketch = CountMinSketch(width=64, depth=2)
+        result = lens_interpolate(
+            sketch.to_matrix(), [], np.zeros(0), np.zeros(0), 1000.0
+        )
+        assert result.matrix.sum() == pytest.approx(
+            1000.0 / (2 * 64) * 2 * 64
+        )
+
+    def test_validates_bounds(self):
+        sketch = CountMinSketch(width=64, depth=2)
+        flow = make_flow(1)
+        with pytest.raises(ConfigError):
+            lens_interpolate(
+                sketch.to_matrix(),
+                [sketch.matrix_positions(flow)],
+                np.array([10.0]),
+                np.array([5.0]),  # upper < lower
+                100.0,
+            )
+        with pytest.raises(ConfigError):
+            lens_interpolate(
+                sketch.to_matrix(),
+                [sketch.matrix_positions(flow)],
+                np.array([1.0]),
+                np.array([2.0]),
+                -5.0,
+            )

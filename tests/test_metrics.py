@@ -1,0 +1,92 @@
+"""Accuracy metrics (§7.1) edge cases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics import (
+    f1_score,
+    mean_relative_difference,
+    precision,
+    recall,
+    relative_error,
+    scalar_relative_error,
+)
+
+
+class TestRecallPrecision:
+    def test_perfect(self):
+        reported = {"a": 1, "b": 2}
+        assert recall(reported, reported) == 1.0
+        assert precision(reported, reported) == 1.0
+        assert f1_score(reported, reported) == 1.0
+
+    def test_partial(self):
+        truth = {"a": 1, "b": 2, "c": 3, "d": 4}
+        reported = {"a": 1, "b": 2, "x": 9}
+        assert recall(reported, truth) == 0.5
+        assert precision(reported, truth) == pytest.approx(2 / 3)
+
+    def test_empty_truth(self):
+        assert recall({}, {}) == 1.0
+        assert precision({}, {}) == 1.0
+        assert precision({"a": 1}, {}) == 0.0
+
+    def test_empty_report(self):
+        """Detecting nothing scores zero precision when truth exists —
+        the convention the paper's NR bars use (Figure 8)."""
+        truth = {"a": 1}
+        assert recall({}, truth) == 0.0
+        assert precision({}, truth) == 0.0
+        assert f1_score({}, truth) == 0.0
+
+
+class TestRelativeError:
+    def test_exact(self):
+        assert relative_error({"a": 100.0}, {"a": 100.0}) == 0.0
+
+    def test_missing_counts_as_full_error(self):
+        assert relative_error({}, {"a": 100.0}) == 1.0
+
+    def test_mixed(self):
+        truth = {"a": 100.0, "b": 200.0}
+        reported = {"a": 110.0}  # 10% error + 100% for missing b
+        assert relative_error(reported, truth) == pytest.approx(0.55)
+
+    def test_empty_truth(self):
+        assert relative_error({"a": 5.0}, {}) == 0.0
+
+    def test_scalar(self):
+        assert scalar_relative_error(110, 100) == pytest.approx(0.1)
+        assert scalar_relative_error(0, 0) == 0.0
+        assert scalar_relative_error(5, 0) == float("inf")
+
+
+class TestMRD:
+    def test_identical_distributions(self):
+        dist = {1: 100.0, 2: 50.0, 10: 3.0}
+        assert mean_relative_difference(dist, dist) == 0.0
+
+    def test_known_value(self):
+        truth = {1: 100.0}
+        estimated = {1: 50.0}
+        # |100-50| / 75 = 2/3, divided by z = 1.
+        assert mean_relative_difference(estimated, truth) == (
+            pytest.approx(2 / 3)
+        )
+
+    def test_disjoint_sizes(self):
+        truth = {1: 10.0}
+        estimated = {2: 10.0}
+        # each size contributes 2 (max disagreement), z = 2.
+        assert mean_relative_difference(estimated, truth) == (
+            pytest.approx(2.0)
+        )
+
+    def test_large_z_dilutes(self):
+        truth = {1000: 10.0}
+        estimated = {1000: 10.0, 1: 1.0}
+        assert mean_relative_difference(estimated, truth) < 0.01
+
+    def test_empty(self):
+        assert mean_relative_difference({}, {}) == 0.0

@@ -1,0 +1,101 @@
+"""Continuous multi-epoch monitoring loop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.framework.monitor import (
+    Alert,
+    AlertKind,
+    ContinuousMonitor,
+)
+from repro.tasks.cardinality import CardinalityTask
+from repro.tasks.heavy_changer import HeavyChangerTask
+from repro.tasks.heavy_hitter import HeavyHitterTask
+from repro.traffic.generator import TraceConfig, generate_epochs
+from repro.traffic.groundtruth import GroundTruth
+
+
+@pytest.fixture(scope="module")
+def epoch_stream():
+    return generate_epochs(
+        TraceConfig(num_flows=1000, seed=17), num_epochs=3
+    )
+
+
+class TestContinuousMonitor:
+    def test_requires_tasks(self):
+        with pytest.raises(ConfigError):
+            ContinuousMonitor([])
+
+    def test_per_epoch_results(self, epoch_stream):
+        truth0 = GroundTruth.from_trace(epoch_stream[0])
+        threshold = 0.01 * truth0.total_bytes
+        monitor = ContinuousMonitor(
+            [HeavyHitterTask("flowradar", threshold=threshold)]
+        )
+        for epoch in epoch_stream:
+            summary = monitor.process_epoch(epoch)
+            assert "heavy_hitter" in summary.results
+        assert len(monitor.history) == 3
+
+    def test_heavy_hitter_alerts_raised(self, epoch_stream):
+        truth0 = GroundTruth.from_trace(epoch_stream[0])
+        threshold = 0.01 * truth0.total_bytes
+        monitor = ContinuousMonitor(
+            [HeavyHitterTask("flowradar", threshold=threshold)]
+        )
+        summary = monitor.process_epoch(epoch_stream[0])
+        assert summary.alerts
+        assert all(
+            alert.kind is AlertKind.HEAVY_HITTER
+            for alert in summary.alerts
+        )
+        true_hh = set(truth0.heavy_hitters(threshold))
+        alerted = {alert.subject for alert in summary.alerts}
+        assert len(alerted & true_hh) / len(true_hh) > 0.9
+
+    def test_heavy_changer_skips_first_epoch(self, epoch_stream):
+        monitor = ContinuousMonitor(
+            [HeavyChangerTask("flowradar", threshold=100_000)]
+        )
+        first = monitor.process_epoch(epoch_stream[0])
+        assert "heavy_changer" not in first.results
+        second = monitor.process_epoch(epoch_stream[1])
+        assert "heavy_changer" in second.results
+
+    def test_estimation_tasks_produce_no_alerts(self, epoch_stream):
+        monitor = ContinuousMonitor([CardinalityTask("lc")])
+        summary = monitor.process_epoch(epoch_stream[0])
+        assert summary.alerts == []
+        assert "cardinality" in summary.results
+
+    def test_recurring_subjects(self, epoch_stream):
+        truth0 = GroundTruth.from_trace(epoch_stream[0])
+        threshold = 0.01 * truth0.total_bytes
+        monitor = ContinuousMonitor(
+            [HeavyHitterTask("flowradar", threshold=threshold)]
+        )
+        for epoch in epoch_stream:
+            monitor.process_epoch(epoch)
+        one_epoch = monitor.recurring_subjects(
+            AlertKind.HEAVY_HITTER, min_epochs=1
+        )
+        persistent = monitor.recurring_subjects(
+            AlertKind.HEAVY_HITTER, min_epochs=3
+        )
+        assert persistent <= one_epoch
+
+    def test_alert_filtering(self, epoch_stream):
+        truth0 = GroundTruth.from_trace(epoch_stream[0])
+        threshold = 0.01 * truth0.total_bytes
+        monitor = ContinuousMonitor(
+            [HeavyHitterTask("flowradar", threshold=threshold)]
+        )
+        monitor.process_epoch(epoch_stream[0])
+        assert monitor.alerts(AlertKind.DDOS) == []
+        assert monitor.alerts(AlertKind.HEAVY_HITTER)
+        assert monitor.alerts() == monitor.alerts(
+            AlertKind.HEAVY_HITTER
+        )

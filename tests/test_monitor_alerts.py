@@ -1,0 +1,80 @@
+"""Monitoring alert semantics across detection task kinds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.framework.monitor import AlertKind, ContinuousMonitor
+from repro.tasks.ddos import DDoSTask
+from repro.tasks.heavy_hitter import HeavyHitterTask
+from repro.traffic.anomalies import inject_ddos_victims
+from repro.traffic.generator import TraceConfig, generate_trace
+from repro.traffic.groundtruth import GroundTruth
+
+
+@pytest.fixture(scope="module")
+def attack_epoch():
+    base = generate_trace(TraceConfig(num_flows=800, seed=23))
+    trace, victims = inject_ddos_victims(
+        base, num_victims=2, sources_per_victim=200
+    )
+    return trace, victims
+
+
+class TestDDoSAlerts:
+    def test_ddos_alerts_name_victims(self, attack_epoch):
+        trace, victims = attack_epoch
+        monitor = ContinuousMonitor(
+            [
+                DDoSTask(
+                    threshold=120, sketch_params={"inner_width": 256}
+                )
+            ]
+        )
+        summary = monitor.process_epoch(trace)
+        ddos_alerts = [
+            a for a in summary.alerts if a.kind is AlertKind.DDOS
+        ]
+        assert set(victims) <= {a.subject for a in ddos_alerts}
+        for alert in ddos_alerts:
+            assert alert.magnitude > 120
+
+    def test_mixed_tasks_separate_alert_kinds(self, attack_epoch):
+        trace, _victims = attack_epoch
+        truth = GroundTruth.from_trace(trace)
+        monitor = ContinuousMonitor(
+            [
+                DDoSTask(
+                    threshold=120, sketch_params={"inner_width": 256}
+                ),
+                HeavyHitterTask(
+                    "flowradar",
+                    threshold=0.01 * truth.total_bytes,
+                ),
+            ]
+        )
+        summary = monitor.process_epoch(trace)
+        kinds = {alert.kind for alert in summary.alerts}
+        assert AlertKind.DDOS in kinds
+        assert AlertKind.HEAVY_HITTER in kinds
+        # Subjects are host IPs for DDoS, flows for HH — disjoint types.
+        ddos_subjects = {
+            a.subject
+            for a in summary.alerts
+            if a.kind is AlertKind.DDOS
+        }
+        assert all(isinstance(s, int) for s in ddos_subjects)
+
+    def test_alert_epoch_indices_advance(self, attack_epoch):
+        trace, _victims = attack_epoch
+        monitor = ContinuousMonitor(
+            [
+                DDoSTask(
+                    threshold=120, sketch_params={"inner_width": 256}
+                )
+            ]
+        )
+        first = monitor.process_epoch(trace)
+        second = monitor.process_epoch(trace)
+        assert {a.epoch for a in first.alerts} == {0}
+        assert {a.epoch for a in second.alerts} == {1}

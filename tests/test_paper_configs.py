@@ -1,0 +1,94 @@
+"""The exact §7.1 paper configurations, exercised end to end.
+
+The default test/bench configs are scaled for speed; this file builds
+each solution at the *paper's* parameters and checks it still answers
+correctly on a real trace (Ideal mode — accuracy of the structure
+itself, no overload dynamics).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sketches.cardinality import (
+    FMSketch,
+    KMinSketch,
+    LinearCounting,
+)
+from repro.sketches.deltoid import Deltoid
+from repro.sketches.flowradar import FlowRadar
+from repro.sketches.mrac import MRAC
+from repro.sketches.twolevel import TwoLevelSketch
+from repro.sketches.univmon import UnivMon
+from repro.traffic.anomalies import inject_ddos_victims
+from repro.traffic.groundtruth import GroundTruth
+
+
+def _fill(sketch, trace):
+    for packet in trace:
+        sketch.update(packet.flow, packet.size)
+    return sketch
+
+
+class TestPaperConfigs:
+    def test_deltoid_paper_config(self, small_trace, small_truth):
+        sketch = _fill(Deltoid(width=4000, depth=4), small_trace)
+        threshold = 0.01 * small_truth.total_bytes
+        decoded = sketch.decode(threshold)
+        true_hh = small_truth.heavy_hitters(threshold)
+        assert set(true_hh) <= set(decoded)
+        assert sketch.memory_bytes() > 10_000_000  # the paper's giant
+
+    def test_flowradar_paper_config(self, small_trace, small_truth):
+        sketch = _fill(FlowRadar(), small_trace)  # 100k bloom, 40k cells
+        decoded, complete = sketch.decode()
+        assert complete
+        assert len(decoded) == small_truth.cardinality
+
+    def test_univmon_paper_config(self, small_trace, small_truth):
+        sketch = _fill(UnivMon(), small_trace)  # 8 levels, 500-heap
+        threshold = 0.01 * small_truth.total_bytes
+        found = sketch.heavy_hitters(threshold)
+        true_hh = small_truth.heavy_hitters(threshold)
+        hits = sum(1 for flow in true_hh if flow in found)
+        assert hits / len(true_hh) > 0.9
+        assert sketch.cardinality() == pytest.approx(
+            small_truth.cardinality, rel=0.4
+        )
+
+    def test_twolevel_paper_config(self, small_trace):
+        trace, victims = inject_ddos_victims(
+            small_trace, num_victims=2, sources_per_victim=150
+        )
+        sketch = _fill(TwoLevelSketch.paper_config(), trace)
+        detected = sketch.detect(spread_threshold=100)
+        assert set(victims) <= set(detected)
+
+    def test_fm_paper_config(self, small_trace, small_truth):
+        sketch = _fill(
+            FMSketch(num_registers=65_536, depth=4), small_trace
+        )
+        assert sketch.estimate() == pytest.approx(
+            small_truth.cardinality, rel=0.25
+        )
+
+    def test_kmin_paper_config(self, small_trace, small_truth):
+        sketch = _fill(KMinSketch(k=65_536, depth=4), small_trace)
+        # k exceeds the flow count: bottom-k is exact.
+        assert sketch.estimate() == pytest.approx(
+            small_truth.cardinality, abs=2
+        )
+
+    def test_lc_paper_config(self, small_trace, small_truth):
+        sketch = _fill(
+            LinearCounting(width=10_000, depth=4), small_trace
+        )
+        assert sketch.estimate() == pytest.approx(
+            small_truth.cardinality, rel=0.05
+        )
+
+    def test_mrac_paper_config(self, small_trace, small_truth):
+        sketch = _fill(MRAC(width=4000), small_trace)
+        assert sketch.cardinality() == pytest.approx(
+            small_truth.cardinality, rel=0.15
+        )

@@ -1,0 +1,130 @@
+"""Cross-cutting property-based invariants (hypothesis).
+
+These exercise whole-system conservation laws and algebraic identities
+that must hold for *any* traffic, not just the fixture workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.flow import FlowKey, Packet
+from repro.dataplane.switch import SoftwareSwitch
+from repro.fastpath.topk import FastPath
+from repro.sketches.countmin import CountMinSketch
+from repro.sketches.flowradar import FlowRadar
+from repro.traffic.groundtruth import GroundTruth
+from repro.traffic.trace import Trace
+
+packet_lists = st.lists(
+    st.tuples(
+        st.integers(0, 25),  # flow index
+        st.integers(64, 1500),  # size
+    ),
+    min_size=1,
+    max_size=150,
+)
+
+
+def _trace(pairs) -> Trace:
+    packets = [
+        Packet(
+            FlowKey(1000 + index, 2000 + index % 7, 3000, 80),
+            size,
+            i * 1e-4,
+        )
+        for i, (index, size) in enumerate(pairs)
+    ]
+    return Trace(packets)
+
+
+class TestConservationLaws:
+    @given(packet_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_switch_conserves_packets_and_bytes(self, pairs):
+        trace = _trace(pairs)
+        switch = SoftwareSwitch(
+            CountMinSketch(width=64, depth=2),
+            fastpath=FastPath(4096),
+            buffer_packets=4,
+        )
+        report = switch.process(trace)
+        assert (
+            report.normal_packets + report.fastpath_packets
+            == len(trace)
+        )
+        assert report.normal_bytes + report.fastpath_bytes == (
+            trace.total_bytes
+        )
+
+    @given(packet_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_sketch_plus_fastpath_cover_all_bytes(self, pairs):
+        """Bytes recorded in the normal-path sketch plus the fast
+        path's V always equal the trace total."""
+        trace = _trace(pairs)
+        sketch = CountMinSketch(width=64, depth=1)
+        fastpath = FastPath(4096)
+        switch = SoftwareSwitch(
+            sketch, fastpath=fastpath, buffer_packets=4
+        )
+        switch.process(trace)
+        recorded = float(sketch.counters.sum())
+        assert recorded + fastpath.total_bytes == (
+            trace.total_bytes
+        )
+
+    @given(packet_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_groundtruth_totals(self, pairs):
+        trace = _trace(pairs)
+        truth = GroundTruth.from_trace(trace)
+        assert truth.total_bytes == trace.total_bytes
+        assert truth.cardinality == len(trace.flows())
+        assert sum(truth.flow_packets.values()) == len(trace)
+
+
+class TestAlgebraicIdentities:
+    @given(packet_lists, st.integers(2, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_partition_merge_sketch_identity(self, pairs, hosts):
+        """sk(trace) == sum of sk(shard) over any partition."""
+        trace = _trace(pairs)
+        whole = CountMinSketch(width=64, depth=3, seed=11)
+        for packet in trace:
+            whole.update(packet.flow, packet.size)
+        merged = CountMinSketch(width=64, depth=3, seed=11)
+        for shard in trace.partition(hosts):
+            part = CountMinSketch(width=64, depth=3, seed=11)
+            for packet in shard:
+                part.update(packet.flow, packet.size)
+            merged.merge(part)
+        assert np.array_equal(merged.counters, whole.counters)
+
+    @given(packet_lists)
+    @settings(max_examples=25, deadline=None)
+    def test_flowradar_decode_is_exact_under_capacity(self, pairs):
+        trace = _trace(pairs)
+        sketch = FlowRadar(bloom_bits=8000, num_cells=1500)
+        truth = {}
+        for packet in trace:
+            sketch.update(packet.flow, packet.size)
+            truth[packet.flow] = truth.get(packet.flow, 0) + packet.size
+        decoded, complete = sketch.decode()
+        assert complete
+        assert decoded.keys() == truth.keys()
+        for flow, size in truth.items():
+            assert abs(decoded[flow] - size) < 1e-6
+
+    @given(packet_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_epoch_split_preserves_flow_sizes(self, pairs):
+        trace = _trace(pairs)
+        epochs = trace.split_epochs(0.002)
+        combined: dict = {}
+        for epoch in epochs:
+            for flow, size in epoch.flow_sizes().items():
+                combined[flow] = combined.get(flow, 0) + size
+        assert combined == trace.flow_sizes()

@@ -1,0 +1,93 @@
+"""Rank analysis (Figure 5) and the controller aggregation path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import MergeError
+from repro.controlplane.controller import Controller
+from repro.controlplane.rank_analysis import (
+    low_rank_error_curve,
+    ratio_for_error,
+)
+from repro.controlplane.recovery import RecoveryMode
+from repro.dataplane.host import Host
+from repro.sketches.countmin import CountMinSketch
+from repro.sketches.deltoid import Deltoid
+from repro.sketches.twolevel import TwoLevelSketch
+
+
+class TestRankAnalysis:
+    def test_rank_one_matrix(self):
+        matrix = np.outer(np.arange(1, 11), np.arange(1, 21))
+        curve = dict(low_rank_error_curve(matrix))
+        assert curve[0.0] == pytest.approx(1.0)
+        assert curve[0.1] == pytest.approx(0.0, abs=1e-9)
+        assert ratio_for_error(matrix) <= 0.1
+
+    def test_full_rank_random_matrix(self):
+        rng = np.random.default_rng(3)
+        matrix = rng.normal(size=(20, 20))
+        assert ratio_for_error(matrix, 0.1) > 0.5
+
+    def test_zero_matrix(self):
+        curve = low_rank_error_curve(np.zeros((5, 5)))
+        assert all(error == 0.0 for _q, error in curve)
+        assert ratio_for_error(np.zeros((5, 5))) == 0.0
+
+    def test_curve_monotone_decreasing(self, small_trace):
+        sketch = Deltoid(width=128, depth=4)
+        for packet in small_trace:
+            sketch.update(packet.flow, packet.size)
+        curve = low_rank_error_curve(sketch.to_matrix())
+        errors = [error for _q, error in curve]
+        assert all(a >= b - 1e-12 for a, b in zip(errors, errors[1:]))
+
+    def test_figure5_ordering(self, medium_trace):
+        """TwoLevel < Deltoid in singular values needed (Figure 5);
+        Count-Min has essentially no low-rank structure."""
+        deltoid = Deltoid(width=128, depth=4)
+        twolevel = TwoLevelSketch(outer_width=256, inner_width=64)
+        countmin = CountMinSketch(width=2048, depth=4)
+        for packet in medium_trace:
+            deltoid.update(packet.flow, packet.size)
+            twolevel.update(packet.flow, packet.size)
+            countmin.update(packet.flow, packet.size)
+        r_twolevel = ratio_for_error(twolevel.to_matrix())
+        r_deltoid = ratio_for_error(deltoid.to_matrix())
+        r_countmin = ratio_for_error(countmin.to_matrix())
+        assert r_twolevel < r_deltoid
+        assert r_countmin > 0.7  # rank == depth: no compression
+
+
+class TestController:
+    def test_aggregate_requires_reports(self):
+        with pytest.raises(MergeError):
+            Controller().aggregate([])
+
+    def test_aggregate_counts_hosts(self, medium_trace):
+        shards = medium_trace.partition(3)
+        reports = [
+            Host(
+                i, Deltoid(width=256, depth=4, seed=4), fastpath_bytes=8192
+            ).run_epoch(shard)
+            for i, shard in enumerate(shards)
+        ]
+        result = Controller(RecoveryMode.LOWER).aggregate(reports)
+        assert result.num_hosts == 3
+        assert result.snapshot is not None
+        assert result.snapshot.total_bytes == pytest.approx(
+            sum(r.switch.fastpath_bytes for r in reports)
+        )
+
+    def test_recovery_mode_flows_through(self, small_trace):
+        reports = [
+            Host(
+                0, Deltoid(width=256, depth=4, seed=4), fastpath_bytes=8192
+            ).run_epoch(small_trace)
+        ]
+        nr = Controller(RecoveryMode.NO_RECOVERY).aggregate(reports)
+        lr = Controller(RecoveryMode.LOWER).aggregate(reports)
+        assert not nr.flow_estimates
+        assert lr.flow_estimates

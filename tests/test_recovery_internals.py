@@ -1,0 +1,165 @@
+"""Recovery internals: boundaries, count anchoring, synthetic flows."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.controlplane.lens import LensConfig, lens_interpolate
+from repro.controlplane.recovery import (
+    _inject_synthetic_small_flows,
+    _missing_flow_count,
+    _tracking_boundary,
+)
+from repro.fastpath.topk import FastPath, FastPathSnapshot, FlowEntry
+from repro.sketches.countmin import CountMinSketch
+from repro.sketches.deltoid import Deltoid
+from tests.conftest import make_flow
+
+
+def _snapshot(entries=None, V=0.0, E=0.0, inserts=0, evicted=0):
+    return FastPathSnapshot(
+        entries=entries or {},
+        total_bytes=V,
+        total_decremented=E,
+        insert_count=inserts,
+        evict_count=evicted,
+    )
+
+
+class TestTrackingBoundary:
+    def test_empty_snapshot_default(self):
+        assert _tracking_boundary(_snapshot()) == 1500.0
+
+    def test_minimum_estimate(self):
+        entries = {
+            make_flow(1): FlowEntry(e=0, r=5000, d=0),
+            make_flow(2): FlowEntry(e=0, r=700, d=100),
+        }
+        assert _tracking_boundary(_snapshot(entries)) == 800.0
+
+    def test_floor_at_min_packet(self):
+        entries = {make_flow(1): FlowEntry(e=0, r=10, d=0)}
+        assert _tracking_boundary(_snapshot(entries)) > 64.0
+
+
+class TestMissingFlowCount:
+    def test_none_without_counters(self):
+        assert _missing_flow_count(_snapshot()) is None
+
+    def test_inserts_minus_half_evictions_minus_tracked(self):
+        entries = {make_flow(i): FlowEntry(0, 100, 0) for i in range(10)}
+        snapshot = _snapshot(entries, inserts=100, evicted=60)
+        # hint = max(10, 100 - 30) = 70; missing = 70 - 10 = 60.
+        assert _missing_flow_count(snapshot) == 60
+
+    def test_never_negative(self):
+        entries = {make_flow(i): FlowEntry(0, 100, 0) for i in range(10)}
+        snapshot = _snapshot(entries, inserts=5, evicted=0)
+        assert _missing_flow_count(snapshot) == 0
+
+
+class TestSyntheticInjection:
+    def test_mass_conserved(self):
+        sketch = CountMinSketch(width=512, depth=1, seed=3)
+        _inject_synthetic_small_flows(sketch, 100_000.0, 2000.0)
+        assert sketch.counters.sum() == pytest.approx(
+            100_000, rel=0.02
+        )
+
+    def test_count_anchored(self):
+        sketch = CountMinSketch(width=50_000, depth=1, seed=3)
+        _inject_synthetic_small_flows(
+            sketch, 60_000.0, 2000.0, count=100
+        )
+        # ~100 flows, nearly all in distinct counters at this width.
+        nonzero = int((sketch.counters > 0).sum())
+        assert 90 <= nonzero <= 100
+
+    def test_zero_volume_noop(self):
+        sketch = CountMinSketch(width=64, depth=1)
+        _inject_synthetic_small_flows(sketch, 0.0, 1000.0)
+        assert sketch.counters.sum() == 0
+
+    def test_zero_count_noop(self):
+        sketch = CountMinSketch(width=64, depth=1)
+        _inject_synthetic_small_flows(sketch, 5000.0, 1000.0, count=0)
+        assert sketch.counters.sum() == 0
+
+    def test_deterministic_per_seed(self):
+        a = CountMinSketch(width=512, depth=2, seed=7)
+        b = CountMinSketch(width=512, depth=2, seed=7)
+        _inject_synthetic_small_flows(a, 50_000.0, 1500.0)
+        _inject_synthetic_small_flows(b, 50_000.0, 1500.0)
+        assert np.array_equal(a.counters, b.counters)
+
+
+class TestFastPathCounters:
+    def test_insert_and_reject_accounting(self):
+        from repro.fastpath.topk import ENTRY_BYTES
+
+        fastpath = FastPath(memory_bytes=3 * ENTRY_BYTES)
+        fastpath.update(make_flow(1), 10_000)
+        fastpath.update(make_flow(2), 10_000)
+        fastpath.update(make_flow(3), 10_000)
+        assert fastpath.num_inserts == 3
+        # Table full; a tiny flow is rejected by the v > e gate.
+        fastpath.update(make_flow(4), 1)
+        assert fastpath.num_rejected >= 1 or fastpath.num_inserts == 4
+
+    def test_snapshot_carries_counters(self):
+        fastpath = FastPath(8192)
+        for i in range(500):
+            fastpath.update(make_flow(i), 100 + i)
+        snapshot = fastpath.snapshot()
+        assert snapshot.insert_count == fastpath.num_inserts
+        assert snapshot.evict_count == fastpath.num_evicted
+        assert snapshot.distinct_flow_hint >= len(snapshot.entries)
+
+
+class TestLensShortcutAndEarlyStop:
+    def _instance(self, low_rank):
+        sketch_cls = Deltoid if low_rank else CountMinSketch
+        sketch = (
+            Deltoid(width=64, depth=2, seed=5)
+            if low_rank
+            else CountMinSketch(width=256, depth=4, seed=5)
+        )
+        for i in range(100, 300):
+            sketch.update(make_flow(i), 500)
+        flows = [make_flow(i) for i in range(10)]
+        positions = [sketch.matrix_positions(f) for f in flows]
+        lower = np.full(10, 900.0)
+        upper = np.full(10, 1100.0)
+        return sketch, positions, lower, upper
+
+    def test_no_nuclear_shortcut_returns_midpoint(self):
+        sketch, positions, lower, upper = self._instance(low_rank=False)
+        result = lens_interpolate(
+            sketch.to_matrix(), positions, lower, upper, 20_000.0,
+            low_rank=False,
+        )
+        assert result.iterations == 0
+        assert result.converged
+        assert np.allclose(result.x, 1000.0)
+
+    def test_early_stop_bounded_iterations(self):
+        sketch, positions, lower, upper = self._instance(low_rank=True)
+        eager = lens_interpolate(
+            sketch.to_matrix(), positions, lower, upper, 15_000.0,
+            low_rank=True,
+            config=LensConfig(
+                max_iterations=50, x_stability_tolerance=1e-2
+            ),
+        )
+        patient = lens_interpolate(
+            sketch.to_matrix(), positions, lower, upper, 15_000.0,
+            low_rank=True,
+            config=LensConfig(
+                max_iterations=50, x_stability_tolerance=None,
+                tolerance=1e-12,
+            ),
+        )
+        assert eager.iterations <= patient.iterations
+        # Early stop does not move the estimates meaningfully.
+        assert np.allclose(eager.x, patient.x, rtol=0.05, atol=20.0)

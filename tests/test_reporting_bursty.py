@@ -1,0 +1,125 @@
+"""Reporting helpers and bursty traffic generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.reporting import ascii_bar_chart, comparison_table, sparkline
+from repro.traffic.generator import TraceConfig, generate_trace
+
+
+class TestAsciiBarChart:
+    def test_bars_proportional(self):
+        chart = ascii_bar_chart({"a": 4.0, "b": 2.0}, width=8)
+        lines = chart.splitlines()
+        assert lines[0].count("█") == 8
+        assert lines[1].count("█") == 4
+
+    def test_labels_aligned(self):
+        chart = ascii_bar_chart({"long-name": 1.0, "x": 1.0}, width=4)
+        lines = chart.splitlines()
+        assert lines[0].index("█") == lines[1].index("█")
+
+    def test_empty(self):
+        assert ascii_bar_chart({}) == "(no data)"
+
+    def test_unit_suffix(self):
+        chart = ascii_bar_chart({"a": 5.0}, width=2, unit=" Gbps")
+        assert chart.endswith("5 Gbps")
+
+
+class TestComparisonTable:
+    def test_alignment_and_formats(self):
+        table = comparison_table(
+            {
+                "deltoid": {"recall": 0.97, "tput": 9.6},
+                "mrac": {"recall": 1.0, "tput": 41.3},
+            },
+            formats={"recall": ".0%"},
+        )
+        lines = table.splitlines()
+        assert "recall" in lines[0] and "tput" in lines[0]
+        assert "97%" in table and "41.3" in table
+
+    def test_missing_cells_dashed(self):
+        table = comparison_table(
+            {"a": {"x": 1.0}, "b": {}}, columns=["x"]
+        )
+        assert "-" in table.splitlines()[-1]
+
+    def test_empty(self):
+        assert comparison_table({}) == "(no data)"
+
+
+class TestSparkline:
+    def test_monotone(self):
+        line = sparkline([1, 2, 3, 4])
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_flat(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestBurstyTraffic:
+    def test_zero_burstiness_is_smooth(self):
+        config = TraceConfig(num_flows=500, seed=3, burstiness=0.0)
+        trace = generate_trace(config)
+        # Roughly uniform: each decile gets ~10% of packets.
+        times = np.array([p.timestamp for p in trace])
+        histogram, _ = np.histogram(times, bins=10, range=(0, 1))
+        assert histogram.max() < 0.2 * len(trace)
+
+    def test_bursts_concentrate_packets(self):
+        config = TraceConfig(
+            num_flows=500, seed=3, burstiness=0.7, burst_width=0.02
+        )
+        trace = generate_trace(config)
+        times = np.array([p.timestamp for p in trace])
+        histogram, _ = np.histogram(times, bins=50, range=(0, 1))
+        # The busiest 2%-window holds far more than its uniform share.
+        assert histogram.max() > 3 * len(trace) / 50
+
+    def test_burstiness_validation(self):
+        with pytest.raises(ValueError):
+            generate_trace(
+                TraceConfig(num_flows=10, burstiness=1.5)
+            )
+
+    def test_flow_population_unchanged(self):
+        smooth = generate_trace(TraceConfig(num_flows=300, seed=4))
+        bursty = generate_trace(
+            TraceConfig(num_flows=300, seed=4, burstiness=0.5)
+        )
+        assert len(smooth.flows()) == len(bursty.flows()) == 300
+
+    def test_bursts_overflow_the_buffer(self):
+        """The §1 story: bursts at a *fixed average load* divert
+        traffic to the fast path that smooth arrivals would not."""
+        from repro.dataplane.switch import SoftwareSwitch
+        from repro.fastpath.topk import FastPath
+        from repro.sketches.flowradar import FlowRadar
+
+        def run(burstiness):
+            trace = generate_trace(
+                TraceConfig(
+                    num_flows=2000, seed=9, burstiness=burstiness
+                )
+            )
+            switch = SoftwareSwitch(
+                FlowRadar(bloom_bits=60_000, num_cells=24_000),
+                fastpath=FastPath(8192),
+                buffer_packets=256,
+            )
+            # Offered at ~the sketch's capacity: smooth fits, bursts don't.
+            return switch.process(trace, offered_gbps=5.0)
+
+        smooth = run(0.0)
+        bursty = run(0.8)
+        assert (
+            bursty.fastpath_packet_fraction
+            > smooth.fastpath_packet_fraction
+        )

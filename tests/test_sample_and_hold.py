@@ -1,0 +1,80 @@
+"""Sample-and-hold baseline [19]."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.baselines.sample_and_hold import SampleAndHold
+from tests.conftest import make_flow
+
+
+class TestSampleAndHold:
+    def test_probability_validation(self):
+        with pytest.raises(ConfigError):
+            SampleAndHold(byte_probability=0.0)
+        with pytest.raises(ConfigError):
+            SampleAndHold(byte_probability=1.5)
+
+    def test_held_flows_counted_exactly_after_sampling(self):
+        monitor = SampleAndHold(byte_probability=1.0)  # sample all
+        flow = make_flow(1)
+        monitor.update(flow, 100)
+        monitor.update(flow, 250)
+        assert monitor.held[flow] == 350
+
+    def test_heavy_flows_caught(self, medium_trace, medium_truth):
+        threshold = 0.01 * medium_truth.total_bytes
+        monitor = SampleAndHold.for_threshold(threshold, seed=3)
+        monitor.process(medium_trace)
+        true_hh = medium_truth.heavy_hitters(threshold)
+        caught = sum(1 for flow in true_hh if flow in monitor.held)
+        assert caught / len(true_hh) > 0.95
+
+    def test_estimates_near_truth_for_heavies(
+        self, medium_trace, medium_truth
+    ):
+        threshold = 0.01 * medium_truth.total_bytes
+        monitor = SampleAndHold.for_threshold(threshold, seed=3)
+        monitor.process(medium_trace)
+        estimates = monitor.flow_estimates()
+        true_hh = medium_truth.heavy_hitters(threshold)
+        errors = [
+            abs(estimates[flow] - size) / size
+            for flow, size in true_hh.items()
+            if flow in estimates
+        ]
+        assert sum(errors) / len(errors) < 0.15
+
+    def test_small_flows_mostly_skipped(
+        self, medium_trace, medium_truth
+    ):
+        """Memory stays proportional to the heavy tail, not all flows."""
+        threshold = 0.01 * medium_truth.total_bytes
+        monitor = SampleAndHold.for_threshold(threshold, seed=3)
+        monitor.process(medium_trace)
+        assert len(monitor.held) < 0.5 * medium_truth.cardinality
+
+    def test_lower_probability_fewer_held(self, medium_trace):
+        aggressive = SampleAndHold(byte_probability=1e-3, seed=5)
+        conservative = SampleAndHold(byte_probability=1e-6, seed=5)
+        aggressive.process(medium_trace)
+        conservative.process(medium_trace)
+        assert len(conservative.held) < len(aggressive.held)
+
+    def test_for_threshold_miss_probability(self):
+        monitor = SampleAndHold.for_threshold(
+            100_000, oversampling=20.0
+        )
+        assert monitor.byte_probability == pytest.approx(2e-4)
+
+    def test_memory_tracks_held_flows(self, small_trace):
+        monitor = SampleAndHold(byte_probability=1e-3, seed=7)
+        monitor.process(small_trace)
+        assert monitor.memory_bytes() == 32 * len(monitor.held)
+
+    def test_reset(self):
+        monitor = SampleAndHold(byte_probability=1.0)
+        monitor.update(make_flow(1), 100)
+        monitor.reset()
+        assert not monitor.held and monitor.total_bytes == 0

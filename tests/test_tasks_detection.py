@@ -1,0 +1,113 @@
+"""Heavy hitter / heavy changer tasks, end to end in ideal conditions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.tasks.heavy_changer import HeavyChangerTask
+from repro.tasks.heavy_hitter import HeavyHitterTask
+from repro.traffic.anomalies import inject_heavy_changes
+from repro.traffic.groundtruth import GroundTruth
+
+
+def _ideal_sketch(task, trace):
+    sketch = task.create_sketch(seed=3)
+    for packet in trace:
+        sketch.update(packet.flow, packet.size)
+    return sketch
+
+
+class TestHeavyHitterTask:
+    @pytest.mark.parametrize(
+        "solution", ["deltoid", "revsketch", "flowradar", "univmon"]
+    )
+    def test_ideal_detection_accurate(
+        self, solution, medium_trace, medium_truth
+    ):
+        threshold = 0.005 * medium_truth.total_bytes
+        task = HeavyHitterTask(solution, threshold=threshold)
+        sketch = _ideal_sketch(task, medium_trace)
+        score = task.score(task.answer(sketch), medium_truth)
+        assert score.recall >= 0.9
+        assert score.precision >= 0.85
+        assert score.relative_error <= 0.15
+
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigError):
+            HeavyHitterTask("deltoid", threshold=0)
+
+    def test_solution_validation(self):
+        with pytest.raises(ConfigError):
+            HeavyHitterTask("bogus", threshold=100)
+
+    def test_truth_key_fingerprint_only_for_revsketch(self):
+        from tests.conftest import make_flow
+
+        flow = make_flow(1)
+        deltoid_task = HeavyHitterTask("deltoid", threshold=1)
+        rev_task = HeavyHitterTask("revsketch", threshold=1)
+        assert deltoid_task.truth_key(flow) is flow
+        assert isinstance(rev_task.truth_key(flow), int)
+
+    def test_paper_params_larger(self):
+        small = HeavyHitterTask("deltoid", threshold=1)
+        large = HeavyHitterTask("deltoid", threshold=1, paper_params=True)
+        assert (
+            large.create_sketch().memory_bytes()
+            > small.create_sketch().memory_bytes()
+        )
+
+    def test_empty_sketch_no_answers(self):
+        task = HeavyHitterTask("deltoid", threshold=1000)
+        assert task.answer(task.create_sketch()) == {}
+
+    def test_score_extra_fields(self, medium_trace, medium_truth):
+        threshold = 0.005 * medium_truth.total_bytes
+        task = HeavyHitterTask("deltoid", threshold=threshold)
+        score = task.score(
+            task.answer(_ideal_sketch(task, medium_trace)), medium_truth
+        )
+        assert score.extra["true"] > 0
+        assert score.extra["reported"] > 0
+
+
+class TestHeavyChangerTask:
+    @pytest.mark.parametrize(
+        "solution", ["deltoid", "revsketch", "flowradar", "univmon"]
+    )
+    def test_detects_injected_changers(self, solution, small_trace):
+        epoch_a, epoch_b, changers = inject_heavy_changes(
+            small_trace, small_trace, num_changers=3, change_bytes=200_000
+        )
+        truth_a = GroundTruth.from_trace(epoch_a)
+        truth_b = GroundTruth.from_trace(epoch_b)
+        task = HeavyChangerTask(solution, threshold=100_000)
+        sketch_a = _ideal_sketch(task, epoch_a)
+        sketch_b = _ideal_sketch(task, epoch_b)
+        answer = task.answer_pair(sketch_a, sketch_b)
+        score = task.score_pair(answer, truth_a, truth_b)
+        assert score.recall >= 0.9
+
+    def test_identical_epochs_no_changers(self, small_trace):
+        task = HeavyChangerTask("deltoid", threshold=10_000)
+        sketch_a = _ideal_sketch(task, small_trace)
+        sketch_b = _ideal_sketch(task, small_trace)
+        assert task.answer_pair(sketch_a, sketch_b) == {}
+
+    def test_single_epoch_interfaces_rejected(self, small_truth):
+        task = HeavyChangerTask("deltoid", threshold=100)
+        with pytest.raises(ConfigError):
+            task.answer(task.create_sketch())
+        with pytest.raises(ConfigError):
+            task.score({}, small_truth)
+
+    def test_change_magnitude_estimated(self, small_trace):
+        epoch_a, epoch_b, changers = inject_heavy_changes(
+            small_trace, small_trace, num_changers=1, change_bytes=300_000
+        )
+        task = HeavyChangerTask("flowradar", threshold=100_000)
+        answer = task.answer_pair(
+            _ideal_sketch(task, epoch_a), _ideal_sketch(task, epoch_b)
+        )
+        assert answer[changers[0]] == pytest.approx(300_000, rel=0.1)

@@ -1,0 +1,108 @@
+"""DDoS/SS, cardinality, flow size distribution, entropy tasks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.tasks.cardinality import CardinalityTask
+from repro.tasks.ddos import DDoSTask
+from repro.tasks.distribution import FlowSizeDistributionTask
+from repro.tasks.entropy import EntropyTask
+from repro.tasks.superspreader import SuperspreaderTask
+from repro.traffic.anomalies import (
+    inject_ddos_victims,
+    inject_superspreaders,
+)
+from repro.traffic.groundtruth import GroundTruth
+
+
+def _ideal_sketch(task, trace):
+    sketch = task.create_sketch(seed=5)
+    for packet in trace:
+        sketch.update(packet.flow, packet.size)
+    return sketch
+
+
+class TestDDoSTask:
+    def test_detects_injected_victims(self, small_trace):
+        trace, victims = inject_ddos_victims(
+            small_trace, num_victims=2, sources_per_victim=150
+        )
+        truth = GroundTruth.from_trace(trace)
+        task = DDoSTask(threshold=100, sketch_params={"inner_width": 256})
+        score = task.score(
+            task.answer(_ideal_sketch(task, trace)), truth
+        )
+        assert score.recall >= 0.9
+
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigError):
+            DDoSTask(threshold=0)
+
+
+class TestSuperspreaderTask:
+    def test_detects_injected_spreaders(self, small_trace):
+        trace, spreaders = inject_superspreaders(
+            small_trace, num_spreaders=2, destinations_per_spreader=150
+        )
+        truth = GroundTruth.from_trace(trace)
+        task = SuperspreaderTask(
+            threshold=100, sketch_params={"inner_width": 256}
+        )
+        score = task.score(
+            task.answer(_ideal_sketch(task, trace)), truth
+        )
+        assert score.recall >= 0.9
+
+    def test_mirror_of_ddos(self):
+        assert SuperspreaderTask().create_sketch().mode == "superspreader"
+        assert DDoSTask().create_sketch().mode == "ddos"
+
+
+class TestCardinalityTask:
+    @pytest.mark.parametrize("solution", ["fm", "kmin", "lc"])
+    def test_estimates_close(self, solution, medium_trace, medium_truth):
+        task = CardinalityTask(solution)
+        score = task.score(
+            task.answer(_ideal_sketch(task, medium_trace)), medium_truth
+        )
+        assert score.relative_error < 0.35
+
+    def test_solution_validation(self):
+        with pytest.raises(ConfigError):
+            CardinalityTask("bogus")
+
+    def test_paper_params_larger(self):
+        small = CardinalityTask("fm").create_sketch()
+        large = CardinalityTask("fm", paper_params=True).create_sketch()
+        assert large.memory_bytes() > small.memory_bytes()
+
+
+class TestFlowSizeDistributionTask:
+    @pytest.mark.parametrize("solution", ["mrac", "flowradar"])
+    def test_mrd_small_in_ideal(self, solution, small_trace, small_truth):
+        task = FlowSizeDistributionTask(solution)
+        score = task.score(
+            task.answer(_ideal_sketch(task, small_trace)), small_truth
+        )
+        assert score.mrd is not None
+        assert score.mrd < 0.05
+
+    def test_flowradar_counts_packets(self):
+        task = FlowSizeDistributionTask("flowradar")
+        assert task.create_sketch().count_packets
+
+
+class TestEntropyTask:
+    @pytest.mark.parametrize("solution", ["flowradar", "univmon"])
+    def test_estimates_close(self, solution, small_trace, small_truth):
+        task = EntropyTask(solution)
+        score = task.score(
+            task.answer(_ideal_sketch(task, small_trace)), small_truth
+        )
+        assert score.relative_error < 0.25
+
+    def test_empty_sketch_zero_entropy(self):
+        task = EntropyTask("flowradar")
+        assert task.answer(task.create_sketch()) == 0.0

@@ -1,0 +1,106 @@
+"""Every task under every recovery arm: nothing crashes, orderings hold.
+
+A compressed version of the Figure 7-11 benches as fast unit tests:
+light sketch configs, one shared trace, every (task, arm) combination.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.controlplane.recovery import RecoveryMode
+from repro.framework.modes import DataPlaneMode
+from repro.framework.pipeline import PipelineConfig, SketchVisorPipeline
+from repro.tasks.cardinality import CardinalityTask
+from repro.tasks.distribution import FlowSizeDistributionTask
+from repro.tasks.entropy import EntropyTask
+from repro.tasks.heavy_hitter import HeavyHitterTask
+
+ARMS = [
+    RecoveryMode.NO_RECOVERY,
+    RecoveryMode.LOWER,
+    RecoveryMode.UPPER,
+    RecoveryMode.SKETCHVISOR,
+]
+
+_LIGHT_HH = {
+    "deltoid": {"width": 256, "depth": 4},
+    "flowradar": {"bloom_bits": 40_000, "num_cells": 12_000},
+    "univmon": {
+        "level_widths": (512, 256, 128),
+        "depth": 5,
+        "heap_size": 100,
+    },
+}
+
+
+def _run(task, trace, truth, arm):
+    pipeline = SketchVisorPipeline(
+        task,
+        dataplane=DataPlaneMode.SKETCHVISOR,
+        recovery=arm,
+        config=PipelineConfig(),
+    )
+    return pipeline.run_epoch(trace, truth)
+
+
+class TestHeavyHitterMatrix:
+    @pytest.mark.parametrize("solution", sorted(_LIGHT_HH))
+    @pytest.mark.parametrize("arm", ARMS, ids=lambda a: a.value)
+    def test_arm_runs_and_scores(
+        self, solution, arm, medium_trace, medium_truth
+    ):
+        threshold = 0.005 * medium_truth.total_bytes
+        task = HeavyHitterTask(
+            solution,
+            threshold=threshold,
+            sketch_params=_LIGHT_HH[solution],
+        )
+        result = _run(task, medium_trace, medium_truth, arm)
+        assert 0.0 <= result.score.recall <= 1.0
+        if arm is RecoveryMode.SKETCHVISOR:
+            assert result.score.recall >= 0.9
+
+    @pytest.mark.parametrize("solution", sorted(_LIGHT_HH))
+    def test_recovery_dominates_nr(
+        self, solution, medium_trace, medium_truth
+    ):
+        threshold = 0.005 * medium_truth.total_bytes
+        task = HeavyHitterTask(
+            solution,
+            threshold=threshold,
+            sketch_params=_LIGHT_HH[solution],
+        )
+        nr = _run(task, medium_trace, medium_truth,
+                  RecoveryMode.NO_RECOVERY)
+        sv = _run(task, medium_trace, medium_truth,
+                  RecoveryMode.SKETCHVISOR)
+        assert sv.score.recall >= nr.score.recall
+        assert sv.score.relative_error <= nr.score.relative_error
+
+
+class TestEstimationMatrix:
+    @pytest.mark.parametrize("arm", ARMS, ids=lambda a: a.value)
+    def test_cardinality_arms(self, arm, medium_trace, medium_truth):
+        result = _run(
+            CardinalityTask("lc"), medium_trace, medium_truth, arm
+        )
+        assert result.answer >= 0
+
+    @pytest.mark.parametrize("arm", ARMS, ids=lambda a: a.value)
+    def test_entropy_arms(self, arm, medium_trace, medium_truth):
+        result = _run(
+            EntropyTask("univmon",
+                        sketch_params=_LIGHT_HH["univmon"]),
+            medium_trace, medium_truth, arm,
+        )
+        assert result.answer >= 0
+
+    @pytest.mark.parametrize("arm", ARMS, ids=lambda a: a.value)
+    def test_fsd_arms(self, arm, medium_trace, medium_truth):
+        result = _run(
+            FlowSizeDistributionTask("mrac"),
+            medium_trace, medium_truth, arm,
+        )
+        assert result.score.mrd is not None
+        assert result.score.mrd >= 0

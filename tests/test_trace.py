@@ -1,0 +1,124 @@
+"""Trace container: ordering, epochs, host partitioning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.flow import FlowKey, Packet
+from repro.traffic.trace import Trace
+from tests.conftest import make_flow
+
+
+def _packets(n, flow=None, start=0.0, gap=0.1, size=100):
+    flow = flow or make_flow(0)
+    return [Packet(flow, size, start + i * gap) for i in range(n)]
+
+
+class TestTraceBasics:
+    def test_rejects_out_of_order_timestamps(self):
+        flow = make_flow(1)
+        with pytest.raises(ValueError):
+            Trace([Packet(flow, 10, 1.0), Packet(flow, 10, 0.5)])
+
+    def test_len_iter_getitem(self):
+        trace = Trace(_packets(5))
+        assert len(trace) == 5
+        assert sum(1 for _ in trace) == 5
+        assert trace[0].timestamp == 0.0
+
+    def test_duration_and_totals(self):
+        trace = Trace(_packets(5, size=200))
+        assert trace.duration == pytest.approx(0.4)
+        assert trace.total_bytes == 1000
+
+    def test_empty_trace(self):
+        trace = Trace([])
+        assert len(trace) == 0
+        assert trace.duration == 0.0
+        assert trace.flow_sizes() == {}
+
+    def test_flow_sizes_and_counts(self):
+        a, b = make_flow(1), make_flow(2)
+        trace = Trace(
+            [
+                Packet(a, 100, 0.0),
+                Packet(b, 50, 0.1),
+                Packet(a, 200, 0.2),
+            ]
+        )
+        assert trace.flow_sizes() == {a: 300, b: 50}
+        assert trace.flow_packet_counts() == {a: 2, b: 1}
+        assert trace.flows() == {a, b}
+
+
+class TestEpochSplitting:
+    def test_split_sizes(self):
+        trace = Trace(_packets(10, gap=0.1))  # spans [0, 0.9]
+        epochs = trace.split_epochs(0.5)
+        assert len(epochs) == 2
+        assert len(epochs[0]) == 5 and len(epochs[1]) == 5
+
+    def test_split_preserves_packets(self):
+        trace = Trace(_packets(17, gap=0.07))
+        epochs = trace.split_epochs(0.3)
+        assert sum(len(e) for e in epochs) == 17
+
+    def test_split_validates_length(self):
+        with pytest.raises(ValueError):
+            Trace(_packets(3)).split_epochs(0)
+
+    def test_split_empty(self):
+        assert Trace([]).split_epochs(1.0) == []
+
+
+class TestPartitioning:
+    def test_partition_is_flow_consistent(self, medium_trace):
+        shards = medium_trace.partition(4)
+        seen: dict[FlowKey, int] = {}
+        for index, shard in enumerate(shards):
+            for packet in shard:
+                assert seen.setdefault(packet.flow, index) == index
+
+    def test_partition_preserves_everything(self, medium_trace):
+        shards = medium_trace.partition(4)
+        assert sum(len(s) for s in shards) == len(medium_trace)
+        assert (
+            sum(s.total_bytes for s in shards)
+            == medium_trace.total_bytes
+        )
+
+    def test_partition_balanced(self, medium_trace):
+        shards = medium_trace.partition(4)
+        sizes = [len(s) for s in shards]
+        assert min(sizes) > 0.1 * len(medium_trace)
+
+    def test_partition_single_host(self, small_trace):
+        assert small_trace.partition(1)[0] is small_trace
+
+    def test_partition_validates(self, small_trace):
+        with pytest.raises(ValueError):
+            small_trace.partition(0)
+
+    def test_merge_inverts_partition(self, small_trace):
+        shards = small_trace.partition(3)
+        merged = Trace.merge(shards)
+        assert len(merged) == len(small_trace)
+        assert merged.flow_sizes() == small_trace.flow_sizes()
+
+
+class TestConcat:
+    def test_concat_shifts_second(self):
+        first = Trace(_packets(3, gap=0.1))
+        second = Trace(_packets(3, gap=0.1))
+        joined = first.concat(second)
+        assert len(joined) == 6
+        assert joined[3].timestamp >= joined[2].timestamp
+
+    def test_concat_with_empty(self):
+        trace = Trace(_packets(2))
+        assert first_len(trace.concat(Trace([]))) == 2
+        assert first_len(Trace([]).concat(trace)) == 2
+
+
+def first_len(trace):
+    return len(trace)

@@ -1,0 +1,60 @@
+"""Trace persistence: npz and CSV round trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.traffic.io import export_csv, import_csv, load_trace, save_trace
+
+
+class TestNpzRoundTrip:
+    def test_roundtrip_identical(self, small_trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace(small_trace, path)
+        loaded = load_trace(path)
+        assert len(loaded) == len(small_trace)
+        for original, restored in zip(small_trace, loaded):
+            assert original.flow == restored.flow
+            assert original.size == restored.size
+            assert original.timestamp == pytest.approx(
+                restored.timestamp
+            )
+
+    def test_ground_truth_preserved(self, small_trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace(small_trace, path)
+        assert load_trace(path).flow_sizes() == small_trace.flow_sizes()
+
+    def test_missing_arrays_rejected(self, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "bad.npz"
+        np.savez(path, src=np.zeros(1))
+        with pytest.raises(ConfigError):
+            load_trace(path)
+
+
+class TestCsvRoundTrip:
+    def test_roundtrip_identical(self, small_trace, tmp_path):
+        path = tmp_path / "trace.csv"
+        export_csv(small_trace, path)
+        loaded = import_csv(path)
+        assert loaded.flow_sizes() == small_trace.flow_sizes()
+
+    def test_header_validated(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ConfigError):
+            import_csv(path)
+
+    def test_unsorted_rows_are_sorted(self, tmp_path):
+        path = tmp_path / "unsorted.csv"
+        path.write_text(
+            "timestamp,src_ip,dst_ip,src_port,dst_port,proto,size\n"
+            "2.0,1,2,3,4,6,100\n"
+            "1.0,5,6,7,8,6,200\n"
+        )
+        trace = import_csv(path)
+        assert trace[0].timestamp == 1.0
+        assert trace[1].timestamp == 2.0

@@ -1,0 +1,179 @@
+"""Host → controller report serialization."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.controlplane.controller import Controller
+from repro.controlplane.recovery import RecoveryMode
+from repro.controlplane.transport import (
+    decode_report,
+    decode_stream,
+    encode_report,
+    encode_stream,
+)
+from repro.dataplane.host import Host
+from repro.sketches.deltoid import Deltoid
+from repro.sketches.flowradar import FlowRadar
+
+
+@pytest.fixture(scope="module")
+def report(small_trace):
+    host = Host(0, Deltoid(width=128, depth=2, seed=5), fastpath_bytes=8192)
+    return host.run_epoch(small_trace)
+
+
+class TestRoundTrip:
+    def test_report_roundtrip(self, report):
+        restored = decode_report(encode_report(report))
+        assert restored.host_id == report.host_id
+        assert np.array_equal(
+            restored.sketch.to_matrix(), report.sketch.to_matrix()
+        )
+        assert restored.fastpath.total_bytes == (
+            report.fastpath.total_bytes
+        )
+        assert restored.fastpath.entries.keys() == (
+            report.fastpath.entries.keys()
+        )
+
+    def test_restored_report_aggregates_identically(
+        self, report, small_trace
+    ):
+        """Aggregating the wire copy must answer exactly like the
+        original — transport is lossless for the control plane."""
+        restored = decode_report(encode_report(report))
+        threshold = 0.01 * small_trace.total_bytes
+        original_network = Controller(
+            RecoveryMode.SKETCHVISOR
+        ).aggregate([report])
+        restored_network = Controller(
+            RecoveryMode.SKETCHVISOR
+        ).aggregate([restored])
+        assert restored_network.sketch.decode(threshold).keys() == (
+            original_network.sketch.decode(threshold).keys()
+        )
+
+    def test_nonlinear_sketch_roundtrip(self, small_trace):
+        host = Host(
+            1,
+            FlowRadar(bloom_bits=20_000, num_cells=4000, seed=5),
+            fastpath_bytes=8192,
+        )
+        report = host.run_epoch(small_trace)
+        restored = decode_report(encode_report(report))
+        original, _ = report.sketch.decode()
+        recovered, _ = restored.sketch.decode()
+        assert original == recovered
+
+    def test_stream_roundtrip(self, report):
+        stream = encode_stream([report, report, report])
+        reports = decode_stream(stream)
+        assert len(reports) == 3
+
+
+class TestAllSolutionsSerialize:
+    """The wire format must round-trip every Table 1 solution."""
+
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda: Deltoid(width=64, depth=2, seed=4),
+            lambda: FlowRadar(bloom_bits=5000, num_cells=1000, seed=4),
+        ],
+        ids=["deltoid", "flowradar"],
+    )
+    def test_reversible_sketches(self, build, small_trace):
+        host = Host(0, build(), fastpath_bytes=8192)
+        report = host.run_epoch(small_trace)
+        restored = decode_report(encode_report(report))
+        assert np.array_equal(
+            restored.sketch.to_matrix(), report.sketch.to_matrix()
+        )
+
+    def test_every_registry_solution(self, small_trace):
+        from repro.framework.registry import TASK_REGISTRY, create_task
+
+        seen: set[str] = set()
+        for task_name, (_cls, solutions) in TASK_REGISTRY.items():
+            for solution in solutions:
+                if solution in seen:
+                    continue
+                seen.add(solution)
+                kwargs = {}
+                if task_name in ("heavy_hitter", "heavy_changer"):
+                    kwargs["threshold"] = 1000
+                if task_name in ("ddos", "superspreader"):
+                    kwargs["threshold"] = 10
+                task = create_task(task_name, solution, **kwargs)
+                host = Host(
+                    0, task.create_sketch(seed=2), fastpath_bytes=8192
+                )
+                report = host.run_epoch(small_trace)
+                restored = decode_report(encode_report(report))
+                assert type(restored.sketch) is type(report.sketch)
+        assert len(seen) == 9
+
+
+class TestFrameValidation:
+    def test_short_message(self):
+        with pytest.raises(ConfigError):
+            decode_report(b"SK")
+
+    def test_bad_magic(self, report):
+        message = bytearray(encode_report(report))
+        message[0:4] = b"XXXX"
+        with pytest.raises(ConfigError):
+            decode_report(bytes(message))
+
+    def test_bad_version(self, report):
+        message = bytearray(encode_report(report))
+        message[4] = 99
+        with pytest.raises(ConfigError):
+            decode_report(bytes(message))
+
+    def test_truncated_payload(self, report):
+        message = encode_report(report)
+        with pytest.raises(ConfigError):
+            decode_report(message[:-10])
+
+    def test_trailing_garbage_in_stream(self, report):
+        with pytest.raises(ConfigError):
+            decode_stream(encode_report(report) + b"\x01\x02")
+
+
+class TestRestrictedUnpickler:
+    def _frame(self, payload: bytes) -> bytes:
+        import struct
+
+        return struct.pack(">4sBI", b"SKVR", 1, len(payload)) + payload
+
+    def test_rejects_arbitrary_classes(self):
+        payload = pickle.dumps(object())  # builtins.object is allowed...
+        # ...but the result is not a LocalReport.
+        with pytest.raises(ConfigError):
+            decode_report(self._frame(payload))
+
+    def test_rejects_os_system_gadget(self):
+        class Evil:
+            def __reduce__(self):
+                import os
+
+                return (os.system, ("true",))
+
+        payload = pickle.dumps(Evil())
+        with pytest.raises(ConfigError):
+            decode_report(self._frame(payload))
+
+    def test_rejects_eval_gadget(self):
+        class Evil:
+            def __reduce__(self):
+                return (eval, ("1+1",))
+
+        payload = pickle.dumps(Evil())
+        with pytest.raises(ConfigError):
+            decode_report(self._frame(payload))
