@@ -1,0 +1,257 @@
+#!/usr/bin/env python
+"""Data-plane throughput harness: scalar vs batch vs parallel engines.
+
+Times packets/sec of the simulated data plane across three execution
+modes and appends the results to a JSON trajectory file so future PRs
+can track speedups (and catch regressions) over time:
+
+* ``scalar``  — the per-packet reference engine (pre-batch behaviour);
+* ``batch``   — the two-phase engine (cycle accounting + one vectorized
+  ``update_batch`` per epoch);
+* ``parallel``— the batched engine with per-host epochs fanned out to a
+  process pool via :class:`~repro.framework.pipeline.SketchVisorPipeline`.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_dataplane.py            # full run
+    PYTHONPATH=src python benchmarks/bench_dataplane.py --smoke    # CI quick pass
+
+The scalar-vs-batch comparison runs the ideal-mode CountMin arm the
+acceptance gate tracks, plus a SketchVisor (fast-path) arm to show the
+two-phase engine also pays off when routing decisions stay per-packet.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.dataplane.cost_model import CostModel  # noqa: E402
+from repro.dataplane.switch import SoftwareSwitch  # noqa: E402
+from repro.fastpath.topk import FastPath  # noqa: E402
+from repro.framework.modes import DataPlaneMode  # noqa: E402
+from repro.framework.pipeline import (  # noqa: E402
+    PipelineConfig,
+    SketchVisorPipeline,
+)
+from repro.sketches.countmin import CountMinSketch  # noqa: E402
+from repro.sketches.countsketch import CountSketch  # noqa: E402
+from repro.sketches.mrac import MRAC  # noqa: E402
+from repro.tasks.heavy_hitter import HeavyHitterTask  # noqa: E402
+from repro.traffic.generator import TraceConfig, generate_trace  # noqa: E402
+from repro.traffic.groundtruth import GroundTruth  # noqa: E402
+
+SKETCHES = {
+    "countmin": lambda seed: CountMinSketch(seed=seed),
+    "countsketch": lambda seed: CountSketch(seed=seed),
+    "mrac": lambda seed: MRAC(seed=seed),
+}
+
+
+def _time_switch(make_switch, trace, repeats: int) -> float:
+    """Best-of-N wall time for one switch.process() epoch."""
+    best = float("inf")
+    for _ in range(repeats):
+        switch = make_switch()
+        start = time.perf_counter()
+        switch.process(trace)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_switch_modes(trace, sketch_name: str, seed: int, repeats: int):
+    """Scalar vs batch packets/sec, ideal and SketchVisor arms."""
+    make_sketch = SKETCHES[sketch_name]
+    cost_model = CostModel.in_memory()
+    results = {}
+    arms = {
+        "ideal": dict(fastpath=None, ideal=True),
+        "sketchvisor": dict(ideal=False),
+    }
+    for arm, kwargs in arms.items():
+        timings = {}
+        for mode in ("scalar", "batch"):
+            def make_switch(mode=mode, kwargs=kwargs):
+                fastpath = (
+                    None if kwargs.get("fastpath", ...) is None
+                    else FastPath(8192)
+                )
+                return SoftwareSwitch(
+                    make_sketch(seed),
+                    fastpath=fastpath,
+                    cost_model=cost_model,
+                    buffer_packets=1024,
+                    ideal=kwargs["ideal"],
+                    batch=(mode == "batch"),
+                )
+
+            elapsed = _time_switch(make_switch, trace, repeats)
+            timings[mode] = {
+                "seconds": elapsed,
+                "packets_per_sec": len(trace) / elapsed,
+            }
+        timings["speedup"] = (
+            timings["scalar"]["seconds"] / timings["batch"]["seconds"]
+        )
+        results[arm] = timings
+    return results
+
+
+def bench_parallel(trace, seed: int, num_hosts: int, workers: int):
+    """Serial vs process-pool multi-host epochs (batched engine)."""
+    truth = GroundTruth.from_trace(trace)
+    timings = {}
+    for label, pool_workers in (("serial", 1), ("parallel", workers)):
+        pipeline = SketchVisorPipeline(
+            HeavyHitterTask("univmon", threshold=0.001),
+            dataplane=DataPlaneMode.SKETCHVISOR,
+            config=PipelineConfig(
+                num_hosts=num_hosts,
+                seed=seed,
+                batch=True,
+                workers=pool_workers,
+            ),
+        )
+        start = time.perf_counter()
+        pipeline.run_epoch(trace, truth)
+        elapsed = time.perf_counter() - start
+        timings[label] = {
+            "seconds": elapsed,
+            "packets_per_sec": len(trace) / elapsed,
+        }
+    timings["speedup"] = (
+        timings["serial"]["seconds"] / timings["parallel"]["seconds"]
+    )
+    timings["num_hosts"] = num_hosts
+    timings["workers"] = workers
+    return timings
+
+
+def append_trajectory(path: Path, entry: dict) -> None:
+    """Append one run to the JSON trajectory file (list under "runs")."""
+    trajectory = {"runs": []}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+            if isinstance(loaded, dict) and isinstance(
+                loaded.get("runs"), list
+            ):
+                trajectory = loaded
+        except json.JSONDecodeError:
+            pass
+    trajectory["runs"].append(entry)
+    path.write_text(json.dumps(trajectory, indent=2) + "\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--flows", type=int, default=10_500,
+        help="distinct flows in the Zipf trace (~10 packets/flow)",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--sketch", choices=sorted(SKETCHES), default="countmin"
+    )
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument("--hosts", type=int, default=4)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument(
+        "--skip-parallel", action="store_true",
+        help="skip the process-pool arm (e.g. constrained CI runners)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny trace, one repeat — a CI liveness check, not a bench",
+    )
+    parser.add_argument(
+        "--output", type=Path,
+        default=REPO_ROOT / "BENCH_dataplane.json",
+        help="JSON trajectory file to append results to",
+    )
+    args = parser.parse_args(argv)
+
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+    if args.flows < 1:
+        parser.error("--flows must be >= 1")
+
+    if args.smoke:
+        args.flows = min(args.flows, 600)
+        args.repeats = 1
+        args.hosts = 2
+        args.workers = 2
+
+    trace = generate_trace(
+        TraceConfig(num_flows=args.flows, seed=args.seed)
+    )
+    print(
+        f"trace: {len(trace)} packets, {args.flows} flows "
+        f"(Zipf), sketch={args.sketch}"
+    )
+
+    switch_results = bench_switch_modes(
+        trace, args.sketch, args.seed, args.repeats
+    )
+    for arm, timings in switch_results.items():
+        print(
+            f"  {arm:12s} scalar {timings['scalar']['packets_per_sec']:>12,.0f} pps"
+            f" | batch {timings['batch']['packets_per_sec']:>12,.0f} pps"
+            f" | speedup {timings['speedup']:.1f}x"
+        )
+
+    parallel_results = None
+    cpus = os.cpu_count() or 1
+    if args.skip_parallel:
+        pass
+    elif cpus < 2:
+        # A process pool cannot beat serial on one core; timing it
+        # anyway would report pool overhead as a (bogus) slowdown.
+        parallel_results = {"skipped": f"single-CPU host (cpus={cpus})"}
+        print("  multi-host   skipped: only 1 CPU available")
+    else:
+        workers = min(args.workers, cpus)
+        parallel_results = bench_parallel(
+            trace, args.seed, args.hosts, workers
+        )
+        print(
+            f"  {'multi-host':12s} serial {parallel_results['serial']['packets_per_sec']:>12,.0f} pps"
+            f" | {workers} workers {parallel_results['parallel']['packets_per_sec']:>12,.0f} pps"
+            f" | speedup {parallel_results['speedup']:.1f}x"
+        )
+
+    entry = {
+        "timestamp": datetime.now(timezone.utc).isoformat(),
+        "python": platform.python_version(),
+        "smoke": args.smoke,
+        "config": {
+            "packets": len(trace),
+            "flows": args.flows,
+            "sketch": args.sketch,
+            "seed": args.seed,
+            "repeats": args.repeats,
+        },
+        "switch": switch_results,
+        "parallel": parallel_results,
+    }
+    append_trajectory(args.output, entry)
+    print(f"appended trajectory entry to {args.output}")
+
+    if not args.smoke and switch_results["ideal"]["speedup"] < 5.0:
+        print("FAIL: batch ideal speedup below the 5x acceptance floor")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,7 +11,7 @@ integer instead of re-folding the tuple per sketch row.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.common.hashing import fold_key, mix64
 
@@ -33,6 +33,9 @@ class FlowKey:
     src_port: int
     dst_port: int
     proto: int = PROTO_TCP
+    # Cached 64-bit fold, excluded from equality/hash/repr; computed
+    # once in __post_init__ so hot loops never re-fold the header.
+    _key64: int = field(init=False, repr=False, compare=False, default=0)
 
     def __post_init__(self) -> None:
         if not 0 <= self.src_ip < 2**32 or not 0 <= self.dst_ip < 2**32:
@@ -41,6 +44,12 @@ class FlowKey:
             raise ValueError("ports must fit in 16 bits")
         if not 0 <= self.proto < 2**8:
             raise ValueError("protocol must fit in 8 bits")
+        packed = self.key104
+        object.__setattr__(
+            self,
+            "_key64",
+            mix64((packed >> 64) ^ (packed & ((1 << 64) - 1))),
+        )
 
     @property
     def key104(self) -> int:
@@ -55,9 +64,12 @@ class FlowKey:
 
     @property
     def key64(self) -> int:
-        """A mixed 64-bit fold of the header, used by hashing sketches."""
-        packed = self.key104
-        return mix64((packed >> 64) ^ (packed & ((1 << 64) - 1)))
+        """A mixed 64-bit fold of the header, used by hashing sketches.
+
+        Precomputed in ``__post_init__`` — reading it is a slot load,
+        not a re-fold of the 104-bit header.
+        """
+        return self._key64
 
     @classmethod
     def from_key104(cls, packed: int) -> "FlowKey":

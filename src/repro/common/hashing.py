@@ -57,6 +57,25 @@ def mix64_array(values: "np.ndarray", seed: int = 0) -> "np.ndarray":
     return v
 
 
+def trailing_zeros_array(values: "np.ndarray") -> "np.ndarray":
+    """Vectorized count of trailing zero bits per uint64 (64 for zero).
+
+    Mirrors the scalar ``(v & -v).bit_length() - 1`` trick: isolate the
+    lowest set bit and take its exact power-of-two log.
+    """
+    import numpy as np
+
+    v = np.ascontiguousarray(values, dtype=np.uint64)
+    lowest = v & (~v + np.uint64(1))
+    out = np.full(v.shape, 64, dtype=np.int64)
+    nonzero = v != 0
+    # Powers of two up to 2**63 are exact in float64, so log2 is exact.
+    out[nonzero] = np.log2(lowest[nonzero].astype(np.float64)).astype(
+        np.int64
+    )
+    return out
+
+
 def fold_key(key: object) -> int:
     """Fold an arbitrary hashable key into a 64-bit integer.
 
@@ -138,6 +157,53 @@ class HashFamily:
             1 if mix64(key64 ^ sign_seed) & 1 else -1
             for sign_seed in self._sign_seeds
         ]
+
+    # ------------------------------------------------------------------
+    # Vectorized (NumPy) variants — exact array counterparts of the
+    # scalar methods above: ``buckets_array(keys, w)[i, j]`` equals
+    # ``bucket(i, int(keys[j]), w)`` for every row and key.  They are
+    # what lets the batched data plane hash a whole epoch at once.
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _as_keys(keys64) -> "np.ndarray":
+        import numpy as np
+
+        return np.ascontiguousarray(keys64, dtype=np.uint64)
+
+    def hash_values_array(self, keys64) -> "np.ndarray":
+        """``(depth, n)`` raw 64-bit hashes of ``keys64`` (uint64)."""
+        import numpy as np
+
+        keys = self._as_keys(keys64)
+        out = np.empty((self.depth, keys.shape[0]), dtype=np.uint64)
+        for row, row_seed in enumerate(self._row_seeds):
+            out[row] = mix64_array(keys, seed=row_seed)
+        return out
+
+    def buckets_array(self, keys64, width: int) -> "np.ndarray":
+        """``(depth, n)`` bucket indices in ``[0, width)`` (int64)."""
+        import numpy as np
+
+        keys = self._as_keys(keys64)
+        out = np.empty((self.depth, keys.shape[0]), dtype=np.int64)
+        for row, row_seed in enumerate(self._row_seeds):
+            out[row] = (
+                mix64_array(keys, seed=row_seed) % np.uint64(width)
+            ).astype(np.int64)
+        return out
+
+    def signs_array(self, keys64) -> "np.ndarray":
+        """``(depth, n)`` ±1 sign hashes (int64)."""
+        import numpy as np
+
+        keys = self._as_keys(keys64)
+        out = np.empty((self.depth, keys.shape[0]), dtype=np.int64)
+        one = np.uint64(1)
+        for row, sign_seed in enumerate(self._sign_seeds):
+            out[row] = np.where(
+                mix64_array(keys, seed=sign_seed) & one, 1, -1
+            )
+        return out
 
     def uniform01(self, row: int, key64: int) -> float:
         """Map the row hash to a uniform float in ``[0, 1)``.

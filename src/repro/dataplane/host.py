@@ -47,6 +47,9 @@ class Host:
         Use the Misra-Gries baseline in the fast path (MGFastPath arm).
     ideal:
         Run the accuracy yardstick (all packets through the normal path).
+    batch:
+        Use the two-phase batched switch engine (identical results,
+        vectorized sketch updates).
     """
 
     def __init__(
@@ -58,6 +61,7 @@ class Host:
         ideal: bool = False,
         cost_model: CostModel | None = None,
         buffer_packets: int = 1024,
+        batch: bool = False,
     ):
         self.host_id = host_id
         self.sketch = sketch
@@ -73,6 +77,7 @@ class Host:
             cost_model=cost_model,
             buffer_packets=buffer_packets,
             ideal=ideal,
+            batch=batch,
         )
 
     def run_epoch(
@@ -124,6 +129,7 @@ class MultiCoreHost:
         fastpath_bytes: int | None = 8192,
         cost_model: CostModel | None = None,
         buffer_packets: int = 1024,
+        batch: bool = False,
     ):
         if num_cores < 1:
             raise ValueError("num_cores must be >= 1")
@@ -136,6 +142,7 @@ class MultiCoreHost:
                 fastpath_bytes=fastpath_bytes,
                 cost_model=cost_model,
                 buffer_packets=buffer_packets,
+                batch=batch,
             )
             for core in range(num_cores)
         ]

@@ -26,6 +26,9 @@ Three operating modes cover the paper's evaluation arms:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import repeat
+
+import numpy as np
 
 from repro.common.errors import ConfigError
 from repro.common.flow import FlowKey
@@ -89,6 +92,15 @@ class SoftwareSwitch:
         FIFO capacity in packets.
     ideal:
         When True, bypass all capacity limits (accuracy yardstick).
+    batch:
+        When True, run the two-phase batched simulation: a cheap
+        per-packet *cycle-accounting* pass decides routing (normal path
+        vs fast path vs block) exactly as the scalar loop does, and a
+        *batch-apply* pass then feeds all normal-path packets to the
+        sketch's vectorized ``update_batch`` in one call.  Counter
+        state never influences routing and is order-insensitive within
+        an epoch, so reports and counters are bit-identical to the
+        scalar path.
     """
 
     def __init__(
@@ -98,6 +110,7 @@ class SoftwareSwitch:
         cost_model: CostModel | None = None,
         buffer_packets: int = 1024,
         ideal: bool = False,
+        batch: bool = False,
     ):
         if ideal and fastpath is not None:
             raise ConfigError("ideal mode does not use a fast path")
@@ -106,6 +119,7 @@ class SoftwareSwitch:
         self.cost_model = cost_model or CostModel.in_memory()
         self.buffer = BoundedFIFO(buffer_packets)
         self.ideal = ideal
+        self.batch = batch
 
     # ------------------------------------------------------------------
     def process(self, trace, offered_gbps: float | None = None) -> SwitchReport:
@@ -115,7 +129,18 @@ class SoftwareSwitch:
         arrival rate; ``None`` replays back-to-back ("each host sends
         out traffic as fast as possible", §7.1), which measures the
         switch's maximum sustainable throughput.
+
+        Dispatches to the scalar or the two-phase batched engine
+        depending on ``batch``; both produce identical reports.
         """
+        if self.batch:
+            return self._process_batch(trace, offered_gbps)
+        return self._process_scalar(trace, offered_gbps)
+
+    def _process_scalar(
+        self, trace, offered_gbps: float | None = None
+    ) -> SwitchReport:
+        """The original per-packet reference implementation."""
         report = SwitchReport()
         sketch_cycles = self.cost_model.sketch_cycles(self.sketch)
         dispatch = self.cost_model.dispatch_cycles
@@ -187,6 +212,141 @@ class SoftwareSwitch:
         return report
 
     # ------------------------------------------------------------------
+    # Two-phase batched engine
+    # ------------------------------------------------------------------
+    def _process_batch(
+        self, trace, offered_gbps: float | None = None
+    ) -> SwitchReport:
+        """Phase 1: cycle accounting + routing; phase 2: batch apply.
+
+        The cycle recurrences are evaluated with the *same sequential
+        floating-point operations* as the scalar loop (closed-form
+        reassociation would change rounding), but without any sketch
+        hashing — the expensive per-packet work moves into one
+        vectorized ``update_batch`` call at the end.
+        """
+        report = SwitchReport()
+        sketch_cycles = self.cost_model.sketch_cycles(self.sketch)
+        dispatch = self.cost_model.dispatch_cycles
+        arrivals = self._arrival_cycles_array(trace, offered_gbps)
+        n = len(trace)
+
+        if self.ideal:
+            producer = 0.0
+            consumer = 0.0
+            if arrivals is None:
+                for _ in range(n):
+                    producer = producer + dispatch
+                    consumer = max(consumer, producer) + sketch_cycles
+            else:
+                for arrival in arrivals.tolist():
+                    producer = max(producer, arrival) + dispatch
+                    consumer = max(consumer, producer) + sketch_cycles
+            self._apply_normal_batch(trace, None)
+            report.total_packets = n
+            report.total_bytes = float(trace.sizes.sum())
+            report.normal_packets = n
+            report.normal_bytes = report.total_bytes
+            report.normal_flows = trace.flows()
+            report.producer_cycles = producer
+            report.consumer_cycles = consumer
+            report.makespan_cycles = max(producer, consumer)
+            report.throughput_gbps = self.cost_model.gbps(
+                report.total_bytes, report.makespan_cycles
+            )
+            return report
+
+        producer = 0.0
+        consumer = 0.0
+        fifo = self.buffer
+        fifo.clear()
+        normal_indices: list[int] = []
+        arrival_iter = repeat(0.0, n) if arrivals is None else iter(
+            arrivals.tolist()
+        )
+
+        for index, (packet, arrival) in enumerate(
+            zip(trace.packets, arrival_iter)
+        ):
+            now = max(producer, arrival)
+            while not fifo.empty:
+                start = max(consumer, fifo.peek_enqueue_cycle())
+                if start + sketch_cycles > now:
+                    break
+                fifo.pop()
+                consumer = start + sketch_cycles
+
+            producer = now + dispatch
+            report.total_packets += 1
+            report.total_bytes += packet.size
+
+            if fifo.full and self.fastpath is None:
+                # NoFastPath: block until the daemon frees a slot.
+                start = max(consumer, fifo.peek_enqueue_cycle())
+                fifo.pop()
+                consumer = start + sketch_cycles
+                producer = max(producer, consumer)
+
+            if not fifo.full:
+                fifo.push(packet, producer)
+                normal_indices.append(index)
+                report.normal_packets += 1
+                report.normal_bytes += packet.size
+                report.normal_flows.add(packet.flow)
+            else:
+                # The fast path is order-dependent (top-k kick-outs), so
+                # it stays inline in the accounting pass.
+                kind = self.fastpath.update(packet.flow, packet.size)
+                producer += self.cost_model.fastpath_cycles(
+                    kind, self.fastpath.capacity
+                )
+                report.fastpath_packets += 1
+                report.fastpath_bytes += packet.size
+                report.fastpath_flows.add(packet.flow)
+
+        while not fifo.empty:
+            _packet, enqueued = fifo.pop()
+            consumer = max(consumer, enqueued) + sketch_cycles
+
+        if normal_indices:
+            self._apply_normal_batch(
+                trace, np.asarray(normal_indices, dtype=np.intp)
+            )
+
+        report.producer_cycles = float(producer)
+        report.consumer_cycles = float(consumer)
+        report.makespan_cycles = max(
+            report.producer_cycles, report.consumer_cycles
+        )
+        report.throughput_gbps = self.cost_model.gbps(
+            report.total_bytes, report.makespan_cycles
+        )
+        return report
+
+    def _apply_normal_batch(self, trace, indices) -> None:
+        """Apply deferred normal-path updates (``indices=None`` = all).
+
+        Sketches whose updates are key64-pure take the vectorized
+        column path; the rest (RevSketch, Deltoid, FlowRadar, UnivMon)
+        fall back to the scalar per-packet loop, which is trivially
+        identical to the scalar engine.
+        """
+        sketch = self.sketch
+        if sketch.key64_updates:
+            if indices is None:
+                sketch.update_batch(trace.key64, trace.sizes)
+            else:
+                sketch.update_batch(
+                    trace.key64[indices], trace.sizes[indices]
+                )
+            return
+        packets = trace.packets
+        selected = range(len(packets)) if indices is None else indices.tolist()
+        for index in selected:
+            packet = packets[index]
+            sketch.update(packet.flow, packet.size)
+
+    # ------------------------------------------------------------------
     def _arrival_cycles(self, trace, offered_gbps: float | None):
         if offered_gbps is None:
             return (0.0 for _ in range(len(trace)))
@@ -201,3 +361,24 @@ class SoftwareSwitch:
             return (0.0 for _ in range(len(trace)))
         scale = target_duration / span * hz
         return ((p.timestamp - start) * scale for p in trace)
+
+    def _arrival_cycles_array(self, trace, offered_gbps: float | None):
+        """Columnar mirror of :meth:`_arrival_cycles`.
+
+        Returns ``None`` for back-to-back replay (all arrivals zero).
+        The element-wise float64 operations match the scalar
+        generator's Python-float arithmetic bit for bit.
+        """
+        if offered_gbps is None:
+            return None
+        if offered_gbps <= 0:
+            raise ConfigError("offered_gbps must be positive")
+        total_bytes = trace.total_bytes
+        target_duration = total_bytes * 8.0 / (offered_gbps * 1e9)
+        span = trace.duration
+        start = trace[0].timestamp if len(trace) else 0.0
+        hz = self.cost_model.cpu_hz
+        if span <= 0:
+            return None
+        scale = target_duration / span * hz
+        return (trace.timestamps - start) * scale

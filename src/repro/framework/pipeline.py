@@ -9,6 +9,7 @@ against exact ground truth.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.common.errors import ConfigError
@@ -35,6 +36,17 @@ class PipelineConfig:
     seed: int = 1
     cost_model: CostModel = field(default_factory=CostModel.in_memory)
     lens: LensConfig | None = None
+    #: Use the two-phase batched switch engine on every host
+    #: (bit-identical reports, vectorized sketch updates).
+    batch: bool = False
+    #: Per-host epochs are independent; ``workers > 1`` runs them in a
+    #: process pool.  ``workers=1`` preserves today's serial behavior.
+    workers: int = 1
+
+
+def _run_host_epoch(host, shard, offered_gbps):
+    """Top-level worker so (host, shard) round-trip through pickle."""
+    return host.run_epoch(shard, offered_gbps)
 
 
 @dataclass
@@ -120,17 +132,32 @@ class SketchVisorPipeline:
                     ideal=self.dataplane is DataPlaneMode.IDEAL,
                     cost_model=cfg.cost_model,
                     buffer_packets=cfg.buffer_packets,
+                    batch=cfg.batch,
                 )
             )
         return hosts
 
     def _run_dataplane(self, trace: Trace) -> list[LocalReport]:
-        shards = trace.partition(self.config.num_hosts)
+        cfg = self.config
+        if cfg.workers < 1:
+            raise ConfigError("workers must be >= 1")
+        shards = trace.partition(cfg.num_hosts)
         hosts = self._build_hosts()
-        return [
-            host.run_epoch(shard, self.config.offered_gbps)
-            for host, shard in zip(hosts, shards)
-        ]
+        workers = min(cfg.workers, len(hosts))
+        if workers <= 1:
+            return [
+                host.run_epoch(shard, cfg.offered_gbps)
+                for host, shard in zip(hosts, shards)
+            ]
+        # Hosts are independent within an epoch (disjoint shards, merge
+        # at the controller), so they parallelize with no coordination;
+        # hosts, shards and reports all pickle cleanly.
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_run_host_epoch, host, shard, cfg.offered_gbps)
+                for host, shard in zip(hosts, shards)
+            ]
+            return [future.result() for future in futures]
 
     # ------------------------------------------------------------------
     def run_epoch(

@@ -79,6 +79,15 @@ class Sketch(ABC):
     #: the recovery drops the nuclear-norm term).
     low_rank: bool = True
 
+    #: True when :meth:`update` depends on the flow only through its
+    #: 64-bit fold (``flow.key64``).  That is the contract that makes
+    #: :meth:`update_batch` over a trace's ``key64`` column exactly
+    #: equivalent to per-packet ``update`` calls; sketches that consume
+    #: the full header (RevSketch, Deltoid, FlowRadar) or keep
+    #: order-dependent side state (UnivMon's trackers) leave it False
+    #: and the batched switch falls back to the scalar path for them.
+    key64_updates: bool = False
+
     def __init__(self, seed: int = 1):
         self.seed = seed
 
@@ -88,6 +97,32 @@ class Sketch(ABC):
     @abstractmethod
     def update(self, flow: FlowKey, value: int) -> None:
         """Record ``value`` bytes for ``flow``."""
+
+    def update_batch(self, keys64, values) -> None:
+        """Record many ``(key64, value)`` pairs in one call.
+
+        ``keys64`` is a uint64 array (a :class:`~repro.traffic.trace.Trace`
+        ``key64`` column or a slice of one) and ``values`` the matching
+        byte counts.  Only valid when :attr:`key64_updates` is True.
+
+        This generic implementation is the scalar fallback — a loop over
+        ``update_key64`` — so every key64-pure sketch gets a correct
+        batch path for free; the hot sketches override it with true
+        NumPy kernels (``np.add.at`` / ``np.bincount``) that are
+        bit-identical to the scalar loop because counter state is
+        order-insensitive and all values are exact in float64.
+        """
+        if not self.key64_updates:
+            raise NotImplementedError(
+                f"{type(self).__name__} updates depend on more than "
+                "key64; use per-packet update()"
+            )
+        update = self.update_key64  # type: ignore[attr-defined]
+        for key, value in zip(
+            np.asarray(keys64, dtype=np.uint64).tolist(),
+            np.asarray(values).tolist(),
+        ):
+            update(key, value)
 
     def inject(self, flow: FlowKey, value: int) -> None:
         """Re-inject a recovered flow (control-plane recovery, §5).

@@ -43,6 +43,16 @@ class BloomFilter:
                 self.bits[pos] = True
         return present
 
+    def add_batch(self, keys64) -> None:
+        """Vectorized insert of a uint64 key column.
+
+        Bit-setting is idempotent and order-insensitive, so the result
+        equals per-key :meth:`add` calls; membership answers are not
+        returned (batch callers test separately if they need them).
+        """
+        positions = self._hashes.buckets_array(keys64, self.num_bits)
+        self.bits[positions.reshape(-1)] = True
+
     def __contains__(self, key64: int) -> bool:
         return all(
             self.bits[pos]
@@ -92,6 +102,21 @@ class CountingBloomFilter:
     def add(self, key64: int, value: float = 1.0) -> None:
         for pos in self._hashes.buckets(key64, self.num_counters):
             self.counters[pos] += value
+
+    def add_batch(self, keys64, values=None) -> None:
+        """Vectorized volume-form insert: add ``values`` per key.
+
+        ``values=None`` adds 1.0 per key (plain membership counting).
+        Bit-identical to per-key :meth:`add` calls: ``np.add.at``
+        accumulates in array order.
+        """
+        positions = self._hashes.buckets_array(keys64, self.num_counters)
+        if values is None:
+            values = np.ones(positions.shape[1], dtype=np.float64)
+        else:
+            values = np.asarray(values, dtype=np.float64)
+        for row in range(self.num_hashes):
+            np.add.at(self.counters, positions[row], values)
 
     def remove(self, key64: int, value: float = 1.0) -> None:
         for pos in self._hashes.buckets(key64, self.num_counters):

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.common.errors import ConfigError, MergeError
 from repro.common.flow import FlowKey
-from repro.common.hashing import HashFamily, mix64
+from repro.common.hashing import HashFamily, mix64, trailing_zeros_array
 from repro.sketches.base import CostProfile, Sketch
 
 _COUNTER_BYTES = 8
@@ -40,6 +40,7 @@ class FMSketch(Sketch):
 
     name = "fm"
     low_rank = False
+    key64_updates = True
 
     def __init__(
         self, num_registers: int = 1024, depth: int = 4, seed: int = 1
@@ -70,6 +71,24 @@ class FMSketch(Sketch):
                 _FM_REGISTER_BITS - 1,
             )
             self.counters[row, register, position] += value
+
+    def update_batch(self, keys64, values) -> None:
+        """Vectorized register update over a key64 column (bit-identical)."""
+        registers = self._register_hashes.buckets_array(
+            keys64, self.num_registers
+        )
+        draws = self._position_hashes.hash_values_array(keys64)
+        values = np.asarray(values, dtype=np.float64)
+        flat = self.counters.reshape(self.depth, -1)
+        for row in range(self.depth):
+            positions = np.minimum(
+                trailing_zeros_array(draws[row]), _FM_REGISTER_BITS - 1
+            )
+            np.add.at(
+                flat[row],
+                registers[row] * _FM_REGISTER_BITS + positions,
+                values,
+            )
 
     def estimate(self) -> float:
         """Estimated distinct-key count, averaged across rows.
@@ -175,6 +194,10 @@ class KMinSketch(Sketch):
 
     name = "kmin"
     low_rank = False
+    # Bottom-k state is a running min-set, but insertion order does not
+    # change the surviving k minima — the generic scalar fallback batch
+    # path applies.
+    key64_updates = True
 
     def __init__(self, k: int = 1024, depth: int = 4, seed: int = 1):
         super().__init__(seed)
@@ -281,6 +304,7 @@ class HyperLogLog(Sketch):
 
     name = "hll"
     low_rank = False
+    key64_updates = True
 
     def __init__(
         self, num_registers: int = 1024, depth: int = 1, seed: int = 1
@@ -315,6 +339,24 @@ class HyperLogLog(Sketch):
                 _FM_REGISTER_BITS - 1,
             )
             self.counters[row, register, rank] += value
+
+    def update_batch(self, keys64, values) -> None:
+        """Vectorized register update over a key64 column (bit-identical)."""
+        registers = self._register_hashes.buckets_array(
+            keys64, self.num_registers
+        )
+        draws = self._rank_hashes.hash_values_array(keys64)
+        values = np.asarray(values, dtype=np.float64)
+        flat = self.counters.reshape(self.depth, -1)
+        for row in range(self.depth):
+            ranks = np.minimum(
+                trailing_zeros_array(draws[row]), _FM_REGISTER_BITS - 1
+            )
+            np.add.at(
+                flat[row],
+                registers[row] * _FM_REGISTER_BITS + ranks,
+                values,
+            )
 
     def estimate(self) -> float:
         estimates = []
@@ -416,6 +458,7 @@ class LinearCounting(Sketch):
 
     name = "lc"
     low_rank = False
+    key64_updates = True
 
     def __init__(self, width: int = 10_000, depth: int = 4, seed: int = 1):
         super().__init__(seed)
@@ -432,6 +475,13 @@ class LinearCounting(Sketch):
     def update_key64(self, key64: int, value: int) -> None:
         for row, col in enumerate(self._hashes.buckets(key64, self.width)):
             self.counters[row, col] += value
+
+    def update_batch(self, keys64, values) -> None:
+        """Vectorized update over a key64 column (bit-identical)."""
+        cols = self._hashes.buckets_array(keys64, self.width)
+        values = np.asarray(values, dtype=np.float64)
+        for row in range(self.depth):
+            np.add.at(self.counters[row], cols[row], values)
 
     def estimate(self) -> float:
         estimates = []

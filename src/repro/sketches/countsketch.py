@@ -30,6 +30,7 @@ class CountSketch(Sketch):
 
     name = "countsketch"
     low_rank = False
+    key64_updates = True
 
     def __init__(self, width: int = 4000, depth: int = 5, seed: int = 1):
         super().__init__(seed)
@@ -48,6 +49,14 @@ class CountSketch(Sketch):
         signs = self._hashes.signs(key64)
         for row in range(self.depth):
             self.counters[row, cols[row]] += signs[row] * value
+
+    def update_batch(self, keys64, values) -> None:
+        """Vectorized signed update over a key64 column (bit-identical)."""
+        cols = self._hashes.buckets_array(keys64, self.width)
+        signs = self._hashes.signs_array(keys64)
+        values = np.asarray(values, dtype=np.float64)
+        for row in range(self.depth):
+            np.add.at(self.counters[row], cols[row], signs[row] * values)
 
     def estimate(self, flow: FlowKey) -> float:
         return self.estimate_key64(flow.key64)

@@ -61,6 +61,7 @@ class MRAC(Sketch):
 
     name = "mrac"
     low_rank = False
+    key64_updates = True
 
     def __init__(self, width: int = 4000, max_size: int = 512, seed: int = 1):
         super().__init__(seed)
@@ -76,6 +77,20 @@ class MRAC(Sketch):
     def update(self, flow: FlowKey, value: int) -> None:
         # MRAC counts packets, not bytes: `value` is ignored by design.
         self.counters[self._hashes.bucket(0, flow.key64, self.width)] += 1
+
+    def update_key64(self, key64: int, value: int) -> None:
+        self.counters[self._hashes.bucket(0, key64, self.width)] += 1
+
+    def update_batch(self, keys64, values) -> None:
+        """Vectorized packet-count update over a key64 column.
+
+        Per-bucket increments are all +1, so a ``bincount`` of bucket
+        hits adds exact integers — bit-identical to the scalar loop.
+        """
+        cols = self._hashes.buckets_array(keys64, self.width)[0]
+        self.counters += np.bincount(cols, minlength=self.width).astype(
+            np.float64
+        )
 
     def inject(self, flow: FlowKey, value: int) -> None:
         """Recovery injection: convert recovered bytes to packets.

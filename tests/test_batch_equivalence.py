@@ -1,0 +1,314 @@
+"""Batch-engine equivalence: vectorized paths must be bit-identical.
+
+The batched data plane's whole correctness story is that counter state
+is order-insensitive within an epoch, so deferring sketch updates into
+one vectorized call changes *nothing observable*.  These tests pin that
+down at three levels: sketch counters, merge/round-trip, and full
+switch reports.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.flow import FlowKey
+from repro.dataplane.cost_model import CostModel
+from repro.dataplane.switch import SoftwareSwitch
+from repro.fastpath.topk import FastPath
+from repro.framework.modes import DataPlaneMode
+from repro.framework.pipeline import PipelineConfig, SketchVisorPipeline
+from repro.sketches.bloom import BloomFilter, CountingBloomFilter
+from repro.sketches.cardinality import (
+    FMSketch,
+    HyperLogLog,
+    KMinSketch,
+    LinearCounting,
+)
+from repro.sketches.countmin import CountMinSketch
+from repro.sketches.countsketch import CountSketch
+from repro.sketches.mrac import MRAC
+from repro.sketches.univmon import UnivMon
+from repro.tasks.heavy_hitter import HeavyHitterTask
+from repro.traffic.generator import TraceConfig, generate_trace
+from repro.traffic.groundtruth import GroundTruth
+
+SKETCH_FACTORIES = {
+    "countmin": lambda: CountMinSketch(width=512, depth=4, seed=5),
+    "countsketch": lambda: CountSketch(width=512, depth=5, seed=5),
+    "mrac": lambda: MRAC(width=512, seed=5),
+    "fm": lambda: FMSketch(num_registers=64, depth=3, seed=5),
+    "hll": lambda: HyperLogLog(num_registers=64, seed=5),
+    "lc": lambda: LinearCounting(width=512, depth=4, seed=5),
+    "kmin": lambda: KMinSketch(k=64, depth=3, seed=5),
+}
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(TraceConfig(num_flows=700, seed=9))
+
+
+@pytest.mark.parametrize("name", sorted(SKETCH_FACTORIES))
+def test_update_batch_bit_identical(trace, name):
+    factory = SKETCH_FACTORIES[name]
+    scalar, batch = factory(), factory()
+    for packet in trace:
+        scalar.update(packet.flow, packet.size)
+    batch.update_batch(trace.key64, trace.sizes)
+    assert np.array_equal(scalar.to_matrix(), batch.to_matrix())
+
+
+@pytest.mark.parametrize("name", sorted(SKETCH_FACTORIES))
+def test_merge_and_roundtrip_after_batch(trace, name):
+    factory = SKETCH_FACTORIES[name]
+    half = len(trace) // 2
+    # Scalar reference over the whole trace.
+    scalar = factory()
+    for packet in trace:
+        scalar.update(packet.flow, packet.size)
+    # Two batch-built halves, merged.
+    first, second = factory(), factory()
+    first.update_batch(trace.key64[:half], trace.sizes[:half])
+    second.update_batch(trace.key64[half:], trace.sizes[half:])
+    first.merge(second)
+    assert np.array_equal(scalar.to_matrix(), first.to_matrix())
+    # Recovery round-trip: to_matrix -> load_matrix reproduces counters.
+    restored = factory()
+    restored.load_matrix(first.to_matrix())
+    assert np.array_equal(restored.to_matrix(), first.to_matrix())
+
+
+def test_bloom_filter_batch(trace):
+    scalar, batch = BloomFilter(4096, seed=2), BloomFilter(4096, seed=2)
+    keys = trace.key64
+    for key in keys.tolist():
+        scalar.add(key)
+    batch.add_batch(keys)
+    assert np.array_equal(scalar.bits, batch.bits)
+
+
+def test_counting_bloom_batch(trace):
+    scalar = CountingBloomFilter(4096, seed=2)
+    batch = CountingBloomFilter(4096, seed=2)
+    for key, size in zip(trace.key64.tolist(), trace.sizes.tolist()):
+        scalar.add(key, size)
+    batch.add_batch(trace.key64, trace.sizes)
+    assert np.array_equal(scalar.counters, batch.counters)
+
+
+def test_update_batch_rejects_header_dependent_sketches():
+    with pytest.raises(NotImplementedError):
+        UnivMon(seed=1).update_batch(
+            np.zeros(1, dtype=np.uint64), np.ones(1, dtype=np.int64)
+        )
+
+
+# ----------------------------------------------------------------------
+# Switch level: batch mode must reproduce scalar SwitchReport exactly.
+# ----------------------------------------------------------------------
+def _run_switch(trace, *, ideal, fastpath_bytes, offered, batch, factory):
+    sketch = factory()
+    fastpath = FastPath(fastpath_bytes) if fastpath_bytes else None
+    switch = SoftwareSwitch(
+        sketch,
+        fastpath=fastpath,
+        cost_model=CostModel.in_memory(),
+        buffer_packets=64,
+        ideal=ideal,
+        batch=batch,
+    )
+    return switch.process(trace, offered), sketch
+
+
+def _assert_reports_equal(scalar_report, batch_report):
+    for name in (
+        "total_packets",
+        "total_bytes",
+        "normal_packets",
+        "normal_bytes",
+        "fastpath_packets",
+        "fastpath_bytes",
+        "producer_cycles",
+        "consumer_cycles",
+        "makespan_cycles",
+        "throughput_gbps",
+    ):
+        assert getattr(scalar_report, name) == getattr(
+            batch_report, name
+        ), name
+    assert scalar_report.normal_flows == batch_report.normal_flows
+    assert scalar_report.fastpath_flows == batch_report.fastpath_flows
+
+
+@pytest.mark.parametrize(
+    "ideal,fastpath_bytes,offered",
+    [
+        (True, None, None),
+        (True, None, 20.0),
+        (False, 2048, None),  # SketchVisor, fast path engaged
+        (False, 2048, 40.0),
+        (False, None, None),  # NoFastPath (blocking)
+    ],
+)
+@pytest.mark.parametrize("name", ["countmin", "mrac", "countsketch"])
+def test_switch_batch_reproduces_scalar_report(
+    trace, name, ideal, fastpath_bytes, offered
+):
+    factory = SKETCH_FACTORIES[name]
+    scalar_report, scalar_sketch = _run_switch(
+        trace,
+        ideal=ideal,
+        fastpath_bytes=fastpath_bytes,
+        offered=offered,
+        batch=False,
+        factory=factory,
+    )
+    batch_report, batch_sketch = _run_switch(
+        trace,
+        ideal=ideal,
+        fastpath_bytes=fastpath_bytes,
+        offered=offered,
+        batch=True,
+        factory=factory,
+    )
+    _assert_reports_equal(scalar_report, batch_report)
+    assert np.array_equal(
+        scalar_sketch.to_matrix(), batch_sketch.to_matrix()
+    )
+
+
+def test_switch_batch_fastpath_actually_engaged(trace):
+    """Guard: the SketchVisor arm above must exercise overflow routing."""
+    report, _ = _run_switch(
+        trace,
+        ideal=False,
+        fastpath_bytes=2048,
+        offered=None,
+        batch=True,
+        factory=SKETCH_FACTORIES["countmin"],
+    )
+    assert report.fastpath_packets > 0
+
+
+def test_switch_batch_scalar_fallback_sketch(trace):
+    """Non-key64 sketches run the per-packet fallback, still identical."""
+    scalar_report, scalar_sketch = _run_switch(
+        trace,
+        ideal=False,
+        fastpath_bytes=2048,
+        offered=None,
+        batch=False,
+        factory=lambda: UnivMon(seed=3),
+    )
+    batch_report, batch_sketch = _run_switch(
+        trace,
+        ideal=False,
+        fastpath_bytes=2048,
+        offered=None,
+        batch=True,
+        factory=lambda: UnivMon(seed=3),
+    )
+    _assert_reports_equal(scalar_report, batch_report)
+    assert np.array_equal(
+        scalar_sketch.to_matrix(), batch_sketch.to_matrix()
+    )
+
+
+def test_switch_batch_empty_trace():
+    from repro.traffic.trace import Trace
+
+    scalar_report, _ = _run_switch(
+        Trace([]),
+        ideal=True,
+        fastpath_bytes=None,
+        offered=None,
+        batch=False,
+        factory=SKETCH_FACTORIES["countmin"],
+    )
+    batch_report, _ = _run_switch(
+        Trace([]),
+        ideal=True,
+        fastpath_bytes=None,
+        offered=None,
+        batch=True,
+        factory=SKETCH_FACTORIES["countmin"],
+    )
+    _assert_reports_equal(scalar_report, batch_report)
+
+
+# ----------------------------------------------------------------------
+# Pipeline level: batch + parallel workers leave results unchanged.
+# ----------------------------------------------------------------------
+def _run_pipeline(trace, truth, *, batch, workers):
+    pipeline = SketchVisorPipeline(
+        HeavyHitterTask("univmon", threshold=0.001),
+        dataplane=DataPlaneMode.SKETCHVISOR,
+        config=PipelineConfig(
+            num_hosts=2, batch=batch, workers=workers
+        ),
+    )
+    return pipeline.run_epoch(trace, truth)
+
+
+def test_pipeline_batch_and_parallel_identical(trace):
+    truth = GroundTruth.from_trace(trace)
+    serial = _run_pipeline(trace, truth, batch=False, workers=1)
+    batched = _run_pipeline(trace, truth, batch=True, workers=1)
+    parallel = _run_pipeline(trace, truth, batch=True, workers=2)
+    reference = serial.network.sketch.to_matrix()
+    for result in (batched, parallel):
+        assert np.array_equal(
+            reference, result.network.sketch.to_matrix()
+        )
+        assert [
+            r.switch.throughput_gbps for r in serial.reports
+        ] == [r.switch.throughput_gbps for r in result.reports]
+        assert [
+            r.switch.normal_flows for r in serial.reports
+        ] == [r.switch.normal_flows for r in result.reports]
+
+
+# ----------------------------------------------------------------------
+# Columnar trace + cached key64 invariants the batch engine relies on.
+# ----------------------------------------------------------------------
+def test_trace_columns_match_packets(trace):
+    assert np.array_equal(
+        trace.key64,
+        np.array([p.flow.key64 for p in trace], dtype=np.uint64),
+    )
+    assert np.array_equal(
+        trace.sizes, np.array([p.size for p in trace], dtype=np.int64)
+    )
+    assert np.array_equal(
+        trace.timestamps, np.array([p.timestamp for p in trace])
+    )
+    # Columns are cached (same object) and read-only.
+    assert trace.key64 is trace.key64
+    with pytest.raises(ValueError):
+        trace.key64[0] = 0
+
+
+def test_partition_shards_inherit_columns(trace):
+    shards = trace.partition(3)
+    assert sum(len(s) for s in shards) == len(trace)
+    for shard in shards:
+        assert np.array_equal(
+            shard.key64,
+            np.array([p.flow.key64 for p in shard], dtype=np.uint64),
+        )
+        assert np.array_equal(
+            shard.sizes, np.array([p.size for p in shard])
+        )
+
+
+def test_flowkey_key64_precomputed():
+    key = FlowKey(0x0A000001, 0x0A000002, 1234, 80)
+    # The cached slot exists and equals the documented fold formula.
+    from repro.common.hashing import mix64
+
+    packed = key.key104
+    expected = mix64((packed >> 64) ^ (packed & ((1 << 64) - 1)))
+    assert key._key64 == expected
+    assert key.key64 == expected
+    # Cache is excluded from equality/hash.
+    assert key == FlowKey(0x0A000001, 0x0A000002, 1234, 80)
+    assert hash(key) == hash(FlowKey(0x0A000001, 0x0A000002, 1234, 80))
