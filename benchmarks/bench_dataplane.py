@@ -27,6 +27,7 @@ import argparse
 import json
 import os
 import platform
+import subprocess
 import sys
 import time
 from datetime import datetime, timezone
@@ -137,6 +138,43 @@ def bench_parallel(trace, seed: int, num_hosts: int, workers: int):
     return timings
 
 
+def git_sha() -> str | None:
+    """Short commit SHA of the repo being benchmarked, if available."""
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        return None
+
+
+def instrumented_snapshot(trace, sketch_name: str, seed: int) -> dict:
+    """Metric snapshot of one (untimed) instrumented batch epoch.
+
+    Rides along in the trajectory entry so counter totals — packets
+    per path, cycles, fast-path kick-outs — stay comparable across
+    runs even as the engines evolve.
+    """
+    from repro.telemetry import Telemetry
+
+    telemetry = Telemetry()
+    switch = SoftwareSwitch(
+        SKETCHES[sketch_name](seed),
+        fastpath=FastPath(8192),
+        cost_model=CostModel.in_memory(),
+        buffer_packets=1024,
+        batch=True,
+        telemetry=telemetry,
+    )
+    switch.process(trace)
+    return telemetry.json_snapshot()
+
+
 def append_trajectory(path: Path, entry: dict) -> None:
     """Append one run to the JSON trajectory file (list under "runs")."""
     trajectory = {"runs": []}
@@ -232,6 +270,7 @@ def main(argv=None) -> int:
 
     entry = {
         "timestamp": datetime.now(timezone.utc).isoformat(),
+        "git_sha": git_sha(),
         "python": platform.python_version(),
         "smoke": args.smoke,
         "config": {
@@ -243,6 +282,9 @@ def main(argv=None) -> int:
         },
         "switch": switch_results,
         "parallel": parallel_results,
+        "telemetry": instrumented_snapshot(
+            trace, args.sketch, args.seed
+        ),
     }
     append_trajectory(args.output, entry)
     print(f"appended trajectory entry to {args.output}")

@@ -45,6 +45,7 @@ from repro.framework.pipeline import (
     SketchVisorPipeline,
 )
 from repro.framework.registry import TASK_REGISTRY, create_task
+from repro.telemetry import MetricsRegistry, Telemetry, Tracer, trace_span
 from repro.tasks import (
     CardinalityTask,
     DDoSTask,
@@ -74,8 +75,12 @@ __all__ = [
     "HeavyChangerTask",
     "HeavyHitterTask",
     "MergeError",
+    "MetricsRegistry",
     "Packet",
     "PipelineConfig",
+    "Telemetry",
+    "Tracer",
+    "trace_span",
     "RecoveryMode",
     "ReproError",
     "SketchVisorPipeline",

@@ -6,7 +6,12 @@ generate
     Produce a synthetic heavy-tailed trace and save it (npz or csv).
 run
     Run one measurement task over a trace (generated or loaded) through
-    the full SketchVisor pipeline and print the score.
+    the full SketchVisor pipeline and print the score.  ``--trace``
+    additionally prints the per-epoch stage-timing tree and dumps a
+    ``chrome://tracing``-loadable JSON profile.
+telemetry
+    Run one fully instrumented epoch and export its metrics (Prometheus
+    text / JSON snapshot) and trace (span tree / Chrome trace JSON).
 inspect
     Print ground-truth statistics of a trace.
 convert
@@ -24,6 +29,13 @@ from repro.controlplane.recovery import RecoveryMode
 from repro.framework.modes import DataPlaneMode
 from repro.framework.pipeline import PipelineConfig, SketchVisorPipeline
 from repro.framework.registry import TASK_REGISTRY, create_task
+from repro.reporting import span_tree
+from repro.telemetry import (
+    Telemetry,
+    write_chrome_trace,
+    write_json_snapshot,
+    write_prometheus,
+)
 from repro.traffic.generator import TraceConfig, generate_trace
 from repro.traffic.groundtruth import GroundTruth
 from repro.traffic.io import export_csv, import_csv, load_trace, save_trace
@@ -88,14 +100,29 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _dump_telemetry(args: argparse.Namespace, telemetry: Telemetry) -> None:
+    """Shared tail of ``run --trace`` and ``telemetry``: print + dump."""
+    print()
+    print(span_tree(telemetry.tracer.tree_rows()))
+    if getattr(args, "trace_out", None):
+        write_chrome_trace(telemetry.tracer, args.trace_out)
+        print(f"\nwrote Chrome trace to {args.trace_out} "
+              "(load in chrome://tracing or ui.perfetto.dev)")
+    if getattr(args, "prom", None):
+        write_prometheus(telemetry.registry, args.prom)
+        if args.prom != "-":
+            print(f"wrote Prometheus metrics to {args.prom}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    if args.trace:
-        trace = _load_any(args.trace)
+    if args.trace_file:
+        trace = _load_any(args.trace_file)
     else:
         trace = generate_trace(
             TraceConfig(num_flows=args.flows, seed=args.seed)
         )
     truth = GroundTruth.from_trace(trace)
+    telemetry = Telemetry() if args.trace else None
 
     kwargs: dict = {}
     if args.task in ("heavy_hitter", "heavy_changer"):
@@ -109,6 +136,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # and aggregate through the controller.
         from repro.controlplane.controller import Controller
         from repro.dataplane.host import MultiCoreHost
+        from repro.telemetry import trace_span
+        from repro.telemetry.publish import (
+            fastpath_stats,
+            publish_fastpath_epoch,
+            publish_switch_epoch,
+        )
 
         host = MultiCoreHost(
             0,
@@ -116,12 +149,29 @@ def _cmd_run(args: argparse.Namespace) -> int:
             num_cores=args.cores,
             fastpath_bytes=args.fastpath_bytes,
         )
-        report = host.run_epoch(trace)
-        network = Controller(RecoveryMode(args.recovery)).aggregate(
-            [report]
-        )
-        answer = task.answer(network.sketch)
-        score = task.score(answer, truth)
+        with trace_span(telemetry, "epoch", task=task.name):
+            with trace_span(telemetry, "dataplane", cores=args.cores):
+                report = host.run_epoch(trace)
+            network = Controller(
+                RecoveryMode(args.recovery), telemetry=telemetry
+            ).aggregate([report])
+            with trace_span(telemetry, "task.answer"):
+                answer = task.answer(network.sketch)
+            with trace_span(telemetry, "task.score"):
+                score = task.score(answer, truth)
+        if telemetry is not None:
+            publish_switch_epoch(
+                telemetry.registry,
+                report.switch,
+                host=str(report.host_id),
+                sketch=report.sketch.name,
+            )
+            if report.fastpath is not None:
+                publish_fastpath_epoch(
+                    telemetry.registry,
+                    fastpath_stats(report.fastpath),
+                    host=str(report.host_id),
+                )
         print(f"task            : {args.task} / {args.solution}")
         print(f"cores           : {args.cores}")
         if score.recall is not None:
@@ -133,6 +183,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"throughput      : "
             f"{report.switch.throughput_gbps:.1f} Gbps"
         )
+        if telemetry is not None:
+            _dump_telemetry(args, telemetry)
         return 0
 
     pipeline = SketchVisorPipeline(
@@ -140,7 +192,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         dataplane=DataPlaneMode(args.dataplane),
         recovery=RecoveryMode(args.recovery),
         config=PipelineConfig(
-            num_hosts=args.hosts, fastpath_bytes=args.fastpath_bytes
+            num_hosts=args.hosts,
+            fastpath_bytes=args.fastpath_bytes,
+            telemetry=telemetry,
         ),
     )
     if args.task == "heavy_changer":
@@ -166,6 +220,64 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(
         f"fast-path bytes : {result.fastpath_byte_fraction:.0%}"
     )
+    if telemetry is not None:
+        _dump_telemetry(args, telemetry)
+    return 0
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    """Run one fully instrumented epoch and export the telemetry."""
+    if args.trace_file:
+        trace = _load_any(args.trace_file)
+    else:
+        trace = generate_trace(
+            TraceConfig(num_flows=args.flows, seed=args.seed)
+        )
+    truth = GroundTruth.from_trace(trace)
+    kwargs: dict = {}
+    if args.task in ("heavy_hitter", "heavy_changer"):
+        kwargs["threshold"] = args.threshold_fraction * truth.total_bytes
+    elif args.task in ("ddos", "superspreader"):
+        kwargs["threshold"] = 100
+    task = create_task(args.task, args.solution, **kwargs)
+
+    telemetry = Telemetry()
+    pipeline = SketchVisorPipeline(
+        task,
+        dataplane=DataPlaneMode(args.dataplane),
+        recovery=RecoveryMode(args.recovery),
+        config=PipelineConfig(
+            num_hosts=args.hosts,
+            batch=args.batch,
+            telemetry=telemetry,
+        ),
+    )
+    print(pipeline.describe(), file=sys.stderr)
+    if args.task == "heavy_changer":
+        half = len(trace) // 2
+        pipeline.run_epoch_pair(
+            Trace(trace.packets[:half]), Trace(trace.packets[half:])
+        )
+    else:
+        pipeline.run_epoch(trace, truth)
+
+    if args.tree:
+        print(span_tree(telemetry.tracer.tree_rows()))
+        print()
+    if args.prom is not None:
+        write_prometheus(telemetry.registry, args.prom)
+        if args.prom != "-":
+            print(f"wrote Prometheus metrics to {args.prom}")
+    if args.json is not None:
+        write_json_snapshot(
+            telemetry.registry, args.json, telemetry.tracer
+        )
+        if args.json != "-":
+            print(f"wrote JSON snapshot to {args.json}")
+    if args.chrome_trace is not None:
+        write_chrome_trace(telemetry.tracer, args.chrome_trace)
+        print(f"wrote Chrome trace to {args.chrome_trace} "
+              "(load in chrome://tracing or ui.perfetto.dev)")
     return 0
 
 
@@ -255,7 +367,25 @@ def build_parser() -> argparse.ArgumentParser:
         default="heavy_hitter",
     )
     run.add_argument("--solution", default="deltoid")
-    run.add_argument("--trace", help="trace file; omit to generate")
+    run.add_argument(
+        "--trace-file", help="trace file; omit to generate"
+    )
+    run.add_argument(
+        "--trace",
+        action="store_true",
+        help="enable telemetry: print the stage-timing tree and dump "
+        "a chrome://tracing JSON profile (see --trace-out)",
+    )
+    run.add_argument(
+        "--trace-out",
+        default="epoch_trace.json",
+        help="Chrome-trace output path for --trace",
+    )
+    run.add_argument(
+        "--prom",
+        help="with --trace, also dump Prometheus metrics "
+        "to this path ('-' for stdout)",
+    )
     run.add_argument("--flows", type=int, default=5000)
     run.add_argument("--seed", type=int, default=1)
     run.add_argument("--hosts", type=int, default=1)
@@ -279,6 +409,61 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--threshold-fraction", type=float, default=0.005)
     run.add_argument("--spread-threshold", type=int, default=100)
     run.set_defaults(func=_cmd_run)
+
+    telemetry = commands.add_parser(
+        "telemetry",
+        help="run one instrumented epoch and export metrics + traces",
+    )
+    telemetry.add_argument(
+        "--task",
+        choices=sorted(TASK_REGISTRY),
+        default="heavy_hitter",
+    )
+    telemetry.add_argument("--solution", default="univmon")
+    telemetry.add_argument(
+        "--trace-file", help="trace file; omit to generate"
+    )
+    telemetry.add_argument("--flows", type=int, default=5000)
+    telemetry.add_argument("--seed", type=int, default=1)
+    telemetry.add_argument("--hosts", type=int, default=2)
+    telemetry.add_argument(
+        "--batch", action="store_true", help="use the batched engine"
+    )
+    telemetry.add_argument(
+        "--dataplane",
+        choices=[mode.value for mode in DataPlaneMode],
+        default=DataPlaneMode.SKETCHVISOR.value,
+    )
+    telemetry.add_argument(
+        "--recovery",
+        choices=[mode.value for mode in RecoveryMode],
+        default=RecoveryMode.SKETCHVISOR.value,
+    )
+    telemetry.add_argument("--threshold-fraction", type=float, default=0.005)
+    telemetry.add_argument(
+        "--prom",
+        nargs="?",
+        const="-",
+        default="-",
+        help="Prometheus text output path (default: stdout)",
+    )
+    telemetry.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        help="JSON snapshot output path ('-' for stdout)",
+    )
+    telemetry.add_argument(
+        "--chrome-trace",
+        help="Chrome-trace JSON output path (chrome://tracing)",
+    )
+    telemetry.add_argument(
+        "--no-tree",
+        dest="tree",
+        action="store_false",
+        help="skip printing the stage-timing tree",
+    )
+    telemetry.set_defaults(func=_cmd_telemetry)
 
     return parser
 

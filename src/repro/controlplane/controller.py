@@ -22,6 +22,8 @@ from repro.controlplane.recovery import RecoveryMode, recover
 from repro.dataplane.host import LocalReport
 from repro.fastpath.topk import FastPathSnapshot
 from repro.sketches.base import Sketch
+from repro.telemetry import Telemetry, trace_span
+from repro.telemetry.publish import publish_controller_epoch
 
 
 @dataclass
@@ -45,31 +47,43 @@ class Controller:
         Recovery strategy applied after merging (§7.3 arms).
     lens_config:
         Optional compressive-sensing solver parameters.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` to receive merge /
+        recovery spans and counters.
     """
 
     def __init__(
         self,
         mode: RecoveryMode = RecoveryMode.SKETCHVISOR,
         lens_config: LensConfig | None = None,
+        telemetry: Telemetry | None = None,
     ):
         self.mode = mode
         self.lens_config = lens_config
+        self.telemetry = telemetry
 
     def aggregate(self, reports: Sequence[LocalReport]) -> NetworkResult:
         """Merge per-host reports and run network-wide recovery."""
         if not reports:
             raise MergeError("no host reports to aggregate")
-        merged_sketch = merge_sketches([r.sketch for r in reports])
-        merged_snapshot = merge_fastpath_snapshots(
-            [r.fastpath for r in reports]
-        )
-        state = recover(
-            normal=merged_sketch,
-            snapshot=merged_snapshot,
-            mode=self.mode,
-            lens_config=self.lens_config,
-        )
-        return NetworkResult(
+        with trace_span(
+            self.telemetry, "controlplane.merge", reports=len(reports)
+        ):
+            merged_sketch = merge_sketches([r.sketch for r in reports])
+            merged_snapshot = merge_fastpath_snapshots(
+                [r.fastpath for r in reports]
+            )
+        with trace_span(
+            self.telemetry, "controlplane.recover", mode=self.mode.value
+        ):
+            state = recover(
+                normal=merged_sketch,
+                snapshot=merged_snapshot,
+                mode=self.mode,
+                lens_config=self.lens_config,
+                telemetry=self.telemetry,
+            )
+        network = NetworkResult(
             sketch=state.sketch,
             flow_estimates=state.flow_estimates,
             snapshot=merged_snapshot,
@@ -77,3 +91,6 @@ class Controller:
             lens_iterations=state.lens_iterations,
             lens_converged=state.lens_converged,
         )
+        if self.telemetry is not None:
+            publish_controller_epoch(self.telemetry.registry, network)
+        return network

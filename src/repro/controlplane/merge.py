@@ -42,6 +42,10 @@ def merge_fastpath_snapshots(
     total_decremented = 0.0
     insert_count = 0
     evict_count = 0
+    update_count = 0
+    hit_count = 0
+    kickout_count = 0
+    reject_count = 0
     for snapshot in snapshots:
         if snapshot is None:
             continue
@@ -49,6 +53,10 @@ def merge_fastpath_snapshots(
         total_decremented += snapshot.total_decremented
         insert_count += snapshot.insert_count
         evict_count += snapshot.evict_count
+        update_count += snapshot.update_count
+        hit_count += snapshot.hit_count
+        kickout_count += snapshot.kickout_count
+        reject_count += snapshot.reject_count
         for flow, entry in snapshot.entries.items():
             existing = entries.get(flow)
             if existing is None:
@@ -63,4 +71,8 @@ def merge_fastpath_snapshots(
         total_decremented=total_decremented,
         insert_count=insert_count,
         evict_count=evict_count,
+        update_count=update_count,
+        hit_count=hit_count,
+        kickout_count=kickout_count,
+        reject_count=reject_count,
     )

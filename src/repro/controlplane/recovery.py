@@ -30,6 +30,8 @@ from repro.common.flow import FlowKey
 from repro.controlplane.lens import LensConfig, lens_interpolate
 from repro.fastpath.topk import FastPathSnapshot
 from repro.sketches.base import Sketch
+from repro.telemetry import trace_span
+from repro.telemetry.publish import publish_recovery_residual
 
 #: Synthetic small-flow prior: untracked flows are smaller than the
 #: fast path's tracking boundary and follow the same power law the
@@ -78,6 +80,7 @@ def recover(
     snapshot: FastPathSnapshot | None,
     mode: RecoveryMode = RecoveryMode.SKETCHVISOR,
     lens_config: LensConfig | None = None,
+    telemetry=None,
 ) -> RecoveredState:
     """Recover the network-wide sketch from merged local results.
 
@@ -90,6 +93,10 @@ def recover(
         be ``None`` when the fast path never activated.
     mode:
         Recovery strategy.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry`; receives the
+        ``recovery.lens`` / ``recovery.inject`` spans and the final
+        solver residual.
     """
     if snapshot is None or (
         not snapshot.entries and snapshot.total_bytes == 0
@@ -140,34 +147,44 @@ def recover(
         )
         return RecoveredState(sketch=recovered, flow_estimates=estimates)
 
-    result = lens_interpolate(
-        n_matrix=normal.to_matrix(),
-        positions=positions,
-        lower=lower,
-        upper=upper,
-        volume=snapshot.total_bytes,
-        low_rank=normal.low_rank,
-        config=lens_config,
-    )
+    with trace_span(
+        telemetry, "recovery.lens", flows=len(flows), mode=mode.value
+    ):
+        result = lens_interpolate(
+            n_matrix=normal.to_matrix(),
+            positions=positions,
+            lower=lower,
+            upper=upper,
+            volume=snapshot.total_bytes,
+            low_rank=normal.low_rank,
+            config=lens_config,
+        )
+    if telemetry is not None and result.residuals:
+        publish_recovery_residual(
+            telemetry.registry, float(result.residuals[-1])
+        )
 
     recovered = _copy_sketch(normal)
     estimates = {}
-    for flow, value in zip(flows, result.x):
-        _inject(recovered, flow, value)
-        estimates[flow] = float(value)
-    # Realize the small-flow component y as synthetic flows rather than
-    # the solver's dense noise matrix: sk(y) is *sparse* (each missed
-    # small flow touches a handful of counters), and zero-counting
-    # estimators (Linear Counting, FM, TwoLevel's inner arrays) are
-    # destroyed by dense noise but restored by a sparse realization
-    # with the right total volume.  See DESIGN.md.
-    remaining = max(0.0, snapshot.total_bytes - float(result.x.sum()))
-    _inject_synthetic_small_flows(
-        recovered,
-        remaining,
-        _tracking_boundary(snapshot),
-        count=_missing_flow_count(snapshot),
-    )
+    with trace_span(telemetry, "recovery.inject", flows=len(flows)):
+        for flow, value in zip(flows, result.x):
+            _inject(recovered, flow, value)
+            estimates[flow] = float(value)
+        # Realize the small-flow component y as synthetic flows rather
+        # than the solver's dense noise matrix: sk(y) is *sparse* (each
+        # missed small flow touches a handful of counters), and
+        # zero-counting estimators (Linear Counting, FM, TwoLevel's
+        # inner arrays) are destroyed by dense noise but restored by a
+        # sparse realization with the right total volume.  See DESIGN.md.
+        remaining = max(
+            0.0, snapshot.total_bytes - float(result.x.sum())
+        )
+        _inject_synthetic_small_flows(
+            recovered,
+            remaining,
+            _tracking_boundary(snapshot),
+            count=_missing_flow_count(snapshot),
+        )
     return RecoveredState(
         sketch=recovered,
         flow_estimates=estimates,

@@ -29,6 +29,9 @@ class BoundedFIFO:
         if capacity < 1:
             raise ConfigError("FIFO capacity must be >= 1")
         self.capacity = capacity
+        #: Peak occupancy since the last :meth:`clear` — the buffer
+        #: pressure signal the telemetry layer reports per epoch.
+        self.high_water = 0
         self._queue: deque[tuple[Packet, float]] = deque()
 
     def __len__(self) -> int:
@@ -47,6 +50,8 @@ class BoundedFIFO:
         if self.full:
             raise OverflowError("FIFO is full")
         self._queue.append((packet, enqueue_cycle))
+        if len(self._queue) > self.high_water:
+            self.high_water = len(self._queue)
 
     def pop(self) -> tuple[Packet, float]:
         """Dequeue the oldest packet and its enqueue cycle."""
@@ -58,3 +63,4 @@ class BoundedFIFO:
 
     def clear(self) -> None:
         self._queue.clear()
+        self.high_water = 0

@@ -62,6 +62,7 @@ class Host:
         cost_model: CostModel | None = None,
         buffer_packets: int = 1024,
         batch: bool = False,
+        telemetry=None,
     ):
         self.host_id = host_id
         self.sketch = sketch
@@ -78,6 +79,8 @@ class Host:
             buffer_packets=buffer_packets,
             ideal=ideal,
             batch=batch,
+            telemetry=telemetry,
+            host_label=str(host_id),
         )
 
     def run_epoch(

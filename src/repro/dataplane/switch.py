@@ -37,6 +37,12 @@ from repro.dataplane.cost_model import CostModel
 from repro.fastpath.misra_gries import MisraGriesTopK
 from repro.fastpath.topk import FastPath
 from repro.sketches.base import Sketch
+from repro.telemetry import Telemetry, trace_span
+from repro.telemetry.publish import (
+    fastpath_stats,
+    publish_fastpath_epoch,
+    publish_switch_epoch,
+)
 
 
 @dataclass
@@ -53,6 +59,7 @@ class SwitchReport:
     consumer_cycles: float = 0.0
     makespan_cycles: float = 0.0
     throughput_gbps: float = 0.0
+    buffer_high_water: int = 0
     normal_flows: set[FlowKey] = field(default_factory=set)
     fastpath_flows: set[FlowKey] = field(default_factory=set)
 
@@ -111,6 +118,8 @@ class SoftwareSwitch:
         buffer_packets: int = 1024,
         ideal: bool = False,
         batch: bool = False,
+        telemetry: Telemetry | None = None,
+        host_label: str = "0",
     ):
         if ideal and fastpath is not None:
             raise ConfigError("ideal mode does not use a fast path")
@@ -120,6 +129,44 @@ class SoftwareSwitch:
         self.buffer = BoundedFIFO(buffer_packets)
         self.ideal = ideal
         self.batch = batch
+        self.telemetry = telemetry
+        self.host_label = host_label
+        # Fast-path operation counters are lifetime totals; remember
+        # what was already published so each epoch increments by delta.
+        self._published_fastpath: dict[str, float] | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def mode(self) -> str:
+        """The evaluation arm this switch realizes (for log lines)."""
+        if self.ideal:
+            return "ideal"
+        if self.fastpath is None:
+            return "no_fastpath"
+        if isinstance(self.fastpath, MisraGriesTopK):
+            return "mg_fastpath"
+        return "sketchvisor"
+
+    def describe(self) -> str:
+        """One-line configuration summary for logs and error messages."""
+        parts = [
+            f"mode={self.mode}",
+            f"engine={'batch' if self.batch else 'scalar'}",
+            f"sketch={self.sketch.describe()}",
+            f"buffer={self.buffer.capacity}p",
+        ]
+        if self.fastpath is not None:
+            parts.append(
+                f"fastpath={type(self.fastpath).__name__}"
+                f"(k={self.fastpath.capacity})"
+            )
+        parts.append(
+            f"telemetry={'on' if self.telemetry is not None else 'off'}"
+        )
+        return f"SoftwareSwitch({', '.join(parts)})"
+
+    def __repr__(self) -> str:
+        return self.describe()
 
     # ------------------------------------------------------------------
     def process(self, trace, offered_gbps: float | None = None) -> SwitchReport:
@@ -133,9 +180,45 @@ class SoftwareSwitch:
         Dispatches to the scalar or the two-phase batched engine
         depending on ``batch``; both produce identical reports.
         """
-        if self.batch:
-            return self._process_batch(trace, offered_gbps)
-        return self._process_scalar(trace, offered_gbps)
+        engine = "batch" if self.batch else "scalar"
+        with trace_span(
+            self.telemetry,
+            "switch.process",
+            host=self.host_label,
+            engine=engine,
+        ):
+            if self.batch:
+                report = self._process_batch(trace, offered_gbps)
+            else:
+                report = self._process_scalar(trace, offered_gbps)
+        if self.telemetry is not None:
+            self._publish(report, engine)
+        return report
+
+    def _publish(self, report: SwitchReport, engine: str) -> None:
+        """Publish this epoch's counters (fast-path stats by delta)."""
+        registry = self.telemetry.registry
+        publish_switch_epoch(
+            registry,
+            report,
+            host=self.host_label,
+            sketch=self.sketch.name,
+            engine=engine,
+        )
+        if self.fastpath is None:
+            return
+        stats = fastpath_stats(self.fastpath)
+        previous = self._published_fastpath
+        if previous is not None:
+            deltas = {
+                key: value - previous.get(key, 0.0)
+                for key, value in stats.items()
+            }
+            deltas["tracked"] = stats["tracked"]  # gauge: absolute
+        else:
+            deltas = stats
+        self._published_fastpath = stats
+        publish_fastpath_epoch(registry, deltas, host=self.host_label)
 
     def _process_scalar(
         self, trace, offered_gbps: float | None = None
@@ -203,6 +286,7 @@ class SoftwareSwitch:
             packet, enqueued = fifo.pop()
             consumer = max(consumer, enqueued) + sketch_cycles
 
+        report.buffer_high_water = fifo.high_water
         report.producer_cycles = producer
         report.consumer_cycles = consumer
         report.makespan_cycles = max(producer, consumer)
@@ -313,6 +397,7 @@ class SoftwareSwitch:
                 trace, np.asarray(normal_indices, dtype=np.intp)
             )
 
+        report.buffer_high_water = fifo.high_water
         report.producer_cycles = float(producer)
         report.consumer_cycles = float(consumer)
         report.makespan_cycles = max(

@@ -213,6 +213,10 @@ class FastPath:
             total_decremented=self.total_decremented,
             insert_count=self.num_inserts,
             evict_count=self.num_evicted,
+            update_count=self.num_updates,
+            hit_count=self.num_hits,
+            kickout_count=self.num_kickouts,
+            reject_count=self.num_rejected,
         )
 
     def reset(self) -> None:
@@ -243,6 +247,12 @@ class FastPathSnapshot:
     total_decremented: float
     insert_count: int = 0
     evict_count: int = 0
+    # Remaining O(1) operation counters (Figures 15/16a), carried so
+    # telemetry published from a snapshot matches the live fast path.
+    update_count: int = 0
+    hit_count: int = 0
+    kickout_count: int = 0
+    reject_count: int = 0
 
     @property
     def tracked_bytes_lower(self) -> float:

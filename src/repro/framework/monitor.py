@@ -9,6 +9,7 @@ typed alerts when detections cross their thresholds.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from enum import Enum
 
@@ -22,6 +23,8 @@ from repro.framework.pipeline import (
 )
 from repro.tasks.base import MeasurementTask
 from repro.tasks.heavy_changer import HeavyChangerTask
+from repro.telemetry import trace_span
+from repro.telemetry.publish import publish_monitor_epoch
 from repro.traffic.trace import Trace
 
 
@@ -99,20 +102,31 @@ class ContinuousMonitor:
     # ------------------------------------------------------------------
     def process_epoch(self, trace: Trace) -> EpochSummary:
         """Feed one epoch of traffic; returns its summary with alerts."""
+        telemetry = self.config.telemetry
         summary = EpochSummary(epoch=self._epoch_index)
-        for task in self.tasks:
-            pipeline = self._pipelines[task.name]
-            if isinstance(task, HeavyChangerTask):
-                if self._previous_trace is None:
-                    continue
-                result = pipeline.run_epoch_pair(
-                    self._previous_trace, trace
+        start = time.perf_counter()
+        with trace_span(
+            telemetry, "monitor.epoch", epoch=self._epoch_index
+        ):
+            for task in self.tasks:
+                pipeline = self._pipelines[task.name]
+                if isinstance(task, HeavyChangerTask):
+                    if self._previous_trace is None:
+                        continue
+                    result = pipeline.run_epoch_pair(
+                        self._previous_trace, trace
+                    )
+                else:
+                    result = pipeline.run_epoch(trace)
+                summary.results[task.name] = result
+                summary.alerts.extend(
+                    self._alerts_from(task, result)
                 )
-            else:
-                result = pipeline.run_epoch(trace)
-            summary.results[task.name] = result
-            summary.alerts.extend(
-                self._alerts_from(task, result)
+        if telemetry is not None:
+            publish_monitor_epoch(
+                telemetry.registry,
+                summary,
+                time.perf_counter() - start,
             )
         self._previous_trace = trace
         self._epoch_index += 1

@@ -21,6 +21,12 @@ from repro.dataplane.host import Host, LocalReport
 from repro.framework.modes import DataPlaneMode
 from repro.tasks.base import MeasurementTask, TaskScore
 from repro.tasks.heavy_changer import HeavyChangerTask
+from repro.telemetry import Telemetry, telemetry_from_env, trace_span
+from repro.telemetry.publish import (
+    fastpath_stats,
+    publish_fastpath_epoch,
+    publish_switch_epoch,
+)
 from repro.traffic.groundtruth import GroundTruth
 from repro.traffic.trace import Trace
 
@@ -42,6 +48,15 @@ class PipelineConfig:
     #: Per-host epochs are independent; ``workers > 1`` runs them in a
     #: process pool.  ``workers=1`` preserves today's serial behavior.
     workers: int = 1
+    #: Optional :class:`~repro.telemetry.Telemetry` receiving metrics
+    #: and spans from every stage.  ``None`` (the default) disables all
+    #: instrumentation; setting ``REPRO_TELEMETRY=1`` in the
+    #: environment injects a fresh instance here instead.
+    telemetry: Telemetry | None = None
+
+    def __post_init__(self) -> None:
+        if self.telemetry is None:
+            self.telemetry = telemetry_from_env()
 
 
 def _run_host_epoch(host, shard, offered_gbps):
@@ -104,8 +119,27 @@ class SketchVisorPipeline:
         self.recovery = recovery
         self.config = config or PipelineConfig()
         self.controller = Controller(
-            mode=recovery, lens_config=self.config.lens
+            mode=recovery,
+            lens_config=self.config.lens,
+            telemetry=self.config.telemetry,
         )
+
+    def describe(self) -> str:
+        """One-line configuration summary for logs and error messages."""
+        cfg = self.config
+        return (
+            f"SketchVisorPipeline(task={self.task.name!r}, "
+            f"dataplane={self.dataplane.value}, "
+            f"recovery={self.recovery.value}, "
+            f"hosts={cfg.num_hosts}, workers={cfg.workers}, "
+            f"engine={'batch' if cfg.batch else 'scalar'}, "
+            f"buffer={cfg.buffer_packets}p, "
+            f"fastpath={cfg.fastpath_bytes}B, "
+            f"telemetry={'on' if cfg.telemetry is not None else 'off'})"
+        )
+
+    def __repr__(self) -> str:
+        return self.describe()
 
     # ------------------------------------------------------------------
     def _build_hosts(self) -> list[Host]:
@@ -142,22 +176,55 @@ class SketchVisorPipeline:
         if cfg.workers < 1:
             raise ConfigError("workers must be >= 1")
         shards = trace.partition(cfg.num_hosts)
+        # Hosts are built *without* telemetry: per-host metrics are
+        # published centrally from the returned reports, so serial and
+        # process-pool runs (where host-side mutations would be lost in
+        # the worker) emit identical counters.
         hosts = self._build_hosts()
         workers = min(cfg.workers, len(hosts))
         if workers <= 1:
-            return [
-                host.run_epoch(shard, cfg.offered_gbps)
-                for host, shard in zip(hosts, shards)
-            ]
-        # Hosts are independent within an epoch (disjoint shards, merge
-        # at the controller), so they parallelize with no coordination;
-        # hosts, shards and reports all pickle cleanly.
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(_run_host_epoch, host, shard, cfg.offered_gbps)
-                for host, shard in zip(hosts, shards)
-            ]
-            return [future.result() for future in futures]
+            reports = []
+            for host, shard in zip(hosts, shards):
+                with trace_span(
+                    cfg.telemetry, "dataplane.host", host=host.host_id
+                ):
+                    reports.append(
+                        host.run_epoch(shard, cfg.offered_gbps)
+                    )
+        else:
+            # Hosts are independent within an epoch (disjoint shards,
+            # merge at the controller), so they parallelize with no
+            # coordination; hosts, shards and reports pickle cleanly.
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(
+                        _run_host_epoch, host, shard, cfg.offered_gbps
+                    )
+                    for host, shard in zip(hosts, shards)
+                ]
+                reports = [future.result() for future in futures]
+        if cfg.telemetry is not None:
+            self._publish_reports(reports)
+        return reports
+
+    def _publish_reports(self, reports: list[LocalReport]) -> None:
+        """Publish per-host data-plane counters from epoch reports."""
+        registry = self.config.telemetry.registry
+        engine = "batch" if self.config.batch else "scalar"
+        for report in reports:
+            publish_switch_epoch(
+                registry,
+                report.switch,
+                host=str(report.host_id),
+                sketch=report.sketch.name,
+                engine=engine,
+            )
+            if report.fastpath is not None:
+                publish_fastpath_epoch(
+                    registry,
+                    fastpath_stats(report.fastpath),
+                    host=str(report.host_id),
+                )
 
     # ------------------------------------------------------------------
     def run_epoch(
@@ -166,11 +233,17 @@ class SketchVisorPipeline:
         """Run one epoch end to end and score the answer."""
         if isinstance(self.task, HeavyChangerTask):
             raise ConfigError("heavy changer needs run_epoch_pair")
-        reports = self._run_dataplane(trace)
-        network = self.controller.aggregate(reports)
-        answer = self.task.answer(network.sketch)
-        truth = truth or GroundTruth.from_trace(trace)
-        score = self.task.score(answer, truth)
+        telemetry = self.config.telemetry
+        with trace_span(telemetry, "epoch", task=self.task.name):
+            with trace_span(telemetry, "dataplane"):
+                reports = self._run_dataplane(trace)
+            network = self.controller.aggregate(reports)
+            with trace_span(telemetry, "task.answer"):
+                answer = self.task.answer(network.sketch)
+            with trace_span(telemetry, "groundtruth"):
+                truth = truth or GroundTruth.from_trace(trace)
+            with trace_span(telemetry, "task.score"):
+                score = self.task.score(answer, truth)
         return EpochResult(
             answer=answer, score=score, network=network, reports=reports
         )
@@ -185,14 +258,23 @@ class SketchVisorPipeline:
         """Run two consecutive epochs (heavy changer detection)."""
         if not isinstance(self.task, HeavyChangerTask):
             raise ConfigError("run_epoch_pair is for heavy changer")
-        reports_a = self._run_dataplane(epoch_a)
-        network_a = self.controller.aggregate(reports_a)
-        reports_b = self._run_dataplane(epoch_b)
-        network_b = self.controller.aggregate(reports_b)
-        answer = self.task.answer_pair(network_a.sketch, network_b.sketch)
-        truth_a = truth_a or GroundTruth.from_trace(epoch_a)
-        truth_b = truth_b or GroundTruth.from_trace(epoch_b)
-        score = self.task.score_pair(answer, truth_a, truth_b)
+        telemetry = self.config.telemetry
+        with trace_span(telemetry, "epoch", task=self.task.name):
+            with trace_span(telemetry, "dataplane", half="a"):
+                reports_a = self._run_dataplane(epoch_a)
+            network_a = self.controller.aggregate(reports_a)
+            with trace_span(telemetry, "dataplane", half="b"):
+                reports_b = self._run_dataplane(epoch_b)
+            network_b = self.controller.aggregate(reports_b)
+            with trace_span(telemetry, "task.answer"):
+                answer = self.task.answer_pair(
+                    network_a.sketch, network_b.sketch
+                )
+            with trace_span(telemetry, "groundtruth"):
+                truth_a = truth_a or GroundTruth.from_trace(epoch_a)
+                truth_b = truth_b or GroundTruth.from_trace(epoch_b)
+            with trace_span(telemetry, "task.score"):
+                score = self.task.score_pair(answer, truth_a, truth_b)
         return EpochResult(
             answer=answer,
             score=score,

@@ -6,6 +6,7 @@ experiment result files — no plotting dependency required.
 
 from __future__ import annotations
 
+import math
 from collections.abc import Mapping, Sequence
 
 _BAR = "█"
@@ -20,25 +21,87 @@ def ascii_bar_chart(
 ) -> str:
     """Render a horizontal bar chart.
 
+    Values that cannot be drawn as a bar length are clamped and
+    annotated rather than rendered as garbage: negatives get an empty
+    bar marked ``(< 0)``, NaN / infinities an empty bar marked
+    ``(non-finite)``.  Non-finite values are also excluded from the
+    automatic peak, so one bad sample cannot flatten the whole chart.
+
     >>> print(ascii_bar_chart({"a": 2.0, "b": 1.0}, width=4))
     a  ████  2
     b  ██    1
     """
     if not values:
         return "(no data)"
-    peak = max_value if max_value is not None else max(values.values())
+    if max_value is not None:
+        peak = max_value
+    else:
+        finite = [
+            v for v in values.values() if math.isfinite(v) and v > 0
+        ]
+        peak = max(finite) if finite else 0.0
     peak = max(peak, 1e-12)
     label_width = max(len(str(label)) for label in values)
     lines = []
     for label, value in values.items():
-        filled = value / peak * width
+        note = ""
+        if not math.isfinite(value):
+            filled = 0.0
+            note = "  (non-finite)"
+        elif value < 0:
+            filled = 0.0
+            note = "  (< 0)"
+        else:
+            filled = min(value / peak, 1.0) * width
         bar = _BAR * int(filled)
         if filled - int(filled) >= 0.5:
             bar += _HALF
         bar = bar.ljust(width)
         rendered = _format_number(value)
         lines.append(
-            f"{str(label):<{label_width}}  {bar}  {rendered}{unit}"
+            f"{str(label):<{label_width}}  {bar}  {rendered}{unit}{note}"
+        )
+    return "\n".join(lines)
+
+
+def span_tree(
+    rows: Sequence[tuple[int, str, float, Mapping]],
+    min_fraction: float = 0.0,
+) -> str:
+    """Render tracer rows as an indented stage-timing tree.
+
+    ``rows`` are ``(depth, name, seconds, attrs)`` tuples in start
+    order (see :meth:`repro.telemetry.Tracer.tree_rows`).  Durations
+    print in milliseconds with each span's share of its *root* span;
+    ``min_fraction`` hides spans below that share (roots always show).
+
+    >>> print(span_tree([(0, "epoch", 0.2, {}), (1, "dataplane", 0.15, {})]))
+    epoch           200.0ms 100.0%
+      dataplane     150.0ms  75.0%
+    """
+    if not rows:
+        return "(no spans)"
+    root_seconds = 0.0
+    kept: list[tuple[int, str, float, float, str]] = []
+    for depth, name, seconds, attrs in rows:
+        if depth == 0:
+            root_seconds = max(seconds, 1e-12)
+        fraction = seconds / root_seconds if root_seconds else 0.0
+        if depth > 0 and fraction < min_fraction:
+            continue
+        attr_text = (
+            " [" + " ".join(f"{k}={v}" for k, v in attrs.items()) + "]"
+            if attrs
+            else ""
+        )
+        kept.append((depth, name, seconds, fraction, attr_text))
+    name_width = max(len("  " * d + n) for d, n, *_ in kept)
+    lines = []
+    for depth, name, seconds, fraction, attr_text in kept:
+        indented = ("  " * depth + name).ljust(name_width)
+        lines.append(
+            f"{indented}  {seconds * 1e3:>8.1f}ms {fraction:>6.1%}"
+            f"{attr_text}"
         )
     return "\n".join(lines)
 
@@ -97,6 +160,8 @@ def sparkline(values: Sequence[float]) -> str:
 
 
 def _format_number(value: float) -> str:
+    if not math.isfinite(value):
+        return str(value)
     if value == int(value) and abs(value) < 1e6:
         return str(int(value))
     return f"{value:.3g}"

@@ -91,6 +91,20 @@ class Sketch(ABC):
     def __init__(self, seed: int = 1):
         self.seed = seed
 
+    def describe(self) -> str:
+        """One-line configuration summary for logs and telemetry labels.
+
+        Subclasses get a useful default — class name, registry name,
+        seed, and configured memory — without overriding anything.
+        """
+        return (
+            f"{type(self).__name__}(name={self.name!r}, "
+            f"seed={self.seed}, memory={self.memory_bytes()}B)"
+        )
+
+    def __repr__(self) -> str:
+        return self.describe()
+
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------

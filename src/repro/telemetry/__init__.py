@@ -1,0 +1,128 @@
+"""First-class telemetry for the SketchVisor pipeline.
+
+Three pieces, all optional and all off by default:
+
+* :class:`~repro.telemetry.registry.MetricsRegistry` — counters,
+  gauges, and fixed-bucket histograms with per-host label support,
+  published into by the software switch, fast path, controller, and
+  monitor loop (the catalogue lives in
+  :mod:`repro.telemetry.publish` and ``docs/observability.md``);
+* :class:`~repro.telemetry.tracer.Tracer` — wall-time spans with
+  nesting for every pipeline stage, renderable as a stage-timing tree
+  or exported as ``chrome://tracing`` JSON;
+* exporters (:mod:`repro.telemetry.exporters`) — Prometheus text
+  exposition and JSON snapshots.
+
+Usage::
+
+    from repro import PipelineConfig, Telemetry
+
+    telemetry = Telemetry()
+    config = PipelineConfig(telemetry=telemetry)
+    ...  # run epochs
+    print(telemetry.prometheus_text())
+
+``telemetry=None`` (the default) keeps every hot path untouched; the
+environment variable ``REPRO_TELEMETRY=1`` turns telemetry on for any
+pipeline constructed without an explicit instance (used by CI to run
+the tier-1 suite fully instrumented).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import nullcontext
+
+from repro.telemetry.exporters import (
+    json_snapshot,
+    prometheus_text,
+    write_chrome_trace,
+    write_json_snapshot,
+    write_prometheus,
+)
+from repro.telemetry.registry import (
+    Counter,
+    CounterFamily,
+    Gauge,
+    GaugeFamily,
+    Histogram,
+    HistogramFamily,
+    MetricsRegistry,
+)
+from repro.telemetry.tracer import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "CounterFamily",
+    "Gauge",
+    "GaugeFamily",
+    "Histogram",
+    "HistogramFamily",
+    "MetricsRegistry",
+    "Span",
+    "Telemetry",
+    "Tracer",
+    "json_snapshot",
+    "prometheus_text",
+    "telemetry_from_env",
+    "trace_span",
+    "write_chrome_trace",
+    "write_json_snapshot",
+    "write_prometheus",
+]
+
+
+class Telemetry:
+    """One metrics registry plus one tracer — the unit of wiring.
+
+    Pass an instance as ``PipelineConfig(telemetry=...)`` (or directly
+    to a :class:`~repro.dataplane.switch.SoftwareSwitch`); every
+    instrumented component it reaches publishes into the same registry
+    and tracer.
+    """
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer()
+
+    def span(self, name: str, **attrs):
+        """Context manager timing one pipeline stage."""
+        return self.tracer.span(name, **attrs)
+
+    # -- export conveniences -------------------------------------------
+    def prometheus_text(self) -> str:
+        return prometheus_text(self.registry)
+
+    def json_snapshot(self) -> dict:
+        return json_snapshot(self.registry, self.tracer)
+
+    def chrome_trace(self) -> dict:
+        return self.tracer.chrome_trace()
+
+    def reset(self) -> None:
+        self.registry.reset()
+        self.tracer.reset()
+
+
+def trace_span(telemetry: Telemetry | None, name: str, **attrs):
+    """``telemetry.span(...)`` that degrades to a no-op for ``None``.
+
+    The instrumented modules all call this, so running without
+    telemetry costs one ``is None`` check per *stage* (never per
+    packet).
+    """
+    if telemetry is None:
+        return nullcontext()
+    return telemetry.tracer.span(name, **attrs)
+
+
+def telemetry_from_env() -> Telemetry | None:
+    """A fresh :class:`Telemetry` when ``REPRO_TELEMETRY`` is set.
+
+    Recognizes any non-empty value except ``0``; returns ``None``
+    otherwise, keeping telemetry strictly opt-in.
+    """
+    flag = os.environ.get("REPRO_TELEMETRY", "")
+    if flag and flag != "0":
+        return Telemetry()
+    return None

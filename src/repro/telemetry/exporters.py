@@ -1,0 +1,125 @@
+"""Telemetry exporters: Prometheus text exposition and JSON snapshots.
+
+Both walk a :class:`~repro.telemetry.registry.MetricsRegistry` without
+mutating it, so exporting mid-run is safe.  The Prometheus format
+follows the text exposition conventions (``# HELP`` / ``# TYPE`` lines,
+``_bucket{le=...}`` / ``_sum`` / ``_count`` for histograms) and can be
+served from a file by any node-exporter-style sidecar.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+from pathlib import Path
+
+from repro.telemetry.registry import Histogram, MetricsRegistry
+from repro.telemetry.tracer import Tracer
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value) == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{str(value)}"' for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render the registry in Prometheus text exposition format."""
+    lines: list[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for labels, child in family.samples():
+            if isinstance(child, Histogram):
+                cumulative = 0
+                for bound, count in zip(
+                    list(child.bounds) + [float("inf")],
+                    child.bucket_counts,
+                ):
+                    cumulative += count
+                    bucket_labels = dict(labels, le=_format_value(bound))
+                    lines.append(
+                        f"{family.name}_bucket"
+                        f"{_format_labels(bucket_labels)} {cumulative}"
+                    )
+                lines.append(
+                    f"{family.name}_sum{_format_labels(labels)} "
+                    f"{_format_value(child.sum)}"
+                )
+                lines.append(
+                    f"{family.name}_count{_format_labels(labels)} "
+                    f"{child.count}"
+                )
+            else:
+                lines.append(
+                    f"{family.name}{_format_labels(labels)} "
+                    f"{_format_value(child.value)}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def json_snapshot(
+    registry: MetricsRegistry, tracer: Tracer | None = None
+) -> dict:
+    """A JSON-able snapshot: all metrics, plus span rows if given."""
+    snapshot: dict = {"metrics": registry.snapshot()}
+    if tracer is not None:
+        snapshot["spans"] = [
+            {
+                "name": span.name,
+                "start": span.start,
+                "duration": span.duration,
+                "depth": span.depth,
+                "parent": span.parent,
+                "attrs": {k: str(v) for k, v in span.attrs.items()},
+            }
+            for span in tracer.spans
+        ]
+    return snapshot
+
+
+def _write(text: str, destination: str | Path | None) -> None:
+    """Write to a path, or stdout for ``None`` / ``"-"``."""
+    if destination is None or str(destination) == "-":
+        sys.stdout.write(text)
+    else:
+        Path(destination).write_text(text)
+
+
+def write_prometheus(
+    registry: MetricsRegistry, destination: str | Path | None = None
+) -> None:
+    """Dump Prometheus text to a file, or stdout for ``None`` / ``"-"``."""
+    _write(prometheus_text(registry), destination)
+
+
+def write_json_snapshot(
+    registry: MetricsRegistry,
+    destination: str | Path | None = None,
+    tracer: Tracer | None = None,
+) -> None:
+    """Dump the JSON snapshot to a file, or stdout for ``None`` / ``"-"``."""
+    _write(
+        json.dumps(json_snapshot(registry, tracer), indent=2) + "\n",
+        destination,
+    )
+
+
+def write_chrome_trace(
+    tracer: Tracer, destination: str | Path
+) -> None:
+    """Dump ``chrome://tracing``-loadable trace-event JSON."""
+    _write(json.dumps(tracer.chrome_trace(), indent=2) + "\n", destination)

@@ -1,0 +1,192 @@
+"""The metric catalogue: how pipeline objects map into the registry.
+
+Every component publishes through these helpers so the counter
+*semantics* are engine-independent: the scalar switch, the batched
+switch, and the process-pool pipeline all publish the same families
+from the same per-epoch report fields, which is what makes
+batch-vs-scalar counter totals comparable (and testable) bit for bit.
+
+All helpers are duck-typed over the report/snapshot objects (no
+dataplane imports) so this module sits below every instrumented layer.
+Counter values are per-epoch increments; gauges are end-of-epoch
+absolutes.  See ``docs/observability.md`` for the full catalogue.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.registry import MetricsRegistry
+
+#: Bucket bounds for LENS iteration counts (max_iterations default 60).
+LENS_ITERATION_BUCKETS = (1, 2, 5, 10, 20, 40, 60, 100, 200)
+
+#: Bucket bounds for epoch wall times in seconds.
+EPOCH_SECONDS_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
+    2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+def publish_switch_epoch(
+    registry: MetricsRegistry,
+    report,
+    *,
+    host: str = "0",
+    sketch: str = "sketch",
+    engine: str = "scalar",
+) -> None:
+    """Publish one epoch's :class:`SwitchReport` into the registry."""
+    packets = registry.counter(
+        "sketchvisor_switch_packets_total",
+        "Packets routed per path by the software switch",
+    )
+    packets.inc(report.normal_packets, host=host, path="normal")
+    packets.inc(report.fastpath_packets, host=host, path="fastpath")
+
+    volume = registry.counter(
+        "sketchvisor_switch_bytes_total",
+        "Bytes routed per path by the software switch",
+    )
+    volume.inc(report.normal_bytes, host=host, path="normal")
+    volume.inc(report.fastpath_bytes, host=host, path="fastpath")
+
+    cycles = registry.counter(
+        "sketchvisor_switch_cycles_total",
+        "Simulated CPU cycles per actor, labelled by normal-path sketch",
+    )
+    cycles.inc(
+        report.producer_cycles, host=host, sketch=sketch, actor="producer"
+    )
+    cycles.inc(
+        report.consumer_cycles, host=host, sketch=sketch, actor="consumer"
+    )
+
+    registry.gauge(
+        "sketchvisor_switch_buffer_high_water",
+        "Peak FIFO occupancy (packets) during the epoch",
+    ).set_max(report.buffer_high_water, host=host)
+    registry.gauge(
+        "sketchvisor_switch_throughput_gbps",
+        "Sustained throughput of the last epoch",
+    ).set(report.throughput_gbps, host=host)
+    registry.counter(
+        "sketchvisor_switch_epochs_total",
+        "Epochs processed, labelled by engine",
+    ).inc(1, host=host, engine=engine)
+
+
+def fastpath_stats(fastpath) -> dict[str, float]:
+    """Uniform per-epoch operation stats for a live fast path *or* a
+    snapshot (:class:`FastPathSnapshot` carries the same counters so
+    publishing from control-plane reports matches publishing in situ).
+    """
+    if hasattr(fastpath, "num_updates"):  # live FastPath / MisraGries
+        return {
+            "updates": fastpath.num_updates,
+            "hits": fastpath.num_hits,
+            "inserts": fastpath.num_inserts,
+            "kickouts": fastpath.num_kickouts,
+            "evictions": fastpath.num_evicted,
+            "rejected": getattr(fastpath, "num_rejected", 0),
+            "bytes": fastpath.total_bytes,
+            "decremented": fastpath.total_decremented,
+            "tracked": len(fastpath.table),
+        }
+    return {  # FastPathSnapshot
+        "updates": fastpath.update_count,
+        "hits": fastpath.hit_count,
+        "inserts": fastpath.insert_count,
+        "kickouts": fastpath.kickout_count,
+        "evictions": fastpath.evict_count,
+        "rejected": fastpath.reject_count,
+        "bytes": fastpath.total_bytes,
+        "decremented": fastpath.total_decremented,
+        "tracked": len(fastpath.entries),
+    }
+
+
+def publish_fastpath_epoch(
+    registry: MetricsRegistry,
+    stats: dict[str, float],
+    *,
+    host: str = "0",
+) -> None:
+    """Publish one epoch's fast-path stats (see :func:`fastpath_stats`)."""
+    updates = registry.counter(
+        "sketchvisor_fastpath_updates_total",
+        "Fast-path updates by outcome (Algorithm 1 work kinds)",
+    )
+    updates.inc(stats["hits"], host=host, kind="hit")
+    updates.inc(stats["inserts"], host=host, kind="insert")
+    updates.inc(stats["kickouts"], host=host, kind="kickout")
+    registry.counter(
+        "sketchvisor_fastpath_evictions_total",
+        "Flows evicted by kick-out passes",
+    ).inc(stats["evictions"], host=host)
+    registry.counter(
+        "sketchvisor_fastpath_rejected_total",
+        "Kick-out passes that admitted no new flow",
+    ).inc(stats["rejected"], host=host)
+    registry.counter(
+        "sketchvisor_fastpath_bytes_total",
+        "Total bytes seen by the fast path (V growth)",
+    ).inc(stats["bytes"], host=host)
+    registry.counter(
+        "sketchvisor_fastpath_decremented_bytes_total",
+        "Sum of kick-out decrements (E growth)",
+    ).inc(stats["decremented"], host=host)
+    registry.gauge(
+        "sketchvisor_fastpath_tracked_flows",
+        "Flows tracked in the hash table at epoch end",
+    ).set(stats["tracked"], host=host)
+
+
+def publish_controller_epoch(registry: MetricsRegistry, network) -> None:
+    """Publish one epoch's merge + recovery outcome (NetworkResult)."""
+    registry.counter(
+        "sketchvisor_controller_reports_total",
+        "Per-host reports merged by the controller",
+    ).inc(network.num_hosts)
+    if network.snapshot is not None:
+        registry.gauge(
+            "sketchvisor_controller_merged_table_flows",
+            "Flows in the merged fast-path table H",
+        ).set(len(network.snapshot.entries))
+    registry.histogram(
+        "sketchvisor_lens_iterations",
+        "LENS solver iterations to convergence",
+        buckets=LENS_ITERATION_BUCKETS,
+    ).observe(network.lens_iterations)
+    registry.counter(
+        "sketchvisor_lens_solves_total",
+        "LENS solves by convergence outcome",
+    ).inc(1, converged=str(bool(network.lens_converged)).lower())
+
+
+def publish_recovery_residual(
+    registry: MetricsRegistry, residual: float
+) -> None:
+    registry.gauge(
+        "sketchvisor_recovery_residual",
+        "Final LENS constraint residual of the last recovery",
+    ).set(residual)
+
+
+def publish_monitor_epoch(
+    registry: MetricsRegistry, summary, seconds: float
+) -> None:
+    """Publish one monitoring-loop epoch (EpochSummary + wall time)."""
+    alerts = registry.counter(
+        "sketchvisor_monitor_alerts_total",
+        "Alerts raised by the monitoring loop, by kind",
+    )
+    for alert in summary.alerts:
+        alerts.inc(1, kind=alert.kind.value)
+    registry.histogram(
+        "sketchvisor_monitor_epoch_seconds",
+        "Wall time of one monitoring-loop epoch",
+        buckets=EPOCH_SECONDS_BUCKETS,
+    ).observe(seconds)
+    registry.counter(
+        "sketchvisor_monitor_epochs_total",
+        "Epochs processed by the monitoring loop",
+    ).inc(1)

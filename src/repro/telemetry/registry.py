@@ -1,0 +1,270 @@
+"""The metrics registry: counters, gauges, and fixed-bucket histograms.
+
+Prometheus-flavoured semantics, sized for a hot simulation loop:
+
+* a *family* is a named metric with a help string; `labels(...)` binds a
+  label set and returns the *child* holding the actual value;
+* children are cached by label tuple, so steady-state publishing is a
+  dict hit plus a float add — no allocation, no string formatting;
+* histograms use fixed upper bounds chosen at registration, so an
+  ``observe`` is a linear scan over a handful of floats.
+
+The registry itself is a plain ordered dict of families; exporters
+(:mod:`repro.telemetry.exporters`) walk it to produce Prometheus text
+exposition or JSON snapshots.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections.abc import Iterator, Sequence
+
+from repro.common.errors import ConfigError
+
+#: Default histogram upper bounds: log-spaced from sub-millisecond to
+#: tens of units — suitable for both second-scale wall times and small
+#: iteration counts.  Families that know their range pass their own.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
+)
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing value (one label set of a family)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can move both ways (one label set of a family)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def set_max(self, value: float) -> None:
+        """High-water-mark update: keep the larger of old and new."""
+        if value > self.value:
+            self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket cumulative histogram (one label set of a family)."""
+
+    __slots__ = ("bounds", "bucket_counts", "sum", "count")
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        self.bounds = tuple(bounds)
+        self.bucket_counts = [0] * (len(self.bounds) + 1)  # +Inf last
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def value(self) -> float:
+        """Mean observation — the scalar summary used in snapshots."""
+        if self.count == 0:
+            return 0.0
+        return self.sum / self.count
+
+
+class MetricFamily:
+    """A named metric plus its per-label-set children."""
+
+    def __init__(self, name: str, kind: str, help: str = ""):
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self._children: dict[LabelKey, object] = {}
+
+    # Subclasses set this to the child class.
+    _child_type: type = object
+
+    def _make_child(self):
+        return self._child_type()
+
+    def labels(self, **labels):
+        """The child for this label set (created on first use)."""
+        key = _label_key(labels)
+        child = self._children.get(key)
+        if child is None:
+            child = self._make_child()
+            self._children[key] = child
+        return child
+
+    def samples(self) -> Iterator[tuple[dict[str, str], object]]:
+        """Yield ``(labels, child)`` pairs in insertion order."""
+        for key, child in self._children.items():
+            yield dict(key), child
+
+    def total(self) -> float:
+        """Sum of all children's scalar values (tests, summaries)."""
+        return sum(child.value for child in self._children.values())
+
+
+class CounterFamily(MetricFamily):
+    _child_type = Counter
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, "counter", help)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        self.labels(**labels).inc(amount)
+
+
+class GaugeFamily(MetricFamily):
+    _child_type = Gauge
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, "gauge", help)
+
+    def set(self, value: float, **labels) -> None:
+        self.labels(**labels).set(value)
+
+    def set_max(self, value: float, **labels) -> None:
+        self.labels(**labels).set_max(value)
+
+
+class HistogramFamily(MetricFamily):
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, "histogram", help)
+        bounds = tuple(buckets)
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ConfigError("histogram buckets must strictly increase")
+        self._bounds = bounds
+
+    def _make_child(self) -> Histogram:
+        return Histogram(self._bounds)
+
+    def observe(self, value: float, **labels) -> None:
+        self.labels(**labels).observe(value)
+
+
+class MetricsRegistry:
+    """All metric families of one telemetry domain.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: the first
+    call registers the family, later calls return it (and reject kind
+    mismatches), so publishers can resolve families wherever they run.
+    """
+
+    def __init__(self) -> None:
+        self._families: dict[str, MetricFamily] = {}
+
+    # -- registration --------------------------------------------------
+    def _get_or_create(self, name: str, kind: str, factory) -> MetricFamily:
+        family = self._families.get(name)
+        if family is None:
+            family = factory()
+            self._families[name] = family
+        elif family.kind != kind:
+            raise ConfigError(
+                f"metric {name!r} already registered as {family.kind}, "
+                f"not {kind}"
+            )
+        return family
+
+    def counter(self, name: str, help: str = "") -> CounterFamily:
+        return self._get_or_create(
+            name, "counter", lambda: CounterFamily(name, help)
+        )
+
+    def gauge(self, name: str, help: str = "") -> GaugeFamily:
+        return self._get_or_create(
+            name, "gauge", lambda: GaugeFamily(name, help)
+        )
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> HistogramFamily:
+        return self._get_or_create(
+            name, "histogram", lambda: HistogramFamily(name, help, buckets)
+        )
+
+    # -- access --------------------------------------------------------
+    def families(self) -> Iterator[MetricFamily]:
+        yield from self._families.values()
+
+    def value(self, name: str, **labels) -> float | None:
+        """One child's scalar value, or None if never published."""
+        family = self._families.get(name)
+        if family is None:
+            return None
+        key = _label_key(labels)
+        child = family._children.get(key)
+        if child is None:
+            return None
+        return child.value
+
+    def total(self, name: str) -> float:
+        """Sum across all label sets of a family (0.0 if unknown)."""
+        family = self._families.get(name)
+        if family is None:
+            return 0.0
+        return family.total()
+
+    def snapshot(self) -> dict:
+        """A JSON-able dump of every family and child."""
+        out: dict = {}
+        for family in self.families():
+            entries = []
+            for labels, child in family.samples():
+                entry: dict = {"labels": labels}
+                if isinstance(child, Histogram):
+                    entry.update(
+                        sum=child.sum,
+                        count=child.count,
+                        buckets=[
+                            {"le": bound, "count": count}
+                            for bound, count in zip(
+                                list(child.bounds) + [float("inf")],
+                                child.bucket_counts,
+                            )
+                        ],
+                    )
+                else:
+                    entry["value"] = child.value
+                entries.append(entry)
+            out[family.name] = {
+                "kind": family.kind,
+                "help": family.help,
+                "samples": entries,
+            }
+        return out
+
+    def reset(self) -> None:
+        self._families.clear()

@@ -55,7 +55,7 @@ class TestRun:
         code = main(
             [
                 "run",
-                "--trace",
+                "--trace-file",
                 str(path),
                 "--task",
                 "heavy_hitter",

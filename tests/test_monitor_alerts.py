@@ -4,12 +4,15 @@ from __future__ import annotations
 
 import pytest
 
+from repro.common.flow import FlowKey, Packet
 from repro.framework.monitor import AlertKind, ContinuousMonitor
 from repro.tasks.ddos import DDoSTask
+from repro.tasks.heavy_changer import HeavyChangerTask
 from repro.tasks.heavy_hitter import HeavyHitterTask
 from repro.traffic.anomalies import inject_ddos_victims
 from repro.traffic.generator import TraceConfig, generate_trace
 from repro.traffic.groundtruth import GroundTruth
+from repro.traffic.trace import Trace
 
 
 @pytest.fixture(scope="module")
@@ -78,3 +81,90 @@ class TestDDoSAlerts:
         second = monitor.process_epoch(trace)
         assert {a.epoch for a in first.alerts} == {0}
         assert {a.epoch for a in second.alerts} == {1}
+
+
+class TestMultiEpochHistory:
+    def test_alerts_accumulate_per_epoch(self, attack_epoch):
+        trace, victims = attack_epoch
+        monitor = ContinuousMonitor(
+            [
+                DDoSTask(
+                    threshold=120, sketch_params={"inner_width": 256}
+                )
+            ]
+        )
+        for _ in range(3):
+            monitor.process_epoch(trace)
+        assert len(monitor.history) == 3
+        ddos = monitor.alerts(AlertKind.DDOS)
+        # Every epoch contributed alerts, tagged with its own index.
+        assert {a.epoch for a in ddos} == {0, 1, 2}
+        per_epoch = len(monitor.history[0].alerts)
+        assert per_epoch > 0
+        assert len(ddos) == 3 * per_epoch
+        # The same attack every epoch makes every victim recurring.
+        assert set(victims) <= monitor.recurring_subjects(
+            AlertKind.DDOS, min_epochs=3
+        )
+
+    def test_history_preserves_each_epoch_summary(self, attack_epoch):
+        trace, _victims = attack_epoch
+        monitor = ContinuousMonitor(
+            [
+                DDoSTask(
+                    threshold=120, sketch_params={"inner_width": 256}
+                )
+            ]
+        )
+        summaries = [monitor.process_epoch(trace) for _ in range(2)]
+        assert [s.epoch for s in monitor.history] == [0, 1]
+        assert monitor.history == summaries
+
+
+class TestHeavyChangerEpochPairs:
+    """Heavy changer must compare each epoch against the previous one."""
+
+    @pytest.fixture(scope="class")
+    def changer_epochs(self):
+        epoch_a = generate_trace(TraceConfig(num_flows=400, seed=31))
+        burst_flow = FlowKey(0x0A000001, 0x0A000002, 40000, 443)
+        last_ts = epoch_a.packets[-1].timestamp
+        burst = [
+            Packet(burst_flow, 1400, timestamp=last_ts)
+            for _ in range(400)
+        ]
+        epoch_b = Trace(list(epoch_a.packets) + burst)
+        return epoch_a, epoch_b, burst_flow
+
+    def test_first_epoch_produces_no_changer_answer(self, changer_epochs):
+        epoch_a, _epoch_b, _flow = changer_epochs
+        monitor = ContinuousMonitor(
+            [HeavyChangerTask("flowradar", threshold=100_000)]
+        )
+        summary = monitor.process_epoch(epoch_a)
+        assert summary.results == {}
+        assert summary.alerts == []
+
+    def test_changer_alerts_compare_adjacent_epochs(self, changer_epochs):
+        epoch_a, epoch_b, burst_flow = changer_epochs
+        monitor = ContinuousMonitor(
+            [HeavyChangerTask("flowradar", threshold=100_000)]
+        )
+        monitor.process_epoch(epoch_a)
+        second = monitor.process_epoch(epoch_b)
+        changers = [
+            a
+            for a in second.alerts
+            if a.kind is AlertKind.HEAVY_CHANGER
+        ]
+        # Only the injected burst differs between the two epochs.
+        assert {a.subject for a in changers} == {burst_flow}
+        assert all(a.epoch == 1 for a in changers)
+        assert all(a.magnitude > 100_000 for a in changers)
+        # A third, unchanged epoch (b vs b) raises no changer alerts.
+        third = monitor.process_epoch(epoch_b)
+        assert [
+            a
+            for a in third.alerts
+            if a.kind is AlertKind.HEAVY_CHANGER
+        ] == []

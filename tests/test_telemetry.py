@@ -1,0 +1,507 @@
+"""Telemetry subsystem: registry, tracer, exporters, and pipeline wiring."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro import PipelineConfig, SketchVisorPipeline, Telemetry
+from repro.common.errors import ConfigError
+from repro.dataplane.switch import SoftwareSwitch
+from repro.fastpath.topk import FastPath
+from repro.framework.monitor import ContinuousMonitor
+from repro.reporting import ascii_bar_chart, span_tree
+from repro.sketches.countmin import CountMinSketch
+from repro.tasks.heavy_hitter import HeavyHitterTask
+from repro.telemetry import telemetry_from_env, trace_span
+from repro.telemetry.exporters import (
+    json_snapshot,
+    prometheus_text,
+    write_chrome_trace,
+    write_json_snapshot,
+    write_prometheus,
+)
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.tracer import Tracer
+from repro.traffic.generator import TraceConfig, generate_trace
+from repro.traffic.groundtruth import GroundTruth
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(TraceConfig(num_flows=600, seed=5))
+
+
+@pytest.fixture(scope="module")
+def truth(trace):
+    return GroundTruth.from_trace(trace)
+
+
+def _pipeline(trace, truth, telemetry, *, batch=False, hosts=2):
+    task = HeavyHitterTask("univmon", threshold=0.01 * truth.total_bytes)
+    return SketchVisorPipeline(
+        task,
+        config=PipelineConfig(
+            num_hosts=hosts, batch=batch, telemetry=telemetry
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_counter_inc_and_value(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests_total", "help text")
+        counter.inc(2, host="0")
+        counter.inc(3, host="0")
+        counter.inc(1, host="1")
+        assert registry.value("requests_total", host="0") == 5
+        assert registry.value("requests_total", host="1") == 1
+        assert registry.total("requests_total") == 6
+
+    def test_unknown_metric_reads_as_none_or_zero(self):
+        registry = MetricsRegistry()
+        assert registry.value("nope") is None
+        assert registry.total("nope") == 0.0
+        registry.counter("known").inc(1, host="0")
+        assert registry.value("known", host="9") is None
+
+    def test_children_cached_by_label_set(self):
+        registry = MetricsRegistry()
+        family = registry.counter("cached_total")
+        child = family.labels(host="0", path="normal")
+        # Keyword order must not matter; same set -> same child object.
+        assert family.labels(path="normal", host="0") is child
+
+    def test_counters_reject_negative_increments(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigError):
+            registry.counter("mono_total").inc(-1)
+
+    def test_gauge_set_and_high_water(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("occupancy")
+        gauge.set(7, host="0")
+        gauge.set(3, host="0")
+        assert registry.value("occupancy", host="0") == 3
+        gauge.set_max(10, host="0")
+        gauge.set_max(4, host="0")  # lower: ignored
+        assert registry.value("occupancy", host="0") == 10
+
+    def test_histogram_buckets_and_summary(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "latency_seconds", buckets=(0.1, 1.0, 10.0)
+        )
+        for value in (0.05, 0.1, 0.5, 20.0):
+            histogram.observe(value)
+        child = histogram.labels()
+        # 0.05 and 0.1 land in le=0.1 (upper bounds are inclusive).
+        assert child.bucket_counts == [2, 1, 0, 1]
+        assert child.count == 4
+        assert child.sum == pytest.approx(20.65)
+        assert child.value == pytest.approx(20.65 / 4)
+
+    def test_histogram_buckets_must_increase(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigError):
+            registry.histogram("bad", buckets=(1.0, 1.0, 2.0))
+
+    def test_get_or_create_returns_same_family(self):
+        registry = MetricsRegistry()
+        first = registry.counter("same_total", "help")
+        assert registry.counter("same_total") is first
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("taken")
+        with pytest.raises(ConfigError):
+            registry.gauge("taken")
+
+    def test_snapshot_and_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "h").inc(2, host="0")
+        registry.histogram("h_seconds", buckets=(1.0,)).observe(0.5)
+        snapshot = registry.snapshot()
+        assert snapshot["c_total"]["kind"] == "counter"
+        assert snapshot["c_total"]["samples"][0] == {
+            "labels": {"host": "0"},
+            "value": 2.0,
+        }
+        histogram = snapshot["h_seconds"]["samples"][0]
+        assert histogram["count"] == 1
+        assert histogram["buckets"][-1]["le"] == float("inf")
+        registry.reset()
+        assert registry.snapshot() == {}
+
+
+# ----------------------------------------------------------------------
+class TestPrometheusText:
+    def test_counter_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("pkts_total", "packet count").inc(
+            5, host="0", path="normal"
+        )
+        text = prometheus_text(registry)
+        assert "# HELP pkts_total packet count" in text
+        assert "# TYPE pkts_total counter" in text
+        assert 'pkts_total{host="0",path="normal"} 5' in text
+        assert text.endswith("\n")
+
+    def test_histogram_exposition_is_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            histogram.observe(value)
+        text = prometheus_text(registry)
+        assert 'lat_bucket{le="0.1"} 1' in text
+        assert 'lat_bucket{le="1"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_sum" in text
+        assert "lat_count 3" in text
+
+
+# ----------------------------------------------------------------------
+class TestTracer:
+    def test_nesting_depth_and_parent(self):
+        tracer = Tracer()
+        with tracer.span("epoch", task="hh"):
+            with tracer.span("dataplane"):
+                pass
+            with tracer.span("task.answer"):
+                pass
+        names = [span.name for span in tracer.spans]
+        assert names == ["epoch", "dataplane", "task.answer"]
+        epoch, dataplane, answer = tracer.spans
+        assert (epoch.depth, dataplane.depth, answer.depth) == (0, 1, 1)
+        assert dataplane.parent == 0 and answer.parent == 0
+        assert epoch.parent is None
+        assert epoch.attrs == {"task": "hh"}
+        assert epoch.duration >= dataplane.duration + answer.duration
+        assert tracer.roots() == [epoch]
+        assert tracer.children(epoch) == [dataplane, answer]
+
+    def test_tree_rows_match_spans(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b", k=1):
+                pass
+        rows = tracer.tree_rows()
+        assert [(d, n) for d, n, _s, _a in rows] == [(0, "a"), (1, "b")]
+        assert rows[1][3] == {"k": 1}
+
+    def test_chrome_trace_format(self):
+        tracer = Tracer()
+        with tracer.span("epoch", task="hh"):
+            with tracer.span("dataplane"):
+                pass
+        payload = tracer.chrome_trace()
+        assert payload["displayTimeUnit"] == "ms"
+        events = payload["traceEvents"]
+        assert len(events) == 2
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0 and event["dur"] >= 0
+            assert {"pid", "tid", "name", "args"} <= set(event)
+        assert events[0]["args"] == {"task": "hh"}
+        # Child lies inside the parent on the microsecond timeline.
+        parent, child = events
+        assert parent["ts"] <= child["ts"]
+        assert child["ts"] + child["dur"] <= parent["ts"] + parent["dur"] + 1
+
+    def test_trace_span_without_telemetry_is_noop(self):
+        with trace_span(None, "anything", attr=1):
+            pass  # must not raise or record
+
+    def test_reset_clears_spans(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        tracer.reset()
+        assert tracer.spans == []
+
+
+# ----------------------------------------------------------------------
+class TestExporters:
+    def test_json_snapshot_includes_spans(self):
+        telemetry = Telemetry()
+        telemetry.registry.counter("c_total").inc(1)
+        with telemetry.span("epoch"):
+            pass
+        snapshot = telemetry.json_snapshot()
+        assert snapshot["metrics"]["c_total"]["kind"] == "counter"
+        assert snapshot["spans"][0]["name"] == "epoch"
+        json.dumps(snapshot)  # must be serializable as-is
+
+    def test_writers_round_trip(self, tmp_path):
+        telemetry = Telemetry()
+        telemetry.registry.counter("c_total").inc(3, host="0")
+        with telemetry.span("epoch"):
+            pass
+        prom = tmp_path / "metrics.txt"
+        snap = tmp_path / "snapshot.json"
+        chrome = tmp_path / "trace.json"
+        write_prometheus(telemetry.registry, prom)
+        write_json_snapshot(telemetry.registry, snap, telemetry.tracer)
+        write_chrome_trace(telemetry.tracer, chrome)
+        assert 'c_total{host="0"} 3' in prom.read_text()
+        loaded = json.loads(snap.read_text())
+        assert loaded["spans"][0]["name"] == "epoch"
+        trace_doc = json.loads(chrome.read_text())
+        assert trace_doc["traceEvents"][0]["name"] == "epoch"
+
+
+# ----------------------------------------------------------------------
+class TestSwitchIntegration:
+    def _switch(self, telemetry, *, batch=False):
+        return SoftwareSwitch(
+            CountMinSketch(seed=3),
+            fastpath=FastPath(4096),
+            buffer_packets=256,
+            batch=batch,
+            telemetry=telemetry,
+            host_label="7",
+        )
+
+    def test_counters_match_report(self, trace):
+        telemetry = Telemetry()
+        switch = self._switch(telemetry)
+        report = switch.process(trace)
+        registry = telemetry.registry
+        assert registry.value(
+            "sketchvisor_switch_packets_total", host="7", path="normal"
+        ) == report.normal_packets
+        assert registry.value(
+            "sketchvisor_switch_packets_total", host="7", path="fastpath"
+        ) == report.fastpath_packets
+        assert registry.value(
+            "sketchvisor_switch_bytes_total", host="7", path="fastpath"
+        ) == report.fastpath_bytes
+        assert registry.value(
+            "sketchvisor_switch_buffer_high_water", host="7"
+        ) == report.buffer_high_water
+        assert registry.value(
+            "sketchvisor_switch_throughput_gbps", host="7"
+        ) == pytest.approx(report.throughput_gbps)
+        assert registry.value(
+            "sketchvisor_fastpath_bytes_total", host="7"
+        ) == switch.fastpath.total_bytes
+
+    def test_fastpath_counters_publish_deltas(self, trace):
+        # FastPath op counts are lifetime totals; over two epochs the
+        # registry (fed per-epoch deltas) must still equal the lifetime.
+        telemetry = Telemetry()
+        switch = self._switch(telemetry)
+        switch.process(trace)
+        switch.process(trace)
+        registry = telemetry.registry
+        assert registry.value(
+            "sketchvisor_switch_epochs_total", host="7", engine="scalar"
+        ) == 2
+        assert registry.value(
+            "sketchvisor_fastpath_updates_total", host="7", kind="hit"
+        ) == switch.fastpath.num_hits
+        assert registry.value(
+            "sketchvisor_fastpath_updates_total", host="7", kind="kickout"
+        ) == switch.fastpath.num_kickouts
+        assert registry.value(
+            "sketchvisor_fastpath_bytes_total", host="7"
+        ) == switch.fastpath.total_bytes
+        # The tracked-flows gauge stays absolute, not summed.
+        assert registry.value(
+            "sketchvisor_fastpath_tracked_flows", host="7"
+        ) == len(switch.fastpath.table)
+
+    def test_process_records_span(self, trace):
+        telemetry = Telemetry()
+        switch = self._switch(telemetry, batch=True)
+        switch.process(trace)
+        (span,) = telemetry.tracer.spans
+        assert span.name == "switch.process"
+        assert span.attrs == {"host": "7", "engine": "batch"}
+
+    def test_describe_and_repr(self, trace):
+        switch = self._switch(None)
+        text = switch.describe()
+        assert repr(switch) == text
+        assert "mode=sketchvisor" in text
+        assert "engine=scalar" in text
+        assert "telemetry=off" in text
+        assert "CountMinSketch" in text
+
+
+# ----------------------------------------------------------------------
+class TestPipelineIntegration:
+    def test_default_config_has_no_telemetry(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+        assert PipelineConfig().telemetry is None
+
+    def test_env_var_injects_telemetry(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY", "1")
+        assert isinstance(PipelineConfig().telemetry, Telemetry)
+        assert isinstance(telemetry_from_env(), Telemetry)
+        monkeypatch.setenv("REPRO_TELEMETRY", "0")
+        assert telemetry_from_env() is None
+
+    def test_per_host_counters_published(self, trace, truth):
+        telemetry = Telemetry()
+        pipeline = _pipeline(trace, truth, telemetry, hosts=2)
+        result = pipeline.run_epoch(trace, truth)
+        registry = telemetry.registry
+        for report in result.reports:
+            host = str(report.host_id)
+            assert registry.value(
+                "sketchvisor_switch_packets_total", host=host, path="normal"
+            ) == report.switch.normal_packets
+            assert registry.value(
+                "sketchvisor_switch_packets_total", host=host, path="fastpath"
+            ) == report.switch.fastpath_packets
+        assert registry.total(
+            "sketchvisor_switch_packets_total"
+        ) == len(trace)
+        assert registry.total("sketchvisor_controller_reports_total") == 2
+        assert registry.value(
+            "sketchvisor_lens_solves_total", converged="true"
+        ) == 1
+
+    def test_span_tree_covers_epoch_walltime(self, trace, truth):
+        telemetry = Telemetry()
+        pipeline = _pipeline(trace, truth, telemetry, hosts=2)
+        pipeline.run_epoch(trace, truth)
+        (root,) = telemetry.tracer.roots()
+        assert root.name == "epoch"
+        children = telemetry.tracer.children(root)
+        assert {span.name for span in children} >= {
+            "dataplane",
+            "controlplane.merge",
+            "task.answer",
+            "task.score",
+        }
+        covered = sum(span.duration for span in children)
+        # The instrumented stages account for (nearly) the whole epoch.
+        assert covered <= root.duration * 1.001
+        assert covered >= root.duration * 0.9
+
+    def test_engine_counter_totals_match(self, trace, truth):
+        # Batch vs scalar engines publish identical counter totals —
+        # the smoke assertion CI runs with `-k engine`.
+        scalar, batch = Telemetry(), Telemetry()
+        _pipeline(trace, truth, scalar, batch=False).run_epoch(
+            trace, truth
+        )
+        _pipeline(trace, truth, batch, batch=True).run_epoch(trace, truth)
+        scalar_families = {
+            family.name: family.kind
+            for family in scalar.registry.families()
+        }
+        batch_families = {
+            family.name: family.kind
+            for family in batch.registry.families()
+        }
+        assert scalar_families == batch_families
+        for name, kind in scalar_families.items():
+            if kind != "counter":
+                continue
+            assert scalar.registry.total(name) == pytest.approx(
+                batch.registry.total(name)
+            ), name
+        for host in ("0", "1"):
+            for path in ("normal", "fastpath"):
+                assert scalar.registry.value(
+                    "sketchvisor_switch_packets_total", host=host, path=path
+                ) == batch.registry.value(
+                    "sketchvisor_switch_packets_total", host=host, path=path
+                )
+        # Only the engine label tells the runs apart.
+        assert scalar.registry.value(
+            "sketchvisor_switch_epochs_total", host="0", engine="scalar"
+        ) == 1
+        assert batch.registry.value(
+            "sketchvisor_switch_epochs_total", host="0", engine="batch"
+        ) == 1
+
+    def test_pipeline_describe(self, trace, truth):
+        pipeline = _pipeline(trace, truth, None, batch=True)
+        text = pipeline.describe()
+        assert repr(pipeline) == text
+        assert "task='heavy_hitter'" in text
+        assert "engine=batch" in text
+
+
+# ----------------------------------------------------------------------
+class TestMonitorTelemetry:
+    def test_monitor_publishes_alerts_and_epochs(self, trace, truth):
+        telemetry = Telemetry()
+        monitor = ContinuousMonitor(
+            [
+                HeavyHitterTask(
+                    "univmon", threshold=0.01 * truth.total_bytes
+                )
+            ],
+            config=PipelineConfig(num_hosts=1, telemetry=telemetry),
+        )
+        first = monitor.process_epoch(trace)
+        second = monitor.process_epoch(trace)
+        registry = telemetry.registry
+        assert registry.total("sketchvisor_monitor_epochs_total") == 2
+        expected_alerts = len(first.alerts) + len(second.alerts)
+        assert expected_alerts > 0
+        assert registry.value(
+            "sketchvisor_monitor_alerts_total", kind="heavy_hitter"
+        ) == expected_alerts
+        seconds = registry.histogram(
+            "sketchvisor_monitor_epoch_seconds"
+        ).labels()
+        assert seconds.count == 2
+        root_names = [
+            span.name for span in telemetry.tracer.roots()
+        ]
+        assert root_names == ["monitor.epoch", "monitor.epoch"]
+
+
+# ----------------------------------------------------------------------
+class TestReporting:
+    def test_bar_chart_annotates_bad_values(self):
+        chart = ascii_bar_chart(
+            {
+                "ok": 10.0,
+                "neg": -5.0,
+                "nan": float("nan"),
+                "inf": float("inf"),
+            },
+            width=10,
+        )
+        lines = dict(
+            (line.split()[0], line) for line in chart.splitlines()
+        )
+        assert "██████████" in lines["ok"]
+        assert "(< 0)" in lines["neg"] and "█" not in lines["neg"]
+        assert "(non-finite)" in lines["nan"]
+        assert "(non-finite)" in lines["inf"]
+        # Non-finite values must not flatten the auto-computed peak.
+        assert lines["ok"].count("█") == 10
+
+    def test_bar_chart_clamps_above_explicit_peak(self):
+        chart = ascii_bar_chart({"big": 100.0}, width=8, max_value=10.0)
+        assert chart.count("█") == 8
+
+    def test_span_tree_renders_fractions(self):
+        rows = [
+            (0, "epoch", 0.2, {}),
+            (1, "dataplane", 0.15, {"host": 0}),
+            (1, "task.score", 0.001, {}),
+        ]
+        text = span_tree(rows)
+        assert "epoch" in text and "100.0%" in text
+        assert "75.0%" in text and "[host=0]" in text
+        filtered = span_tree(rows, min_fraction=0.05)
+        assert "task.score" not in filtered
+        assert "dataplane" in filtered
+        assert span_tree([]) == "(no spans)"
+
+    def test_bar_chart_handles_all_nonpositive(self):
+        chart = ascii_bar_chart({"a": -1.0, "b": float("nan")}, width=5)
+        assert "(< 0)" in chart and "(non-finite)" in chart
+        assert not math.isnan(len(chart))
