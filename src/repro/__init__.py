@@ -32,12 +32,18 @@ Quickstart::
 
 from repro.common.errors import (
     ConfigError,
+    CorruptFrameError,
     DecodeError,
     MergeError,
+    QuorumError,
+    ReportTimeout,
     ReproError,
+    StaleEpochError,
+    TransportError,
 )
 from repro.common.flow import FlowKey, Packet
-from repro.controlplane.recovery import RecoveryMode
+from repro.controlplane.recovery import DegradedEpoch, RecoveryMode
+from repro.faults import FaultKind, FaultPlan, FaultSpec, moderate_plan
 from repro.framework.modes import DataPlaneMode
 from repro.framework.pipeline import (
     EpochResult,
@@ -64,11 +70,16 @@ __version__ = "1.0.0"
 __all__ = [
     "CardinalityTask",
     "ConfigError",
+    "CorruptFrameError",
     "DDoSTask",
     "DataPlaneMode",
     "DecodeError",
+    "DegradedEpoch",
     "EntropyTask",
     "EpochResult",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
     "FlowKey",
     "FlowSizeDistributionTask",
     "GroundTruth",
@@ -78,12 +89,17 @@ __all__ = [
     "MetricsRegistry",
     "Packet",
     "PipelineConfig",
+    "QuorumError",
+    "ReportTimeout",
+    "StaleEpochError",
     "Telemetry",
     "Tracer",
+    "TransportError",
     "trace_span",
     "RecoveryMode",
     "ReproError",
     "SketchVisorPipeline",
+    "moderate_plan",
     "SuperspreaderTask",
     "TASK_REGISTRY",
     "Trace",

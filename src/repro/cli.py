@@ -26,6 +26,7 @@ import argparse
 import sys
 
 from repro.controlplane.recovery import RecoveryMode
+from repro.faults import FaultPlan
 from repro.framework.modes import DataPlaneMode
 from repro.framework.pipeline import PipelineConfig, SketchVisorPipeline
 from repro.framework.registry import TASK_REGISTRY, create_task
@@ -187,6 +188,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             _dump_telemetry(args, telemetry)
         return 0
 
+    faults = FaultPlan.load(args.chaos) if args.chaos else None
     pipeline = SketchVisorPipeline(
         task,
         dataplane=DataPlaneMode(args.dataplane),
@@ -195,6 +197,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             num_hosts=args.hosts,
             fastpath_bytes=args.fastpath_bytes,
             telemetry=telemetry,
+            faults=faults,
         ),
     )
     if args.task == "heavy_changer":
@@ -220,6 +223,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(
         f"fast-path bytes : {result.fastpath_byte_fraction:.0%}"
     )
+    if result.collection is not None:
+        stats = result.collection.stats
+        print(
+            f"chaos           : {stats.faults_seen} fault(s), "
+            f"{stats.retries} retr{'y' if stats.retries == 1 else 'ies'}, "
+            f"{len(result.collection.missing_hosts)} host(s) missing"
+        )
+        degraded = result.degraded
+        if degraded is not None:
+            print(
+                f"degraded epoch  : hosts {degraded.missing_hosts} "
+                f"missing, scale x{degraded.scale:.2f}, "
+                f"est. error inflation "
+                f"{degraded.error_inflation:.0%}"
+            )
     if telemetry is not None:
         _dump_telemetry(args, telemetry)
     return 0
@@ -408,6 +426,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--threshold-fraction", type=float, default=0.005)
     run.add_argument("--spread-threshold", type=int, default=100)
+    run.add_argument(
+        "--chaos",
+        metavar="PLAN.json",
+        help="inject faults from a FaultPlan JSON file into the "
+        "host->controller report path (see docs/robustness.md); "
+        "ignored by --cores mode",
+    )
     run.set_defaults(func=_cmd_run)
 
     telemetry = commands.add_parser(

@@ -29,3 +29,34 @@ class MergeError(ReproError):
     hash seeds, and type; hash tables only when they track the same key
     kind.
     """
+
+
+class TransportError(ConfigError):
+    """Base class for host → controller wire failures.
+
+    Subclasses :class:`ConfigError` so existing callers that treat any
+    malformed frame as a configuration problem keep working, while the
+    report collector can distinguish *retriable* delivery failures
+    (corruption, staleness, timeouts) from hard misconfiguration.
+    """
+
+
+class CorruptFrameError(TransportError):
+    """A frame failed validation: bad magic/version, a length field
+    that disagrees with the actual buffer, a CRC32 mismatch, or a
+    payload the restricted unpickler cannot parse."""
+
+
+class StaleEpochError(TransportError):
+    """A frame carried an epoch number other than the one being
+    collected — a delayed or replayed report from an earlier epoch."""
+
+
+class ReportTimeout(TransportError):
+    """A host's report did not arrive within the collection deadline
+    (simulated delivery latency exceeded the per-host timeout)."""
+
+
+class QuorumError(MergeError):
+    """Fewer hosts reported than the configured quorum; the epoch
+    cannot be recovered even in degraded mode."""

@@ -17,22 +17,36 @@ from repro.controlplane.lens import LensConfig, LensResult, lens_interpolate
 from repro.controlplane.merge import (
     merge_fastpath_snapshots,
     merge_sketches,
+    rescale_sketch,
+    rescale_snapshot,
 )
 from repro.controlplane.rank_analysis import low_rank_error_curve
-from repro.controlplane.recovery import RecoveryMode, recover
+from repro.controlplane.recovery import (
+    DegradedEpoch,
+    RecoveryMode,
+    recover,
+)
 from repro.controlplane.transport import (
+    CollectionResult,
+    CollectionStats,
+    ReportCollector,
     decode_report,
     decode_stream,
     encode_report,
     encode_stream,
+    peek_header,
 )
 
 __all__ = [
+    "CollectionResult",
+    "CollectionStats",
     "Controller",
+    "DegradedEpoch",
     "LensConfig",
     "LensResult",
     "NetworkResult",
     "RecoveryMode",
+    "ReportCollector",
     "decode_report",
     "decode_stream",
     "encode_report",
@@ -41,5 +55,8 @@ __all__ = [
     "low_rank_error_curve",
     "merge_fastpath_snapshots",
     "merge_sketches",
+    "peek_header",
     "recover",
+    "rescale_sketch",
+    "rescale_snapshot",
 ]

@@ -4,21 +4,36 @@ Collects per-host :class:`LocalReport` objects for an epoch, merges the
 normal-path sketches and fast-path tables, runs network-wide recovery,
 and hands measurement tasks a single recovered sketch — as if all
 traffic had been recorded by one switch's normal path.
+
+The merge is *degradation-aware*: when the caller says how many hosts
+were expected (``aggregate(..., expected_hosts=n)``) and fewer
+reported, the controller proceeds as long as a quorum did — rescaling
+the merged sketch and the recovery's volume constraint for the missing
+share and annotating the result with a :class:`DegradedEpoch` record —
+and raises :class:`QuorumError` only when too few hosts survive to say
+anything defensible about the network.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from collections.abc import Sequence
 
-from repro.common.errors import MergeError
+from repro.common.errors import MergeError, QuorumError
 from repro.common.flow import FlowKey
 from repro.controlplane.lens import LensConfig
 from repro.controlplane.merge import (
     merge_fastpath_snapshots,
     merge_sketches,
+    rescale_sketch,
+    rescale_snapshot,
 )
-from repro.controlplane.recovery import RecoveryMode, recover
+from repro.controlplane.recovery import (
+    DegradedEpoch,
+    RecoveryMode,
+    recover,
+)
 from repro.dataplane.host import LocalReport
 from repro.fastpath.topk import FastPathSnapshot
 from repro.sketches.base import Sketch
@@ -36,6 +51,9 @@ class NetworkResult:
     num_hosts: int = 0
     lens_iterations: int = 0
     lens_converged: bool = True
+    #: Present when the epoch was merged from fewer hosts than
+    #: expected; ``None`` for clean full-quorum epochs.
+    degraded: DegradedEpoch | None = None
 
 
 class Controller:
@@ -47,6 +65,16 @@ class Controller:
         Recovery strategy applied after merging (§7.3 arms).
     lens_config:
         Optional compressive-sensing solver parameters.
+    quorum:
+        Minimum fraction of expected hosts that must report before an
+        epoch is merged at all; below it :meth:`aggregate` raises
+        :class:`QuorumError`.  Only consulted when the caller passes
+        ``expected_hosts``.
+    degraded_rescale:
+        Scale the merged sketch and fast-path volume by
+        ``expected / reported`` in degraded epochs so network-wide
+        aggregates stay unbiased (hosts carry exchangeable traffic
+        shares, §3.1).  Disable to merge the surviving reports as-is.
     telemetry:
         Optional :class:`~repro.telemetry.Telemetry` to receive merge /
         recovery spans and counters.
@@ -56,23 +84,89 @@ class Controller:
         self,
         mode: RecoveryMode = RecoveryMode.SKETCHVISOR,
         lens_config: LensConfig | None = None,
+        quorum: float = 0.5,
+        degraded_rescale: bool = True,
         telemetry: Telemetry | None = None,
     ):
+        if not 0.0 < quorum <= 1.0:
+            raise MergeError(
+                f"quorum must be in (0, 1], got {quorum}"
+            )
         self.mode = mode
         self.lens_config = lens_config
+        self.quorum = quorum
+        self.degraded_rescale = degraded_rescale
         self.telemetry = telemetry
 
-    def aggregate(self, reports: Sequence[LocalReport]) -> NetworkResult:
-        """Merge per-host reports and run network-wide recovery."""
+    def aggregate(
+        self,
+        reports: Sequence[LocalReport],
+        *,
+        expected_hosts: int | None = None,
+        missing_hosts: Sequence[int] = (),
+        epoch: int | None = None,
+    ) -> NetworkResult:
+        """Merge per-host reports and run network-wide recovery.
+
+        Parameters
+        ----------
+        reports:
+            The reports that actually arrived.
+        expected_hosts:
+            How many hosts *should* have reported.  Omitted (the
+            default) the merge behaves exactly as before — whatever
+            arrived is the whole network.  Provided, it arms quorum
+            checking and degraded-mode rescaling.
+        missing_hosts:
+            Ids of the hosts known to be missing (from the report
+            collector); recorded in the :class:`DegradedEpoch`.
+        epoch:
+            Epoch number, recorded in the :class:`DegradedEpoch`.
+        """
+        expected = (
+            len(reports) if expected_hosts is None else expected_hosts
+        )
+        if expected_hosts is not None:
+            needed = max(1, math.ceil(self.quorum * expected))
+            if len(reports) < needed:
+                raise QuorumError(
+                    f"epoch{'' if epoch is None else f' {epoch}'} has "
+                    f"{len(reports)} of {expected} host reports; "
+                    f"quorum requires {needed} "
+                    f"(missing: {sorted(missing_hosts) or 'unknown'})"
+                )
         if not reports:
             raise MergeError("no host reports to aggregate")
+
+        degraded: DegradedEpoch | None = None
+        scale = 1.0
+        if len(reports) < expected:
+            scale = (
+                expected / len(reports) if self.degraded_rescale else 1.0
+            )
+            degraded = DegradedEpoch(
+                expected_hosts=expected,
+                reported_hosts=len(reports),
+                missing_hosts=tuple(sorted(missing_hosts)),
+                scale=scale,
+                epoch=epoch,
+            )
+
         with trace_span(
-            self.telemetry, "controlplane.merge", reports=len(reports)
+            self.telemetry,
+            "controlplane.merge",
+            reports=len(reports),
+            expected=expected,
         ):
             merged_sketch = merge_sketches([r.sketch for r in reports])
             merged_snapshot = merge_fastpath_snapshots(
                 [r.fastpath for r in reports]
             )
+            if scale != 1.0:
+                merged_sketch = rescale_sketch(merged_sketch, scale)
+                merged_snapshot = rescale_snapshot(
+                    merged_snapshot, scale
+                )
         with trace_span(
             self.telemetry, "controlplane.recover", mode=self.mode.value
         ):
@@ -90,6 +184,7 @@ class Controller:
             num_hosts=len(reports),
             lens_iterations=state.lens_iterations,
             lens_converged=state.lens_converged,
+            degraded=degraded,
         )
         if self.telemetry is not None:
             publish_controller_epoch(self.telemetry.registry, network)

@@ -29,6 +29,58 @@ def merge_sketches(sketches: Sequence[Sketch]) -> Sketch:
     return merged
 
 
+def rescale_sketch(sketch: Sketch, factor: float) -> Sketch:
+    """A copy of ``sketch`` with its volume counters scaled by ``factor``.
+
+    This is the degraded-mode correction: when only ``k`` of ``n``
+    hosts reported, the merged sketch under-counts every aggregate by
+    roughly ``k/n`` (hosts see disjoint flow shares, §3.1), so scaling
+    by ``n/k`` restores network-wide volume in expectation.  Only the
+    *linear* counters (``to_matrix``/``load_matrix``) scale; non-linear
+    side state (FlowRadar's XOR fields, UnivMon's trackers, Bloom bits)
+    is copied as the reporting hosts left it — those structures track
+    flow *identities*, which missing hosts genuinely lost.
+    """
+    if factor < 0:
+        raise MergeError(f"rescale factor must be >= 0, got {factor}")
+    scaled = sketch.clone_empty()
+    scaled.merge(sketch)
+    if factor != 1.0:
+        scaled.load_matrix(scaled.to_matrix() * factor)
+    return scaled
+
+
+def rescale_snapshot(
+    snapshot: FastPathSnapshot, factor: float
+) -> FastPathSnapshot:
+    """A copy of ``snapshot`` with its *volume-level* fields scaled.
+
+    ``V`` (total_bytes) and ``E`` (total_decremented) scale by
+    ``factor`` so the recovery's volume constraint (Eq. 2) covers the
+    missing hosts' share; per-flow entries do **not** scale — they are
+    real observations of real flows, and the missing hosts' flows are
+    realized by recovery as additional untracked small-flow mass
+    instead (see ``docs/robustness.md``).
+    """
+    if factor < 0:
+        raise MergeError(f"rescale factor must be >= 0, got {factor}")
+    entries = {
+        flow: FlowEntry(entry.e, entry.r, entry.d)
+        for flow, entry in snapshot.entries.items()
+    }
+    return FastPathSnapshot(
+        entries=entries,
+        total_bytes=snapshot.total_bytes * factor,
+        total_decremented=snapshot.total_decremented * factor,
+        insert_count=snapshot.insert_count,
+        evict_count=snapshot.evict_count,
+        update_count=snapshot.update_count,
+        hit_count=snapshot.hit_count,
+        kickout_count=snapshot.kickout_count,
+        reject_count=snapshot.reject_count,
+    )
+
+
 def merge_fastpath_snapshots(
     snapshots: Sequence[FastPathSnapshot | None],
 ) -> FastPathSnapshot:

@@ -63,6 +63,54 @@ class RecoveredState:
     lens_converged: bool = True
 
 
+@dataclass(frozen=True)
+class DegradedEpoch:
+    """Annotation for an epoch merged without a full set of reports.
+
+    Produced by the controller when at least a quorum — but not all —
+    of the expected hosts delivered, and attached to the epoch's
+    :class:`~repro.controlplane.controller.NetworkResult` so operators
+    and the monitoring loop can see exactly what the result is missing.
+    """
+
+    expected_hosts: int
+    reported_hosts: int
+    missing_hosts: tuple[int, ...]
+    #: Volume rescale applied to the merged sketch and the recovery's
+    #: Eq. 2 constraint (``expected / reported``; 1.0 when rescaling
+    #: was disabled).
+    scale: float
+    #: Collection epoch, when known (pipeline runs know it; direct
+    #: ``Controller.aggregate`` callers may not).
+    epoch: int | None = None
+
+    @property
+    def missing_share(self) -> float:
+        """Fraction of hosts (≈ traffic share, §3.1) that never
+        reported."""
+        if self.expected_hosts <= 0:
+            return 0.0
+        return 1.0 - self.reported_hosts / self.expected_hosts
+
+    @property
+    def error_inflation(self) -> float:
+        """First-order estimate of relative-error inflation.
+
+        Rescaling by ``n/k`` multiplies every surviving counter — and
+        therefore every per-flow estimate's error — by the same
+        factor, so estimates degrade by about ``n/k - 1`` relative:
+        ``f / (1 - f)`` for missing share ``f`` (≈ 33% at 1-of-4
+        missing).  Aggregate volumes stay unbiased under the
+        exchangeable-host assumption; flows homed on missing hosts are
+        unrecoverable and bound recall instead (see
+        ``docs/robustness.md``).
+        """
+        share = self.missing_share
+        if share >= 1.0:
+            return float("inf")
+        return share / (1.0 - share)
+
+
 def _copy_sketch(sketch: Sketch) -> Sketch:
     clone = sketch.clone_empty()
     clone.merge(sketch)

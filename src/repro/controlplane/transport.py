@@ -2,12 +2,26 @@
 
 The prototype ships per-epoch results over ZeroMQ (§6).  This module
 provides the equivalent encoding for :class:`LocalReport` objects —
-length-prefixed frames carrying a pickled payload — with a *restricted*
+framed messages carrying a pickled payload — with a *restricted*
 unpickler that only resolves classes from this package, numpy, and
 Python builtins, so a controller cannot be made to execute arbitrary
 constructors from a hostile host.
 
-Framing:  ``MAGIC (4B) | version (1B) | length (4B, BE) | payload``.
+Two frame versions are understood:
+
+* **v2** (written) — ``MAGIC (4B) | version (1B) | host_id (4B, BE) |
+  epoch (4B, BE) | length (4B, BE) | crc32 (4B, BE) | payload``.  The
+  CRC covers the payload, so any truncation or bit-flip — in flight or
+  at rest — is detected before the unpickler ever runs; host id and
+  epoch ride in the clear so the collector can dedup and reject stale
+  replays without deserializing.
+* **v1** (decoded for compatibility) — ``MAGIC | version | length |
+  payload``, the pre-CRC format.
+
+On top of the codec sits :class:`ReportCollector`: per-host delivery
+with timeout, exponential-backoff retry, duplicate suppression by
+``(host_id, epoch)``, and stale-epoch rejection — the defensive half
+of the fault model in ``docs/robustness.md``.
 """
 
 from __future__ import annotations
@@ -15,13 +29,24 @@ from __future__ import annotations
 import io
 import pickle
 import struct
+import zlib
+from collections import deque
+from dataclasses import dataclass, field
 
-from repro.common.errors import ConfigError
+from repro.common.errors import (
+    ConfigError,
+    CorruptFrameError,
+    ReportTimeout,
+    StaleEpochError,
+)
 from repro.dataplane.host import LocalReport
+from repro.faults.plan import FaultKind
 
 _MAGIC = b"SKVR"
-_VERSION = 1
-_HEADER = struct.Struct(">4sBI")
+_VERSION_V1 = 1
+_VERSION = 2
+_HEADER_V1 = struct.Struct(">4sBI")
+_HEADER_V2 = struct.Struct(">4sBIIII")
 
 #: Module prefixes the unpickler will resolve classes from.
 _ALLOWED_PREFIXES = (
@@ -52,43 +77,129 @@ class _RestrictedUnpickler(pickle.Unpickler):
         return super().find_class(module, name)
 
 
-def encode_report(report: LocalReport) -> bytes:
-    """Serialize one host's epoch report into a framed message."""
+@dataclass(frozen=True)
+class FrameHeader:
+    """The in-the-clear part of one frame.
+
+    ``host_id`` / ``epoch`` are ``None`` for v1 frames, which did not
+    carry them.
+    """
+
+    version: int
+    length: int
+    host_id: int | None = None
+    epoch: int | None = None
+    crc32: int | None = None
+
+    @property
+    def size(self) -> int:
+        return (
+            _HEADER_V1.size if self.version == _VERSION_V1
+            else _HEADER_V2.size
+        )
+
+
+def encode_report(report: LocalReport, epoch: int = 0) -> bytes:
+    """Serialize one host's epoch report into a framed v2 message."""
     payload = pickle.dumps(report, protocol=pickle.HIGHEST_PROTOCOL)
-    return _HEADER.pack(_MAGIC, _VERSION, len(payload)) + payload
+    return (
+        _HEADER_V2.pack(
+            _MAGIC,
+            _VERSION,
+            report.host_id & 0xFFFF_FFFF,
+            epoch & 0xFFFF_FFFF,
+            len(payload),
+            zlib.crc32(payload),
+        )
+        + payload
+    )
+
+
+def peek_header(message: bytes) -> FrameHeader:
+    """Parse and validate a frame's header without touching the payload.
+
+    Raises :class:`CorruptFrameError` on anything malformed: short
+    buffer, bad magic, unknown version, or a declared payload length
+    that disagrees with the actual buffer (truncated *or* oversized).
+    """
+    if len(message) < _HEADER_V1.size:
+        raise CorruptFrameError("message too short for a report frame")
+    magic, version = struct.unpack_from(">4sB", message, 0)
+    if magic != _MAGIC:
+        raise CorruptFrameError(f"bad frame magic {magic!r}")
+    if version == _VERSION_V1:
+        _, _, length = _HEADER_V1.unpack_from(message, 0)
+        header = FrameHeader(version=version, length=length)
+    elif version == _VERSION:
+        if len(message) < _HEADER_V2.size:
+            raise CorruptFrameError(
+                "message too short for a v2 report frame"
+            )
+        _, _, host_id, epoch, length, crc = _HEADER_V2.unpack_from(
+            message, 0
+        )
+        header = FrameHeader(
+            version=version,
+            length=length,
+            host_id=host_id,
+            epoch=epoch,
+            crc32=crc,
+        )
+    else:
+        raise CorruptFrameError(f"unsupported frame version {version}")
+    actual = len(message) - header.size
+    if actual != header.length:
+        raise CorruptFrameError(
+            f"frame length mismatch: header says {header.length}, "
+            f"got {actual} payload bytes "
+            f"({'truncated' if actual < header.length else 'oversized'} "
+            "frame)"
+        )
+    return header
 
 
 def decode_report(message: bytes) -> LocalReport:
-    """Parse a framed message back into a :class:`LocalReport`.
+    """Parse a framed message (v1 or v2) back into a :class:`LocalReport`.
 
-    Raises :class:`ConfigError` on bad magic, version, truncation, or
-    any attempt to resolve a non-allowlisted class.
+    Raises :class:`CorruptFrameError` (a :class:`ConfigError`) on bad
+    magic, version, length mismatch, CRC mismatch, or an undecodable
+    payload, and :class:`ConfigError` on any attempt to resolve a
+    non-allowlisted class.
     """
-    if len(message) < _HEADER.size:
-        raise ConfigError("message too short for a report frame")
-    magic, version, length = _HEADER.unpack_from(message, 0)
-    if magic != _MAGIC:
-        raise ConfigError(f"bad frame magic {magic!r}")
-    if version != _VERSION:
-        raise ConfigError(f"unsupported frame version {version}")
-    payload = message[_HEADER.size :]
-    if len(payload) != length:
-        raise ConfigError(
-            f"frame length mismatch: header says {length}, "
-            f"got {len(payload)}"
+    header = peek_header(message)
+    payload = message[header.size :]
+    if header.crc32 is not None and zlib.crc32(payload) != header.crc32:
+        raise CorruptFrameError(
+            "frame CRC32 mismatch (payload corrupted in flight)"
         )
-    report = _RestrictedUnpickler(io.BytesIO(payload)).load()
+    try:
+        report = _RestrictedUnpickler(io.BytesIO(payload)).load()
+    except ConfigError:
+        raise
+    except Exception as exc:  # pickle raises a zoo of types on garbage
+        raise CorruptFrameError(
+            f"frame payload is not a valid pickle: {exc}"
+        ) from exc
     if not isinstance(report, LocalReport):
-        raise ConfigError(
+        raise CorruptFrameError(
             f"frame did not contain a LocalReport "
             f"(got {type(report).__name__})"
+        )
+    if header.host_id is not None and header.host_id != (
+        report.host_id & 0xFFFF_FFFF
+    ):
+        raise CorruptFrameError(
+            f"frame header host {header.host_id} does not match "
+            f"payload host {report.host_id}"
         )
     return report
 
 
-def encode_stream(reports: list[LocalReport]) -> bytes:
+def encode_stream(
+    reports: list[LocalReport], epoch: int = 0
+) -> bytes:
     """Concatenate framed reports (a whole epoch's worth)."""
-    return b"".join(encode_report(report) for report in reports)
+    return b"".join(encode_report(report, epoch) for report in reports)
 
 
 def decode_stream(data: bytes) -> list[LocalReport]:
@@ -96,10 +207,270 @@ def decode_stream(data: bytes) -> list[LocalReport]:
     reports: list[LocalReport] = []
     offset = 0
     while offset < len(data):
-        if offset + _HEADER.size > len(data):
-            raise ConfigError("trailing bytes are not a full frame")
-        _magic, _version, length = _HEADER.unpack_from(data, offset)
-        end = offset + _HEADER.size + length
+        if offset + _HEADER_V1.size > len(data):
+            raise CorruptFrameError(
+                "trailing bytes are not a full frame"
+            )
+        magic, version = struct.unpack_from(">4sB", data, offset)
+        if magic != _MAGIC:
+            raise CorruptFrameError(
+                f"bad frame magic {magic!r} at offset {offset}"
+            )
+        if version == _VERSION_V1:
+            header_size = _HEADER_V1.size
+            _, _, length = _HEADER_V1.unpack_from(data, offset)
+        elif version == _VERSION:
+            if offset + _HEADER_V2.size > len(data):
+                raise CorruptFrameError(
+                    "trailing bytes are not a full v2 frame"
+                )
+            header_size = _HEADER_V2.size
+            _, _, _, _, length, _ = _HEADER_V2.unpack_from(data, offset)
+        else:
+            raise CorruptFrameError(
+                f"unsupported frame version {version} at offset {offset}"
+            )
+        end = offset + header_size + length
+        if end > len(data):
+            raise CorruptFrameError(
+                f"frame at offset {offset} declares {length} payload "
+                f"bytes but only {len(data) - offset - header_size} "
+                "remain (truncated stream)"
+            )
         reports.append(decode_report(data[offset:end]))
         offset = end
     return reports
+
+
+# ----------------------------------------------------------------------
+# Resilient collection
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class CollectionStats:
+    """What one epoch's collection pass had to survive."""
+
+    retries: int = 0
+    drops: int = 0
+    timeouts: int = 0
+    corrupt_frames: int = 0
+    duplicates: int = 0
+    stale_frames: int = 0
+    crashes: int = 0
+    #: Total *simulated* backoff the retry loop would have slept.
+    backoff_seconds: float = 0.0
+
+    @property
+    def faults_seen(self) -> int:
+        return (
+            self.drops
+            + self.timeouts
+            + self.corrupt_frames
+            + self.duplicates
+            + self.stale_frames
+            + self.crashes
+        )
+
+
+@dataclass
+class CollectionResult:
+    """Everything the collector gathered for one epoch."""
+
+    epoch: int
+    reports: list[LocalReport] = field(default_factory=list)
+    missing_hosts: list[int] = field(default_factory=list)
+    stats: CollectionStats = field(default_factory=CollectionStats)
+
+    @property
+    def complete(self) -> bool:
+        return not self.missing_hosts
+
+
+class ReportCollector:
+    """Per-host report delivery with timeout, retry, and dedup.
+
+    The collector models the controller side of the report channel: it
+    attempts delivery of each host's frame, treats drops / delays /
+    corruption / staleness as *retriable* (up to ``max_retries``, with
+    exponential backoff), deduplicates by ``(host_id, epoch)``, and
+    reports hosts whose every attempt failed as missing — the input to
+    the controller's degraded-mode merge.
+
+    Time is simulated, not slept: injected delays compare against
+    ``timeout`` and backoff accumulates into
+    :attr:`CollectionStats.backoff_seconds`, so chaos suites run at
+    full speed while still exercising the deadline logic.
+
+    Parameters
+    ----------
+    timeout:
+        Per-attempt delivery deadline in (simulated) seconds.
+    max_retries:
+        Retries after the first failed attempt, per host.
+    backoff_base, backoff_factor:
+        Retry ``i`` (simulated-)sleeps ``backoff_base * factor**i``.
+    injector:
+        Optional :class:`~repro.faults.injector.FaultInjector`; when
+        absent every frame is delivered cleanly on the first attempt
+        and the collector is pure overheadless bookkeeping.
+    """
+
+    def __init__(
+        self,
+        timeout: float = 0.25,
+        max_retries: int = 3,
+        backoff_base: float = 0.05,
+        backoff_factor: float = 2.0,
+        injector=None,
+    ):
+        if max_retries < 0:
+            raise ConfigError("max_retries must be >= 0")
+        if timeout <= 0:
+            raise ConfigError("timeout must be positive")
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_factor = backoff_factor
+        self.injector = injector
+
+    # ------------------------------------------------------------------
+    def collect(
+        self, frames_by_host: dict[int, bytes], epoch: int
+    ) -> CollectionResult:
+        """Deliver one epoch's frames through the fault model.
+
+        ``frames_by_host`` maps host id to that host's encoded v2
+        frame.  Hosts are processed in id order so fault schedules and
+        results are independent of dict insertion order.
+        """
+        result = CollectionResult(epoch=epoch)
+        seen: set[tuple[int, int]] = set()
+        for host in sorted(frames_by_host):
+            frame = frames_by_host[host]
+            status, report = self._collect_host(
+                host, frame, epoch, seen, result.stats
+            )
+            if status == "missing":
+                result.missing_hosts.append(host)
+            elif status == "ok":
+                result.reports.append(report)
+                if self.injector is not None:
+                    self.injector.remember(host, frame)
+            # "duplicate": the report was already collected under
+            # another delivery — nothing to add, nothing missing.
+        return result
+
+    # ------------------------------------------------------------------
+    def _collect_host(
+        self,
+        host: int,
+        frame: bytes,
+        epoch: int,
+        seen: set[tuple[int, int]],
+        stats: CollectionStats,
+    ) -> tuple[str, LocalReport | None]:
+        """Deliver one host's frame: ``("ok", report)``,
+        ``("missing", None)``, or ``("duplicate", None)``."""
+        injector = self.injector
+        faults: deque[FaultKind] = deque(
+            injector.schedule(epoch, host) if injector else ()
+        )
+        if FaultKind.CRASH in faults:
+            # A crashed host never answers; burn the whole retry
+            # budget waiting on it.
+            injector.record(FaultKind.CRASH)
+            stats.crashes += 1
+            stats.retries += self.max_retries
+            stats.backoff_seconds += self._total_backoff()
+            return "missing", None
+        for attempt in range(self.max_retries + 1):
+            if attempt > 0:
+                stats.retries += 1
+                stats.backoff_seconds += self.backoff_base * (
+                    self.backoff_factor ** (attempt - 1)
+                )
+            fault = faults.popleft() if faults else None
+            try:
+                delivered, copies = self._deliver(
+                    frame, fault, epoch, host, attempt
+                )
+                header = peek_header(delivered)
+                if header.epoch is not None and header.epoch != (
+                    epoch & 0xFFFF_FFFF
+                ):
+                    raise StaleEpochError(
+                        f"host {host} delivered a frame for epoch "
+                        f"{header.epoch} during epoch {epoch}"
+                    )
+                report = decode_report(delivered)
+            except ReportTimeout:
+                if fault is FaultKind.DELAY:
+                    stats.timeouts += 1
+                else:
+                    stats.drops += 1
+                continue
+            except StaleEpochError:
+                stats.stale_frames += 1
+                continue
+            except CorruptFrameError:
+                stats.corrupt_frames += 1
+                continue
+            key = (report.host_id, epoch)
+            if key in seen:
+                stats.duplicates += 1
+                return "duplicate", None
+            seen.add(key)
+            if copies > 1:
+                stats.duplicates += copies - 1
+            return "ok", report
+        return "missing", None
+
+    def _deliver(
+        self,
+        frame: bytes,
+        fault: FaultKind | None,
+        epoch: int,
+        host: int,
+        attempt: int,
+    ) -> tuple[bytes, int]:
+        """One delivery attempt: ``(frame bytes, copies delivered)``.
+
+        Raises :class:`ReportTimeout` when nothing usable arrives by
+        the deadline (drop or delay).
+        """
+        if fault is None:
+            return frame, 1
+        injector = self.injector
+        injector.record(fault)
+        if fault is FaultKind.DROP:
+            raise ReportTimeout(
+                f"host {host} report dropped (epoch {epoch}, "
+                f"attempt {attempt})"
+            )
+        if fault is FaultKind.DELAY:
+            raise ReportTimeout(
+                f"host {host} report exceeded the {self.timeout}s "
+                f"deadline (epoch {epoch}, attempt {attempt})"
+            )
+        if fault is FaultKind.TRUNCATE:
+            return injector.truncate(frame, epoch, host, attempt), 1
+        if fault is FaultKind.BITFLIP:
+            return injector.bitflip(frame, epoch, host, attempt), 1
+        if fault is FaultKind.DUPLICATE:
+            return frame, 2
+        if fault is FaultKind.REPLAY:
+            stale = injector.stale_frame(host)
+            if stale is None:
+                raise ReportTimeout(
+                    f"host {host} replayed nothing (no earlier frame); "
+                    "treating as a drop"
+                )
+            return stale, 1
+        raise ConfigError(f"unhandled fault kind {fault}")
+
+    def _total_backoff(self) -> float:
+        return sum(
+            self.backoff_base * self.backoff_factor**i
+            for i in range(self.max_retries)
+        )

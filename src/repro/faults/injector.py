@@ -1,0 +1,91 @@
+"""Applying a :class:`~repro.faults.plan.FaultPlan` to wire frames.
+
+The injector sits between ``encode_report`` and the collector's decode
+loop and perturbs *bytes on the wire* — it never touches sketches or
+reports, so the layers it attacks must defend themselves exactly as
+they would against a flaky network.  Everything it does is derived
+from the plan's seeded RNG: the same plan corrupts the same bit of the
+same frame every run.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+from repro.faults.plan import FaultKind, FaultPlan
+
+#: Salt mixed into the corruption RNG so byte/bit choices do not reuse
+#: the schedule's draw stream.
+_CORRUPT_SALT = 0xC0DE_FA17
+
+
+class FaultInjector:
+    """Stateful executor for one :class:`FaultPlan`.
+
+    The only state it keeps is the last successfully delivered frame
+    per host (fuel for stale-epoch replays) and counters of what it
+    actually injected (exposed as :attr:`injected` for telemetry and
+    soak assertions).
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.injected: Counter[str] = Counter()
+        self._last_frames: dict[int, bytes] = {}
+
+    # ------------------------------------------------------------------
+    def schedule(self, epoch: int, host: int) -> list[FaultKind]:
+        """The plan's fault list for one ``(epoch, host)`` cell."""
+        return self.plan.schedule_for(epoch, host)
+
+    def record(self, kind: FaultKind) -> None:
+        """Count one injected fault (called by the collector as each
+        fault actually fires)."""
+        self.injected[kind.value] += 1
+
+    # ------------------------------------------------------------------
+    # Frame perturbations
+    # ------------------------------------------------------------------
+    def _rng(self, epoch: int, host: int, attempt: int) -> random.Random:
+        return random.Random(
+            (self.plan.seed & 0xFFFF_FFFF) << 48
+            ^ (epoch & 0xFFFF) << 32
+            ^ (host & 0xFFFF) << 16
+            ^ (attempt & 0xFF) << 8
+            ^ _CORRUPT_SALT
+        )
+
+    def truncate(
+        self, frame: bytes, epoch: int, host: int, attempt: int = 0
+    ) -> bytes:
+        """Cut the frame short at a seeded offset (at least 1 byte
+        lost, possibly the whole payload)."""
+        rng = self._rng(epoch, host, attempt)
+        if len(frame) <= 1:
+            return b""
+        return frame[: rng.randrange(1, len(frame))]
+
+    def bitflip(
+        self, frame: bytes, epoch: int, host: int, attempt: int = 0
+    ) -> bytes:
+        """Flip one seeded bit anywhere in the frame — header fields
+        and payload are equally fair game."""
+        rng = self._rng(epoch, host, attempt)
+        corrupted = bytearray(frame)
+        position = rng.randrange(len(corrupted))
+        corrupted[position] ^= 1 << rng.randrange(8)
+        return bytes(corrupted)
+
+    # ------------------------------------------------------------------
+    # Stale-epoch replay support
+    # ------------------------------------------------------------------
+    def remember(self, host: int, frame: bytes) -> None:
+        """Cache a host's delivered frame as replay fuel for later
+        epochs (the collector calls this on every clean delivery)."""
+        self._last_frames[host] = frame
+
+    def stale_frame(self, host: int) -> bytes | None:
+        """A previous epoch's frame for ``host``, or ``None`` when the
+        host has never delivered (replay then degrades to a drop)."""
+        return self._last_frames.get(host)

@@ -1,0 +1,262 @@
+"""Seeded, deterministic fault schedules for chaos testing.
+
+A :class:`FaultPlan` describes *what goes wrong, where, and when* on
+the host → controller report path: per-epoch, per-host fault draws
+(report drop, delivery delay beyond the deadline, frame truncation,
+bit-flip corruption, host crash, duplicate delivery, stale-epoch
+replay) sampled from per-kind rates, plus explicitly pinned
+:class:`FaultSpec` entries for directed tests.
+
+Determinism is the whole point: the schedule for ``(epoch, host)`` is
+a pure function of ``(plan.seed, epoch, host)``, independent of call
+order, process layout, or how many other hosts exist — so identical
+seeds reproduce identical fault schedules (and therefore identical
+degraded results) across runs, machines, and worker counts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.common.errors import ConfigError
+
+
+class FaultKind(Enum):
+    """One way a host's per-epoch report can fail to arrive cleanly."""
+
+    #: The frame is silently lost; a retry succeeds.
+    DROP = "drop"
+    #: The frame arrives after the per-host deadline (ReportTimeout).
+    DELAY = "delay"
+    #: The frame is cut short mid-payload (CRC / length mismatch).
+    TRUNCATE = "truncate"
+    #: A single bit is flipped somewhere in the frame (header or
+    #: payload, chosen by the schedule's RNG).
+    BITFLIP = "bitflip"
+    #: The host is down for the whole epoch: every attempt fails.
+    CRASH = "crash"
+    #: The frame is delivered twice (dedup by ``(host_id, epoch)``).
+    DUPLICATE = "duplicate"
+    #: The previous epoch's frame is delivered instead (stale replay);
+    #: degrades to a drop when no earlier frame exists.
+    REPLAY = "replay"
+
+
+#: Fixed sampling order so rate draws are reproducible.
+_KIND_ORDER = (
+    FaultKind.CRASH,
+    FaultKind.DROP,
+    FaultKind.DELAY,
+    FaultKind.TRUNCATE,
+    FaultKind.BITFLIP,
+    FaultKind.DUPLICATE,
+    FaultKind.REPLAY,
+)
+
+#: Kinds that consume one delivery attempt and then clear on retry.
+RETRIABLE_KINDS = frozenset(
+    {
+        FaultKind.DROP,
+        FaultKind.DELAY,
+        FaultKind.TRUNCATE,
+        FaultKind.BITFLIP,
+        FaultKind.REPLAY,
+    }
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One pinned fault: ``kind`` hits ``host`` in ``epoch``.
+
+    ``epoch`` / ``host`` may be ``None`` to match every epoch / host
+    (a standing fault), which is how directed tests express "host 2 is
+    always down".
+    """
+
+    kind: FaultKind
+    epoch: int | None = None
+    host: int | None = None
+
+    def matches(self, epoch: int, host: int) -> bool:
+        return (self.epoch is None or self.epoch == epoch) and (
+            self.host is None or self.host == host
+        )
+
+
+@dataclass
+class FaultPlan:
+    """A complete, seeded chaos schedule.
+
+    Parameters
+    ----------
+    seed:
+        Root seed; the per-``(epoch, host)`` draw derives from it alone.
+    rates:
+        Per-kind independent probabilities (``{"drop": 0.1, ...}``);
+        each kind is drawn once per ``(epoch, host)``.
+    specs:
+        Explicitly pinned faults, applied *in addition to* rate draws.
+    """
+
+    seed: int = 0
+    rates: dict[FaultKind, float] = field(default_factory=dict)
+    specs: list[FaultSpec] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        normalized: dict[FaultKind, float] = {}
+        for kind, rate in self.rates.items():
+            kind = FaultKind(kind)
+            rate = float(rate)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigError(
+                    f"fault rate for {kind.value!r} must be in [0, 1], "
+                    f"got {rate}"
+                )
+            normalized[kind] = rate
+        self.rates = normalized
+
+    # ------------------------------------------------------------------
+    def schedule_for(self, epoch: int, host: int) -> list[FaultKind]:
+        """The faults hitting ``(epoch, host)``, in delivery order.
+
+        A pure function of ``(seed, epoch, host)`` — calling it twice,
+        in any order, from any process, yields the same list.
+        """
+        faults: list[FaultKind] = []
+        if self.rates:
+            rng = self.rng_for(epoch, host)
+            for kind in _KIND_ORDER:
+                rate = self.rates.get(kind, 0.0)
+                if rate > 0.0 and rng.random() < rate:
+                    faults.append(kind)
+        # Pinned specs stack: each matching spec consumes one delivery
+        # attempt, so listing the same spec n times injects it n times
+        # (how directed tests exhaust the retry budget).
+        for spec in self.specs:
+            if spec.matches(epoch, host):
+                faults.append(spec.kind)
+        # A crashed host never answers: every other fault is moot.
+        if FaultKind.CRASH in faults:
+            return [FaultKind.CRASH]
+        return faults
+
+    def rng_for(self, epoch: int, host: int) -> random.Random:
+        """Dedicated RNG for one ``(epoch, host)`` cell (also used to
+        pick corruption offsets, so bit-flips are reproducible too)."""
+        return random.Random(
+            (self.seed & 0xFFFF_FFFF) << 32
+            ^ (epoch & 0xFFFF) << 16
+            ^ (host & 0xFFFF)
+        )
+
+    @property
+    def active(self) -> bool:
+        """Whether this plan can ever inject anything."""
+        return bool(self.specs) or any(
+            rate > 0.0 for rate in self.rates.values()
+        )
+
+    # ------------------------------------------------------------------
+    # JSON persistence (the ``repro run --chaos plan.json`` format)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "rates": {
+                kind.value: rate for kind, rate in self.rates.items()
+            },
+            "specs": [
+                {
+                    "kind": spec.kind.value,
+                    "epoch": spec.epoch,
+                    "host": spec.host,
+                }
+                for spec in self.specs
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        try:
+            specs = [
+                FaultSpec(
+                    kind=FaultKind(item["kind"]),
+                    epoch=item.get("epoch"),
+                    host=item.get("host"),
+                )
+                for item in data.get("specs", ())
+            ]
+            return cls(
+                seed=int(data.get("seed", 0)),
+                rates={
+                    FaultKind(kind): float(rate)
+                    for kind, rate in data.get("rates", {}).items()
+                },
+                specs=specs,
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            raise ConfigError(f"malformed fault plan: {exc}") from exc
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"fault plan is not valid JSON: {exc}")
+        if not isinstance(data, dict):
+            raise ConfigError("fault plan JSON must be an object")
+        return cls.from_dict(data)
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+
+
+def moderate_plan(seed: int = 0) -> FaultPlan:
+    """The default chaos mix: 10% per-host fault pressure, all
+    *recoverable* kinds (no crashes), for soak runs that must still
+    collect every report after retries."""
+    return FaultPlan(
+        seed=seed,
+        rates={
+            FaultKind.DROP: 0.04,
+            FaultKind.DELAY: 0.02,
+            FaultKind.TRUNCATE: 0.01,
+            FaultKind.BITFLIP: 0.01,
+            FaultKind.DUPLICATE: 0.01,
+            FaultKind.REPLAY: 0.01,
+        },
+    )
+
+
+def faults_from_env() -> FaultPlan | None:
+    """A moderate :class:`FaultPlan` when ``REPRO_CHAOS`` is set.
+
+    ``REPRO_CHAOS=1`` (or any non-empty value except ``0``) enables the
+    :func:`moderate_plan` mix — recoverable faults only, so the suite
+    still produces full-quorum results; a numeric value other than
+    ``1`` is used as the plan seed.  Returns ``None`` otherwise,
+    keeping fault injection strictly opt-in (mirrors
+    ``REPRO_TELEMETRY``).
+    """
+    flag = os.environ.get("REPRO_CHAOS", "")
+    if not flag or flag == "0":
+        return None
+    try:
+        seed = int(flag)
+    except ValueError:
+        seed = 0
+    return moderate_plan(seed=0 if seed == 1 else seed)

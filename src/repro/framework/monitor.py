@@ -33,6 +33,10 @@ class AlertKind(Enum):
     HEAVY_CHANGER = "heavy_changer"
     DDOS = "ddos"
     SUPERSPREADER = "superspreader"
+    #: An epoch was merged from fewer hosts than expected (quorum met,
+    #: full set not).  ``subject`` is the tuple of missing host ids and
+    #: ``magnitude`` the estimated relative-error inflation.
+    DEGRADED_EPOCH = "degraded_epoch"
 
 
 @dataclass(frozen=True)
@@ -122,6 +126,16 @@ class ContinuousMonitor:
                 summary.alerts.extend(
                     self._alerts_from(task, result)
                 )
+                degraded = result.network.degraded
+                if degraded is not None:
+                    summary.alerts.append(
+                        Alert(
+                            epoch=self._epoch_index,
+                            kind=AlertKind.DEGRADED_EPOCH,
+                            subject=degraded.missing_hosts,
+                            magnitude=degraded.error_inflation,
+                        )
+                    )
         if telemetry is not None:
             publish_monitor_epoch(
                 telemetry.registry,

@@ -9,26 +9,38 @@ against exact ground truth.
 
 from __future__ import annotations
 
+import logging
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 from repro.common.errors import ConfigError
 from repro.controlplane.controller import Controller, NetworkResult
 from repro.controlplane.lens import LensConfig
 from repro.controlplane.recovery import RecoveryMode
+from repro.controlplane.transport import (
+    CollectionResult,
+    ReportCollector,
+    encode_report,
+)
 from repro.dataplane.cost_model import CostModel
 from repro.dataplane.host import Host, LocalReport
+from repro.faults import FaultInjector, FaultPlan, faults_from_env
 from repro.framework.modes import DataPlaneMode
 from repro.tasks.base import MeasurementTask, TaskScore
 from repro.tasks.heavy_changer import HeavyChangerTask
 from repro.telemetry import Telemetry, telemetry_from_env, trace_span
 from repro.telemetry.publish import (
     fastpath_stats,
+    publish_collection_epoch,
     publish_fastpath_epoch,
     publish_switch_epoch,
+    publish_worker_crashes,
 )
 from repro.traffic.groundtruth import GroundTruth
 from repro.traffic.trace import Trace
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -53,10 +65,27 @@ class PipelineConfig:
     #: instrumentation; setting ``REPRO_TELEMETRY=1`` in the
     #: environment injects a fresh instance here instead.
     telemetry: Telemetry | None = None
+    #: Optional :class:`~repro.faults.FaultPlan`.  ``None`` (the
+    #: default) keeps the whole chaos subsystem inert — reports flow
+    #: straight from data plane to controller, bit-identical to a
+    #: build without it.  A plan routes every epoch's reports through
+    #: the wire codec and :class:`ReportCollector` with the plan's
+    #: faults injected; setting ``REPRO_CHAOS=1`` in the environment
+    #: injects the moderate default plan here instead.
+    faults: FaultPlan | None = None
+    #: Minimum fraction of hosts that must report before an epoch is
+    #: merged (only consulted on the fault-injected collection path).
+    quorum: float = 0.5
+    #: Per-attempt report delivery deadline (simulated seconds).
+    report_timeout: float = 0.25
+    #: Delivery retries per host after the first failed attempt.
+    report_retries: int = 3
 
     def __post_init__(self) -> None:
         if self.telemetry is None:
             self.telemetry = telemetry_from_env()
+        if self.faults is None:
+            self.faults = faults_from_env()
 
 
 def _run_host_epoch(host, shard, offered_gbps):
@@ -72,6 +101,14 @@ class EpochResult:
     score: TaskScore
     network: NetworkResult
     reports: list[LocalReport]
+    #: Delivery bookkeeping from the report collector; ``None`` when
+    #: no :class:`FaultPlan` is configured (direct in-memory path).
+    collection: CollectionResult | None = None
+
+    @property
+    def degraded(self):
+        """The epoch's :class:`DegradedEpoch` record, if any."""
+        return self.network.degraded
 
     @property
     def throughput_gbps(self) -> float:
@@ -121,8 +158,23 @@ class SketchVisorPipeline:
         self.controller = Controller(
             mode=recovery,
             lens_config=self.config.lens,
+            quorum=self.config.quorum,
             telemetry=self.config.telemetry,
         )
+        # The chaos path only exists when a FaultPlan is configured;
+        # without one, reports go straight to the controller and the
+        # run is bit-identical to a build without fault injection.
+        if self.config.faults is not None:
+            self._injector = FaultInjector(self.config.faults)
+            self._collector = ReportCollector(
+                timeout=self.config.report_timeout,
+                max_retries=self.config.report_retries,
+                injector=self._injector,
+            )
+        else:
+            self._injector = None
+            self._collector = None
+        self._epoch_counter = 0
 
     def describe(self) -> str:
         """One-line configuration summary for logs and error messages."""
@@ -135,7 +187,8 @@ class SketchVisorPipeline:
             f"engine={'batch' if cfg.batch else 'scalar'}, "
             f"buffer={cfg.buffer_packets}p, "
             f"fastpath={cfg.fastpath_bytes}B, "
-            f"telemetry={'on' if cfg.telemetry is not None else 'off'})"
+            f"telemetry={'on' if cfg.telemetry is not None else 'off'}, "
+            f"chaos={'on' if cfg.faults is not None else 'off'})"
         )
 
     def __repr__(self) -> str:
@@ -195,6 +248,12 @@ class SketchVisorPipeline:
             # Hosts are independent within an epoch (disjoint shards,
             # merge at the controller), so they parallelize with no
             # coordination; hosts, shards and reports pickle cleanly.
+            # A worker crash (OOM-killed, segfaulted C extension, ...)
+            # surfaces as BrokenProcessPool on result(); the parent's
+            # host copies were never mutated, so the failed shards
+            # simply rerun serially here.
+            results: dict[int, LocalReport] = {}
+            crashed: list[int] = []
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = [
                     pool.submit(
@@ -202,10 +261,76 @@ class SketchVisorPipeline:
                     )
                     for host, shard in zip(hosts, shards)
                 ]
-                reports = [future.result() for future in futures]
+                for index, future in enumerate(futures):
+                    try:
+                        results[index] = future.result()
+                    except BrokenProcessPool:
+                        crashed.append(index)
+            if crashed:
+                logger.warning(
+                    "process pool broke; rerunning %d host shard(s) "
+                    "serially: %s",
+                    len(crashed),
+                    [hosts[i].host_id for i in crashed],
+                )
+                if cfg.telemetry is not None:
+                    publish_worker_crashes(
+                        cfg.telemetry.registry, len(crashed)
+                    )
+                for index in crashed:
+                    with trace_span(
+                        cfg.telemetry,
+                        "dataplane.host.serial_retry",
+                        host=hosts[index].host_id,
+                    ):
+                        results[index] = hosts[index].run_epoch(
+                            shards[index], cfg.offered_gbps
+                        )
+            reports = [results[i] for i in range(len(futures))]
         if cfg.telemetry is not None:
             self._publish_reports(reports)
         return reports
+
+    # ------------------------------------------------------------------
+    def _next_epoch(self) -> int:
+        epoch = self._epoch_counter
+        self._epoch_counter += 1
+        return epoch
+
+    def _aggregate(
+        self, reports: list[LocalReport]
+    ) -> tuple[NetworkResult, CollectionResult | None]:
+        """Hand one epoch's reports to the controller.
+
+        Without a :class:`FaultPlan` this is the historical direct
+        call.  With one, reports round-trip the v2 wire format through
+        the :class:`ReportCollector` (faults injected, retries, dedup)
+        and the controller merges whatever survived, degraded-mode if
+        necessary.
+        """
+        cfg = self.config
+        if self._collector is None:
+            return self.controller.aggregate(reports), None
+        epoch = self._next_epoch()
+        with trace_span(
+            cfg.telemetry, "controlplane.collect", epoch=epoch
+        ):
+            frames = {
+                report.host_id: encode_report(report, epoch)
+                for report in reports
+            }
+            collection = self._collector.collect(frames, epoch)
+        if cfg.telemetry is not None:
+            publish_collection_epoch(
+                cfg.telemetry.registry, collection
+            )
+        network = self.controller.aggregate(
+            collection.reports,
+            expected_hosts=cfg.num_hosts,
+            missing_hosts=collection.missing_hosts,
+            epoch=epoch,
+        )
+        return network, collection
 
     def _publish_reports(self, reports: list[LocalReport]) -> None:
         """Publish per-host data-plane counters from epoch reports."""
@@ -237,7 +362,7 @@ class SketchVisorPipeline:
         with trace_span(telemetry, "epoch", task=self.task.name):
             with trace_span(telemetry, "dataplane"):
                 reports = self._run_dataplane(trace)
-            network = self.controller.aggregate(reports)
+            network, collection = self._aggregate(reports)
             with trace_span(telemetry, "task.answer"):
                 answer = self.task.answer(network.sketch)
             with trace_span(telemetry, "groundtruth"):
@@ -245,7 +370,11 @@ class SketchVisorPipeline:
             with trace_span(telemetry, "task.score"):
                 score = self.task.score(answer, truth)
         return EpochResult(
-            answer=answer, score=score, network=network, reports=reports
+            answer=answer,
+            score=score,
+            network=network,
+            reports=reports,
+            collection=collection,
         )
 
     def run_epoch_pair(
@@ -262,10 +391,10 @@ class SketchVisorPipeline:
         with trace_span(telemetry, "epoch", task=self.task.name):
             with trace_span(telemetry, "dataplane", half="a"):
                 reports_a = self._run_dataplane(epoch_a)
-            network_a = self.controller.aggregate(reports_a)
+            network_a, _ = self._aggregate(reports_a)
             with trace_span(telemetry, "dataplane", half="b"):
                 reports_b = self._run_dataplane(epoch_b)
-            network_b = self.controller.aggregate(reports_b)
+            network_b, collection_b = self._aggregate(reports_b)
             with trace_span(telemetry, "task.answer"):
                 answer = self.task.answer_pair(
                     network_a.sketch, network_b.sketch
@@ -280,4 +409,5 @@ class SketchVisorPipeline:
             score=score,
             network=network_b,
             reports=reports_a + reports_b,
+            collection=collection_b,
         )

@@ -140,12 +140,72 @@ def publish_fastpath_epoch(
     ).set(stats["tracked"], host=host)
 
 
+def publish_collection_epoch(
+    registry: MetricsRegistry, collection
+) -> None:
+    """Publish one epoch's report-delivery outcome (CollectionResult).
+
+    Every counter is a per-epoch increment from the collector's
+    :class:`~repro.controlplane.transport.CollectionStats`, so the
+    totals read as "what the report channel survived so far".
+    """
+    stats = collection.stats
+    events = registry.counter(
+        "sketchvisor_transport_faults_total",
+        "Report-delivery faults survived by the collector, by kind",
+    )
+    events.inc(stats.drops, kind="drop")
+    events.inc(stats.timeouts, kind="timeout")
+    events.inc(stats.corrupt_frames, kind="corrupt_frame")
+    events.inc(stats.duplicates, kind="duplicate")
+    events.inc(stats.stale_frames, kind="stale_frame")
+    events.inc(stats.crashes, kind="host_crash")
+    registry.counter(
+        "sketchvisor_transport_retries_total",
+        "Report delivery retries (attempts beyond each host's first)",
+    ).inc(stats.retries)
+    registry.counter(
+        "sketchvisor_transport_backoff_seconds_total",
+        "Simulated exponential-backoff delay accumulated by retries",
+    ).inc(stats.backoff_seconds)
+    registry.counter(
+        "sketchvisor_transport_missing_reports_total",
+        "Host reports still missing when collection gave up",
+    ).inc(len(collection.missing_hosts))
+
+
+def publish_worker_crashes(
+    registry: MetricsRegistry, count: int
+) -> None:
+    """Count data-plane worker crashes recovered by serial fallback."""
+    registry.counter(
+        "sketchvisor_pipeline_worker_crashes_total",
+        "Process-pool workers that died mid-epoch (shards rerun "
+        "serially)",
+    ).inc(count)
+
+
 def publish_controller_epoch(registry: MetricsRegistry, network) -> None:
     """Publish one epoch's merge + recovery outcome (NetworkResult)."""
     registry.counter(
         "sketchvisor_controller_reports_total",
         "Per-host reports merged by the controller",
     ).inc(network.num_hosts)
+    degraded = network.degraded
+    registry.counter(
+        "sketchvisor_controller_epochs_total",
+        "Controller epochs by merge quality",
+    ).inc(1, quality="degraded" if degraded is not None else "full")
+    if degraded is not None:
+        registry.counter(
+            "sketchvisor_degraded_missing_hosts_total",
+            "Host reports absent from degraded-mode merges",
+        ).inc(degraded.expected_hosts - degraded.reported_hosts)
+        registry.gauge(
+            "sketchvisor_degraded_error_inflation",
+            "Estimated relative-error inflation of the last degraded "
+            "epoch (f / (1 - f) for missing share f)",
+        ).set(degraded.error_inflation)
     if network.snapshot is not None:
         registry.gauge(
             "sketchvisor_controller_merged_table_flows",

@@ -1,0 +1,191 @@
+"""ReportCollector: timeout, retry/backoff, dedup, stale rejection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.controlplane.transport import (
+    ReportCollector,
+    encode_report,
+)
+from repro.dataplane.host import Host
+from repro.faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
+from repro.sketches.countmin import CountMinSketch
+from repro.traffic.generator import TraceConfig, generate_trace
+
+NUM_HOSTS = 4
+
+
+@pytest.fixture(scope="module")
+def reports():
+    trace = generate_trace(TraceConfig(num_flows=300, seed=13))
+    shards = trace.partition(NUM_HOSTS)
+    built = []
+    for host_id, shard in enumerate(shards):
+        host = Host(
+            host_id,
+            CountMinSketch(width=512, depth=2, seed=3),
+            fastpath_bytes=4096,
+        )
+        built.append(host.run_epoch(shard))
+    return built
+
+
+def frames_for(reports, epoch):
+    return {
+        report.host_id: encode_report(report, epoch)
+        for report in reports
+    }
+
+
+def collector_with(specs, **kwargs):
+    injector = FaultInjector(FaultPlan(seed=1, specs=specs))
+    return ReportCollector(injector=injector, **kwargs), injector
+
+
+class TestCleanPath:
+    def test_no_injector_collects_everything(self, reports):
+        collector = ReportCollector()
+        result = collector.collect(frames_for(reports, 0), epoch=0)
+        assert result.complete
+        assert [r.host_id for r in result.reports] == list(
+            range(NUM_HOSTS)
+        )
+        assert result.stats.faults_seen == 0
+        assert result.stats.retries == 0
+
+    def test_inactive_plan_is_clean(self, reports):
+        collector, _ = collector_with([])
+        result = collector.collect(frames_for(reports, 0), epoch=0)
+        assert result.complete
+        assert result.stats.faults_seen == 0
+
+
+class TestRetriableFaults:
+    @pytest.mark.parametrize(
+        "kind, stat",
+        [
+            (FaultKind.DROP, "drops"),
+            (FaultKind.DELAY, "timeouts"),
+            (FaultKind.TRUNCATE, "corrupt_frames"),
+            (FaultKind.BITFLIP, "corrupt_frames"),
+        ],
+    )
+    def test_single_fault_recovers_with_one_retry(
+        self, reports, kind, stat
+    ):
+        collector, _ = collector_with(
+            [FaultSpec(kind, epoch=0, host=2)]
+        )
+        result = collector.collect(frames_for(reports, 0), epoch=0)
+        assert result.complete
+        assert result.stats.retries == 1
+        assert getattr(result.stats, stat) == 1
+        assert result.stats.backoff_seconds > 0
+
+    def test_retry_budget_exhausted_marks_missing(self, reports):
+        # Four drops in a row beat max_retries=2 (3 attempts total).
+        collector, _ = collector_with(
+            [FaultSpec(FaultKind.DROP, epoch=0, host=1)] * 4,
+            max_retries=2,
+        )
+        result = collector.collect(frames_for(reports, 0), epoch=0)
+        assert result.missing_hosts == [1]
+        assert len(result.reports) == NUM_HOSTS - 1
+        assert result.stats.drops == 3  # one per attempt
+
+    def test_backoff_grows_exponentially(self, reports):
+        collector, _ = collector_with(
+            [FaultSpec(FaultKind.DROP, epoch=0, host=0)] * 2,
+            backoff_base=0.1,
+            backoff_factor=2.0,
+        )
+        result = collector.collect(frames_for(reports, 0), epoch=0)
+        # Two retries: 0.1 + 0.2.
+        assert result.stats.backoff_seconds == pytest.approx(0.3)
+
+
+class TestCrash:
+    def test_crashed_host_is_missing(self, reports):
+        collector, injector = collector_with(
+            [FaultSpec(FaultKind.CRASH, epoch=0, host=3)]
+        )
+        result = collector.collect(frames_for(reports, 0), epoch=0)
+        assert result.missing_hosts == [3]
+        assert result.stats.crashes == 1
+        assert injector.injected["crash"] == 1
+
+    def test_crash_only_hits_its_epoch(self, reports):
+        collector, _ = collector_with(
+            [FaultSpec(FaultKind.CRASH, epoch=0, host=3)]
+        )
+        assert collector.collect(
+            frames_for(reports, 0), epoch=0
+        ).missing_hosts == [3]
+        assert collector.collect(
+            frames_for(reports, 1), epoch=1
+        ).complete
+
+
+class TestDuplicateAndReplay:
+    def test_duplicate_delivery_deduped(self, reports):
+        collector, _ = collector_with(
+            [FaultSpec(FaultKind.DUPLICATE, epoch=0, host=1)]
+        )
+        result = collector.collect(frames_for(reports, 0), epoch=0)
+        assert result.complete
+        assert len(result.reports) == NUM_HOSTS
+        assert result.stats.duplicates == 1
+
+    def test_replay_without_fuel_degrades_to_drop(self, reports):
+        collector, _ = collector_with(
+            [FaultSpec(FaultKind.REPLAY, epoch=0, host=0)]
+        )
+        result = collector.collect(frames_for(reports, 0), epoch=0)
+        assert result.complete  # retry delivered the real frame
+        assert result.stats.drops == 1
+
+    def test_stale_epoch_replay_rejected(self, reports):
+        collector, _ = collector_with(
+            [FaultSpec(FaultKind.REPLAY, epoch=1, host=0)]
+        )
+        # Epoch 0 delivers cleanly and primes the replay cache.
+        assert collector.collect(
+            frames_for(reports, 0), epoch=0
+        ).complete
+        result = collector.collect(frames_for(reports, 1), epoch=1)
+        assert result.complete  # stale frame rejected, retry clean
+        assert result.stats.stale_frames == 1
+        assert result.stats.retries == 1
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_outcomes(self, reports):
+        plan = FaultPlan(
+            seed=21,
+            rates={
+                FaultKind.DROP: 0.3,
+                FaultKind.BITFLIP: 0.2,
+                FaultKind.CRASH: 0.1,
+            },
+        )
+
+        def run():
+            collector = ReportCollector(
+                injector=FaultInjector(plan)
+            )
+            outcomes = []
+            for epoch in range(8):
+                result = collector.collect(
+                    frames_for(reports, epoch), epoch
+                )
+                outcomes.append(
+                    (
+                        tuple(result.missing_hosts),
+                        result.stats.retries,
+                        result.stats.faults_seen,
+                    )
+                )
+            return outcomes
+
+        assert run() == run()

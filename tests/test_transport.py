@@ -3,11 +3,13 @@
 from __future__ import annotations
 
 import pickle
+import random
+import struct
 
 import numpy as np
 import pytest
 
-from repro.common.errors import ConfigError
+from repro.common.errors import ConfigError, CorruptFrameError
 from repro.controlplane.controller import Controller
 from repro.controlplane.recovery import RecoveryMode
 from repro.controlplane.transport import (
@@ -15,6 +17,7 @@ from repro.controlplane.transport import (
     decode_stream,
     encode_report,
     encode_stream,
+    peek_header,
 )
 from repro.dataplane.host import Host
 from repro.sketches.deltoid import Deltoid
@@ -144,6 +147,137 @@ class TestFrameValidation:
     def test_trailing_garbage_in_stream(self, report):
         with pytest.raises(ConfigError):
             decode_stream(encode_report(report) + b"\x01\x02")
+
+
+class TestFrameV2:
+    """The CRC-checked v2 format and v1 backward compatibility."""
+
+    def test_header_carries_host_and_epoch(self, report):
+        frame = encode_report(report, epoch=17)
+        header = peek_header(frame)
+        assert header.version == 2
+        assert header.host_id == report.host_id
+        assert header.epoch == 17
+        assert header.length == len(frame) - header.size
+
+    def test_v1_frames_still_decode(self, report):
+        payload = pickle.dumps(report, protocol=pickle.HIGHEST_PROTOCOL)
+        v1 = struct.pack(">4sBI", b"SKVR", 1, len(payload)) + payload
+        restored = decode_report(v1)
+        assert restored.host_id == report.host_id
+        assert np.array_equal(
+            restored.sketch.to_matrix(), report.sketch.to_matrix()
+        )
+
+    def test_v1_and_v2_mix_in_stream(self, report):
+        payload = pickle.dumps(report, protocol=pickle.HIGHEST_PROTOCOL)
+        v1 = struct.pack(">4sBI", b"SKVR", 1, len(payload)) + payload
+        stream = encode_report(report, epoch=3) + v1
+        assert len(decode_stream(stream)) == 2
+
+    def test_oversized_payload_rejected(self, report):
+        frame = encode_report(report)
+        with pytest.raises(CorruptFrameError, match="oversized"):
+            decode_report(frame + b"\x00\x00\x00")
+
+    def test_truncated_payload_rejected(self, report):
+        frame = encode_report(report)
+        with pytest.raises(CorruptFrameError, match="truncated"):
+            decode_report(frame[:-3])
+
+    def test_host_field_mismatch_rejected(self, report):
+        frame = bytearray(encode_report(report, epoch=0))
+        # host_id field lives at bytes [5, 9); rewrite it wholesale so
+        # the CRC (payload-only) stays valid and only the cross-check
+        # against the payload's host can catch it.
+        frame[5:9] = struct.pack(">I", report.host_id + 7)
+        with pytest.raises(CorruptFrameError, match="host"):
+            decode_report(bytes(frame))
+
+
+class TestCorruptionProperty:
+    """Property-style sweeps: random reports survive the round trip;
+    every corruption mode is rejected with the right error type."""
+
+    def _frames(self, report):
+        return [encode_report(report, epoch=e) for e in (0, 1, 42)]
+
+    def test_random_reports_roundtrip(self, small_trace):
+        for seed in range(5):
+            host = Host(
+                seed,
+                Deltoid(width=64, depth=2, seed=seed + 1),
+                fastpath_bytes=4096,
+            )
+            report = host.run_epoch(small_trace)
+            restored = decode_report(encode_report(report, epoch=seed))
+            assert restored.host_id == report.host_id
+            assert np.array_equal(
+                restored.sketch.to_matrix(), report.sketch.to_matrix()
+            )
+            assert (
+                restored.fastpath.entries.keys()
+                == report.fastpath.entries.keys()
+            )
+
+    def test_random_truncations_rejected(self, report):
+        frame = encode_report(report, epoch=1)
+        rng = random.Random(5)
+        for _ in range(30):
+            cut = frame[: rng.randrange(1, len(frame))]
+            with pytest.raises(CorruptFrameError):
+                decode_report(cut)
+
+    def test_payload_bitflips_rejected_by_crc(self, report):
+        frame = encode_report(report, epoch=1)
+        header_size = peek_header(frame).size
+        rng = random.Random(6)
+        for _ in range(30):
+            corrupted = bytearray(frame)
+            position = rng.randrange(header_size, len(corrupted))
+            corrupted[position] ^= 1 << rng.randrange(8)
+            with pytest.raises(CorruptFrameError):
+                decode_report(bytes(corrupted))
+
+    def test_header_bitflips_rejected(self, report):
+        """Flips in magic/version/host/length/CRC fields are caught at
+        decode time.  (Epoch-field flips — bytes [9, 13) — decode fine
+        by design and are rejected by the collector's epoch check.)"""
+        frame = encode_report(report, epoch=1)
+        protected = [b for b in range(13, 21)]  # length + crc
+        protected += list(range(0, 9))  # magic, version, host_id
+        for position in protected:
+            for bit in range(8):
+                corrupted = bytearray(frame)
+                corrupted[position] ^= 1 << bit
+                with pytest.raises(ConfigError):
+                    decode_report(bytes(corrupted))
+
+    def test_bad_magic_rejected(self, report):
+        frame = bytearray(encode_report(report))
+        frame[0:4] = b"NOPE"
+        with pytest.raises(CorruptFrameError, match="magic"):
+            decode_report(bytes(frame))
+
+    def test_bad_version_rejected(self, report):
+        frame = bytearray(encode_report(report))
+        frame[4] = 9
+        with pytest.raises(CorruptFrameError, match="version"):
+            decode_report(bytes(frame))
+
+    def test_garbage_payload_with_valid_crc_rejected(self):
+        import zlib
+
+        payload = b"\x99" * 64  # not a pickle
+        frame = (
+            struct.pack(
+                ">4sBIIII", b"SKVR", 2, 0, 0, len(payload),
+                zlib.crc32(payload),
+            )
+            + payload
+        )
+        with pytest.raises(CorruptFrameError, match="pickle"):
+            decode_report(frame)
 
 
 class TestRestrictedUnpickler:
