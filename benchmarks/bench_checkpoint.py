@@ -1,0 +1,190 @@
+#!/usr/bin/env python
+"""Checkpoint overhead harness: supervised vs plain data plane.
+
+Times the scalar data plane with durability off (the historical path)
+against the supervised engine snapshotting at the default interval, and
+appends the overhead ratio to a JSON trajectory file.  The acceptance
+budget is **<= 10% throughput cost at the default interval** — the
+`within_budget` field records the verdict per run.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_checkpoint.py           # full run
+    PYTHONPATH=src python benchmarks/bench_checkpoint.py --smoke   # CI quick pass
+
+A sweep over smaller intervals rides along so the trajectory shows how
+the cost scales as snapshots get denser (the knob ``--checkpoint-every``
+exposes to users).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.dataplane.host import Host  # noqa: E402
+from repro.durability import (  # noqa: E402
+    DEFAULT_CHECKPOINT_EVERY,
+    Supervisor,
+)
+from repro.sketches.countmin import CountMinSketch  # noqa: E402
+from repro.traffic.generator import (  # noqa: E402
+    TraceConfig,
+    generate_trace,
+)
+
+
+def make_host():
+    return Host(
+        host_id=0,
+        sketch=CountMinSketch(seed=1),
+        fastpath_bytes=8192,
+    )
+
+
+def time_plain(trace, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        host = make_host()
+        start = time.perf_counter()
+        host.run_epoch(trace)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def time_supervised(trace, every: int, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        with tempfile.TemporaryDirectory() as directory:
+            supervisor = Supervisor(
+                directory, checkpoint_every=every
+            )
+            host = make_host()
+            start = time.perf_counter()
+            supervisor.run_epoch([host], [trace], None, 0)
+            best = min(best, time.perf_counter() - start)
+    return best
+
+
+def git_sha() -> str | None:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        return None
+
+
+def append_trajectory(path: Path, entry: dict) -> None:
+    trajectory = {"runs": []}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+            if isinstance(loaded, dict) and isinstance(
+                loaded.get("runs"), list
+            ):
+                trajectory = loaded
+        except json.JSONDecodeError:
+            pass
+    trajectory["runs"].append(entry)
+    path.write_text(json.dumps(trajectory, indent=2) + "\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--flows", type=int, default=10_500)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small trace, one repeat (CI quick pass)",
+    )
+    parser.add_argument(
+        "--output", type=Path,
+        default=REPO_ROOT / "BENCH_checkpoint.json",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.flows = 2_000
+        args.repeats = 1
+
+    trace = generate_trace(
+        TraceConfig(num_flows=args.flows, seed=args.seed)
+    )
+    packets = len(trace)
+    print(f"trace: {packets} packets / {args.flows} flows")
+
+    plain = time_plain(trace, args.repeats)
+    print(
+        f"plain        : {plain:.3f}s "
+        f"({packets / plain:,.0f} pkt/s)"
+    )
+
+    intervals = [DEFAULT_CHECKPOINT_EVERY, 8192, 2048]
+    sweep = {}
+    for every in intervals:
+        elapsed = time_supervised(trace, every, args.repeats)
+        overhead = elapsed / plain - 1.0
+        sweep[str(every)] = {
+            "seconds": elapsed,
+            "packets_per_sec": packets / elapsed,
+            "overhead": overhead,
+        }
+        print(
+            f"every={every:>6}: {elapsed:.3f}s "
+            f"({packets / elapsed:,.0f} pkt/s, "
+            f"overhead {overhead:+.1%})"
+        )
+
+    default_overhead = sweep[str(DEFAULT_CHECKPOINT_EVERY)]["overhead"]
+    within_budget = default_overhead <= 0.10
+    print(
+        f"default interval ({DEFAULT_CHECKPOINT_EVERY}): "
+        f"{default_overhead:+.1%} overhead — "
+        f"{'WITHIN' if within_budget else 'OVER'} the 10% budget"
+    )
+
+    append_trajectory(
+        args.output,
+        {
+            "timestamp": datetime.now(timezone.utc).isoformat(),
+            "git_sha": git_sha(),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "smoke": args.smoke,
+            "packets": packets,
+            "flows": args.flows,
+            "repeats": args.repeats,
+            "plain_seconds": plain,
+            "checkpoint": sweep,
+            "default_every": DEFAULT_CHECKPOINT_EVERY,
+            "default_overhead": default_overhead,
+            "within_budget": within_budget,
+        },
+    )
+    print(f"appended to {args.output}")
+    if args.smoke:
+        # The smoke trace is too small for a stable overhead ratio
+        # (fixed per-epoch costs dominate); only the full run gates.
+        return 0
+    return 0 if within_budget else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

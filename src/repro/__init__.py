@@ -43,6 +43,7 @@ from repro.common.errors import (
 )
 from repro.common.flow import FlowKey, Packet
 from repro.controlplane.recovery import DegradedEpoch, RecoveryMode
+from repro.durability import Checkpointer, StateCodec, Supervisor
 from repro.faults import FaultKind, FaultPlan, FaultSpec, moderate_plan
 from repro.framework.modes import DataPlaneMode
 from repro.framework.pipeline import (
@@ -69,6 +70,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "CardinalityTask",
+    "Checkpointer",
     "ConfigError",
     "CorruptFrameError",
     "DDoSTask",
@@ -99,6 +101,8 @@ __all__ = [
     "RecoveryMode",
     "ReproError",
     "SketchVisorPipeline",
+    "StateCodec",
+    "Supervisor",
     "moderate_plan",
     "SuperspreaderTask",
     "TASK_REGISTRY",

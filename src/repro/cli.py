@@ -189,6 +189,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 0
 
     faults = FaultPlan.load(args.chaos) if args.chaos else None
+    config_kwargs: dict = {}
+    if args.checkpoint_dir:
+        config_kwargs["checkpoint_dir"] = args.checkpoint_dir
+    if args.checkpoint_every is not None:
+        config_kwargs["checkpoint_every"] = args.checkpoint_every
     pipeline = SketchVisorPipeline(
         task,
         dataplane=DataPlaneMode(args.dataplane),
@@ -198,6 +203,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             fastpath_bytes=args.fastpath_bytes,
             telemetry=telemetry,
             faults=faults,
+            **config_kwargs,
         ),
     )
     if args.task == "heavy_changer":
@@ -238,6 +244,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 f"est. error inflation "
                 f"{degraded.error_inflation:.0%}"
             )
+    if result.durability is not None:
+        outcomes = result.durability
+        recovered = sum(1 for o in outcomes if o.recovered)
+        print(
+            "durability      : "
+            f"{sum(o.checkpoint_writes for o in outcomes)} "
+            f"checkpoint(s), "
+            f"{sum(o.restores for o in outcomes)} restore(s), "
+            f"{sum(o.replayed_packets for o in outcomes)} packet(s) "
+            f"replayed, {recovered} host(s) recovered, "
+            f"{sum(1 for o in outcomes if o.gave_up)} gave up, "
+            f"{sum(1 for o in outcomes if o.quarantined)} quarantined"
+        )
     if telemetry is not None:
         _dump_telemetry(args, telemetry)
     return 0
@@ -432,6 +451,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject faults from a FaultPlan JSON file into the "
         "host->controller report path (see docs/robustness.md); "
         "ignored by --cores mode",
+    )
+    run.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="enable durable host state: snapshot every host engine "
+        "into DIR and recover crashed/hung hosts by restore + WAL "
+        "replay (see docs/robustness.md); ignored by --cores mode",
+    )
+    run.add_argument(
+        "--checkpoint-every",
+        type=int,
+        metavar="K",
+        help="snapshot interval in packets (default 16384); only "
+        "meaningful with --checkpoint-dir",
     )
     run.set_defaults(func=_cmd_run)
 

@@ -60,3 +60,15 @@ class ReportTimeout(TransportError):
 class QuorumError(MergeError):
     """Fewer hosts reported than the configured quorum; the epoch
     cannot be recovered even in degraded mode."""
+
+
+class SnapshotError(ReproError):
+    """Base class for durability (checkpoint/restore) failures."""
+
+
+class CorruptSnapshotError(SnapshotError):
+    """A checkpoint file failed validation: bad magic/version, a length
+    field that disagrees with the buffer, a CRC32 mismatch, or a
+    payload the restricted unpickler cannot parse.  The restore path
+    treats this as "walk back to the previous checkpoint", never as a
+    fatal error."""

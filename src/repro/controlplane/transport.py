@@ -29,6 +29,7 @@ from __future__ import annotations
 import io
 import pickle
 import struct
+import warnings
 import zlib
 from collections import deque
 from dataclasses import dataclass, field
@@ -75,6 +76,32 @@ class _RestrictedUnpickler(pickle.Unpickler):
                 "(module not allowlisted)"
             )
         return super().find_class(module, name)
+
+
+def restricted_loads(payload: bytes):
+    """Deserialize ``payload`` through the restricted unpickler.
+
+    The single safe-deserialization chokepoint of the package: report
+    decoding and durability-checkpoint decoding both route through it,
+    so the allowlist above governs everything that crosses a trust
+    boundary (wire frames, snapshot files at rest).
+    """
+    return _RestrictedUnpickler(io.BytesIO(payload)).load()
+
+
+#: Lifetime count of v1 (un-CRC'd) frames this process decoded; see
+#: :func:`v1_frames_decoded`.
+_v1_frames_decoded = 0
+
+
+def v1_frames_decoded() -> int:
+    """How many deprecated v1 frames this process has decoded so far.
+
+    The per-epoch increment is also tracked in
+    :class:`CollectionStats.v1_frames` and published as the
+    ``sketchvisor_transport_v1_frames_total`` counter.
+    """
+    return _v1_frames_decoded
 
 
 @dataclass(frozen=True)
@@ -167,13 +194,23 @@ def decode_report(message: bytes) -> LocalReport:
     non-allowlisted class.
     """
     header = peek_header(message)
+    if header.version == _VERSION_V1:
+        global _v1_frames_decoded
+        _v1_frames_decoded += 1
+        warnings.warn(
+            "decoding a v1 report frame: v1 carries no CRC32, so "
+            "payload corruption is undetectable; re-encode with "
+            "encode_report (v2)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
     payload = message[header.size :]
     if header.crc32 is not None and zlib.crc32(payload) != header.crc32:
         raise CorruptFrameError(
             "frame CRC32 mismatch (payload corrupted in flight)"
         )
     try:
-        report = _RestrictedUnpickler(io.BytesIO(payload)).load()
+        report = restricted_loads(payload)
     except ConfigError:
         raise
     except Exception as exc:  # pickle raises a zoo of types on garbage
@@ -258,6 +295,10 @@ class CollectionStats:
     duplicates: int = 0
     stale_frames: int = 0
     crashes: int = 0
+    #: Deprecated v1 (un-CRC'd) frames the collector decoded; not a
+    #: fault (the frame was usable) but worth surfacing — v1 carries no
+    #: integrity check.
+    v1_frames: int = 0
     #: Total *simulated* backoff the retry loop would have slept.
     backoff_seconds: float = 0.0
 
@@ -404,6 +445,8 @@ class ReportCollector:
                         f"{header.epoch} during epoch {epoch}"
                     )
                 report = decode_report(delivered)
+                if header.version == _VERSION_V1:
+                    stats.v1_frames += 1
             except ReportTimeout:
                 if fault is FaultKind.DELAY:
                     stats.timeouts += 1

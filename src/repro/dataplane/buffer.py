@@ -64,3 +64,23 @@ class BoundedFIFO:
     def clear(self) -> None:
         self._queue.clear()
         self.high_water = 0
+
+    def restore(
+        self,
+        items: list[tuple[Packet, float]],
+        high_water: int,
+    ) -> None:
+        """Reload queue contents from a durability checkpoint.
+
+        Replaces the current backlog wholesale; ``high_water`` is the
+        recorded peak (always >= the restored length), so a resumed
+        epoch reports the same buffer pressure an uninterrupted one
+        would.
+        """
+        if len(items) > self.capacity:
+            raise ConfigError(
+                f"checkpoint holds {len(items)} queued packets but the "
+                f"FIFO capacity is {self.capacity}"
+            )
+        self._queue = deque(items)
+        self.high_water = max(high_water, len(self._queue))

@@ -1,0 +1,279 @@
+"""The resumable per-host measurement engine.
+
+This module factors the software switch's scalar per-packet loop into a
+:class:`HostEngine` whose *entire* execution state — sketch, fast path,
+FIFO backlog, producer/consumer clocks, partially-filled report, and
+the trace offset — lives on the instance between calls.  That makes one
+epoch **interruptible and resumable**: ``run(..., stop_at=k)`` processes
+packets up to offset ``k`` and returns; calling ``run`` again continues
+exactly where the previous call stopped, producing a bit-identical
+:class:`SwitchReport` to an uninterrupted run.
+
+Resumability is what the durability subsystem (``repro.durability``)
+builds on: a :class:`~repro.durability.Checkpointer` snapshots the
+engine at periodic packet boundaries via the ``on_checkpoint`` hook, a
+crashed host's engine is reconstructed from the last snapshot, and only
+the journaled tail of the trace is replayed.
+
+:class:`~repro.dataplane.switch.SoftwareSwitch` delegates its scalar
+path here, so the interactive switch, the supervised pipeline, and the
+checkpoint/replay tests all execute the *same* reference loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+from repro.common.flow import FlowKey
+from repro.dataplane.buffer import BoundedFIFO
+from repro.dataplane.cost_model import CostModel
+from repro.fastpath.misra_gries import MisraGriesTopK
+from repro.fastpath.topk import FastPath
+
+
+@dataclass
+class SwitchReport:
+    """Per-epoch statistics of one software switch."""
+
+    total_packets: int = 0
+    total_bytes: float = 0.0
+    normal_packets: int = 0
+    normal_bytes: float = 0.0
+    fastpath_packets: int = 0
+    fastpath_bytes: float = 0.0
+    producer_cycles: float = 0.0
+    consumer_cycles: float = 0.0
+    makespan_cycles: float = 0.0
+    throughput_gbps: float = 0.0
+    buffer_high_water: int = 0
+    normal_flows: set[FlowKey] = field(default_factory=set)
+    fastpath_flows: set[FlowKey] = field(default_factory=set)
+
+    @property
+    def fastpath_packet_fraction(self) -> float:
+        if self.total_packets == 0:
+            return 0.0
+        return self.fastpath_packets / self.total_packets
+
+    @property
+    def fastpath_byte_fraction(self) -> float:
+        if self.total_bytes == 0:
+            return 0.0
+        return self.fastpath_bytes / self.total_bytes
+
+    @property
+    def fastpath_flow_fraction(self) -> float:
+        total = len(self.normal_flows | self.fastpath_flows)
+        if total == 0:
+            return 0.0
+        return len(self.fastpath_flows) / total
+
+
+def arrival_cycles_array(trace, offered_gbps, cost_model: CostModel):
+    """Per-packet arrival cycles for a trace replayed at ``offered_gbps``.
+
+    Returns ``None`` for back-to-back replay (``offered_gbps=None`` or a
+    zero-duration trace): every arrival is cycle 0.  The element-wise
+    float64 operations match scalar Python-float arithmetic bit for bit,
+    so scalar, batch, and resumed runs see identical arrival clocks.
+    """
+    if offered_gbps is None:
+        return None
+    if offered_gbps <= 0:
+        raise ConfigError("offered_gbps must be positive")
+    total_bytes = trace.total_bytes
+    target_duration = total_bytes * 8.0 / (offered_gbps * 1e9)
+    span = trace.duration
+    start = trace[0].timestamp if len(trace) else 0.0
+    hz = cost_model.cpu_hz
+    if span <= 0:
+        return None
+    scale = target_duration / span * hz
+    return (trace.timestamps - start) * scale
+
+
+class HostEngine:
+    """One host's measurement loop with externally visible state.
+
+    Parameters
+    ----------
+    sketch:
+        The normal-path sketch (mutated in place as packets arrive).
+    fastpath:
+        :class:`FastPath` / :class:`MisraGriesTopK`, or ``None`` for the
+        NoFastPath (blocking) arm.
+    cost_model:
+        Cycle accounting; also needed to finalize throughput.
+    buffer_packets:
+        FIFO capacity when no ``fifo`` is supplied.
+    ideal:
+        Bypass all capacity limits (accuracy yardstick).
+    fifo:
+        An existing :class:`BoundedFIFO` to (re)use — the switch passes
+        its own buffer so ``switch.buffer.high_water`` keeps reflecting
+        the last epoch.  The queue is cleared on construction; restored
+        engines refill it through :meth:`BoundedFIFO.restore`.
+    """
+
+    def __init__(
+        self,
+        sketch,
+        fastpath: FastPath | MisraGriesTopK | None = None,
+        cost_model: CostModel | None = None,
+        buffer_packets: int = 1024,
+        ideal: bool = False,
+        fifo: BoundedFIFO | None = None,
+    ):
+        if ideal and fastpath is not None:
+            raise ConfigError("ideal mode does not use a fast path")
+        self.sketch = sketch
+        self.fastpath = fastpath
+        self.cost_model = cost_model or CostModel.in_memory()
+        self.fifo = fifo if fifo is not None else BoundedFIFO(buffer_packets)
+        self.fifo.clear()
+        self.ideal = ideal
+        #: Packets consumed so far — the replay cursor the write-ahead
+        #: journal records.
+        self.offset = 0
+        self.producer = 0.0  # next cycle the producer is free
+        self.consumer = 0.0  # next cycle the consumer is free
+        self.report = SwitchReport()
+        self._sketch_cycles = self.cost_model.sketch_cycles(sketch)
+        self._dispatch = self.cost_model.dispatch_cycles
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        packets,
+        arrivals=None,
+        stop_at: int | None = None,
+        checkpoint_every: int = 0,
+        on_checkpoint=None,
+        heartbeat_every: int = 0,
+        on_heartbeat=None,
+    ) -> "HostEngine":
+        """Process ``packets[self.offset : stop_at]`` and return self.
+
+        ``packets`` must be random-access (``trace.packets``);
+        ``arrivals`` is a matching list of arrival cycles or ``None``
+        for back-to-back replay.  ``stop_at`` bounds the *offset*
+        reached, so a supervisor can stop exactly where a scheduled
+        fault fires; ``None`` runs to the end of the trace.
+
+        ``on_checkpoint(engine)`` fires when the absolute offset is a
+        multiple of ``checkpoint_every`` (alignment is to the trace, not
+        to the restart point, so boundaries are stable across crashes);
+        ``on_heartbeat(engine)`` likewise every ``heartbeat_every``
+        packets — the supervisor's liveness signal.
+        """
+        n = len(packets)
+        end = n if stop_at is None else min(stop_at, n)
+        if end <= self.offset:
+            return self
+
+        sketch = self.sketch
+        fastpath = self.fastpath
+        fifo = self.fifo
+        report = self.report
+        sketch_cycles = self._sketch_cycles
+        dispatch = self._dispatch
+        fastpath_cycles = self.cost_model.fastpath_cycles
+        ideal = self.ideal
+        producer = self.producer
+        consumer = self.consumer
+        index = self.offset
+
+        while index < end:
+            packet = packets[index]
+            arrival = 0.0 if arrivals is None else arrivals[index]
+            now = max(producer, arrival)
+            # Let the consumer catch up to `now` in parallel.
+            while not fifo.empty:
+                start = max(consumer, fifo.peek_enqueue_cycle())
+                if start + sketch_cycles > now:
+                    break
+                fifo.pop()
+                consumer = start + sketch_cycles
+
+            producer = now + dispatch
+            report.total_packets += 1
+            report.total_bytes += packet.size
+
+            if ideal:
+                sketch.update(packet.flow, packet.size)
+                consumer = max(consumer, producer) + sketch_cycles
+                report.normal_packets += 1
+                report.normal_bytes += packet.size
+                report.normal_flows.add(packet.flow)
+            else:
+                if fifo.full and fastpath is None:
+                    # NoFastPath: block until the daemon frees a slot.
+                    start = max(consumer, fifo.peek_enqueue_cycle())
+                    fifo.pop()
+                    consumer = start + sketch_cycles
+                    producer = max(producer, consumer)
+
+                if not fifo.full:
+                    fifo.push(packet, producer)
+                    # Counter state is order-insensitive within an
+                    # epoch, so apply the sketch update now; the
+                    # *cycles* are charged to the consumer when the
+                    # packet is drained.
+                    sketch.update(packet.flow, packet.size)
+                    report.normal_packets += 1
+                    report.normal_bytes += packet.size
+                    report.normal_flows.add(packet.flow)
+                else:
+                    kind = fastpath.update(packet.flow, packet.size)
+                    producer += fastpath_cycles(kind, fastpath.capacity)
+                    report.fastpath_packets += 1
+                    report.fastpath_bytes += packet.size
+                    report.fastpath_flows.add(packet.flow)
+
+            index += 1
+            if (
+                checkpoint_every
+                and on_checkpoint is not None
+                and index % checkpoint_every == 0
+                and index < n
+            ):
+                self.producer = producer
+                self.consumer = consumer
+                self.offset = index
+                on_checkpoint(self)
+            if (
+                heartbeat_every
+                and on_heartbeat is not None
+                and index % heartbeat_every == 0
+            ):
+                self.producer = producer
+                self.consumer = consumer
+                self.offset = index
+                on_heartbeat(self)
+
+        self.producer = producer
+        self.consumer = consumer
+        self.offset = index
+        return self
+
+    # ------------------------------------------------------------------
+    def finish(self) -> SwitchReport:
+        """Drain the FIFO and finalize the epoch's report."""
+        fifo = self.fifo
+        consumer = self.consumer
+        sketch_cycles = self._sketch_cycles
+        while not fifo.empty:
+            _packet, enqueued = fifo.pop()
+            consumer = max(consumer, enqueued) + sketch_cycles
+        self.consumer = consumer
+
+        report = self.report
+        report.buffer_high_water = fifo.high_water
+        report.producer_cycles = self.producer
+        report.consumer_cycles = consumer
+        report.makespan_cycles = max(self.producer, consumer)
+        report.throughput_gbps = self.cost_model.gbps(
+            report.total_bytes, report.makespan_cycles
+        )
+        return report

@@ -25,15 +25,18 @@ Three operating modes cover the paper's evaluation arms:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from itertools import repeat
 
 import numpy as np
 
 from repro.common.errors import ConfigError
-from repro.common.flow import FlowKey
 from repro.dataplane.buffer import BoundedFIFO
 from repro.dataplane.cost_model import CostModel
+from repro.dataplane.engine import (
+    HostEngine,
+    SwitchReport,
+    arrival_cycles_array,
+)
 from repro.fastpath.misra_gries import MisraGriesTopK
 from repro.fastpath.topk import FastPath
 from repro.sketches.base import Sketch
@@ -44,43 +47,7 @@ from repro.telemetry.publish import (
     publish_switch_epoch,
 )
 
-
-@dataclass
-class SwitchReport:
-    """Per-epoch statistics of one software switch."""
-
-    total_packets: int = 0
-    total_bytes: float = 0.0
-    normal_packets: int = 0
-    normal_bytes: float = 0.0
-    fastpath_packets: int = 0
-    fastpath_bytes: float = 0.0
-    producer_cycles: float = 0.0
-    consumer_cycles: float = 0.0
-    makespan_cycles: float = 0.0
-    throughput_gbps: float = 0.0
-    buffer_high_water: int = 0
-    normal_flows: set[FlowKey] = field(default_factory=set)
-    fastpath_flows: set[FlowKey] = field(default_factory=set)
-
-    @property
-    def fastpath_packet_fraction(self) -> float:
-        if self.total_packets == 0:
-            return 0.0
-        return self.fastpath_packets / self.total_packets
-
-    @property
-    def fastpath_byte_fraction(self) -> float:
-        if self.total_bytes == 0:
-            return 0.0
-        return self.fastpath_bytes / self.total_bytes
-
-    @property
-    def fastpath_flow_fraction(self) -> float:
-        total = len(self.normal_flows | self.fastpath_flows)
-        if total == 0:
-            return 0.0
-        return len(self.fastpath_flows) / total
+__all__ = ["SoftwareSwitch", "SwitchReport"]
 
 
 class SoftwareSwitch:
@@ -223,77 +190,25 @@ class SoftwareSwitch:
     def _process_scalar(
         self, trace, offered_gbps: float | None = None
     ) -> SwitchReport:
-        """The original per-packet reference implementation."""
-        report = SwitchReport()
-        sketch_cycles = self.cost_model.sketch_cycles(self.sketch)
-        dispatch = self.cost_model.dispatch_cycles
-        arrivals = self._arrival_cycles(trace, offered_gbps)
+        """The per-packet reference implementation (see ``engine.py``).
 
-        producer = 0.0  # next cycle the producer is free
-        consumer = 0.0  # next cycle the consumer is free
-        fifo = self.buffer
-        fifo.clear()
-
-        for packet, arrival in zip(trace, arrivals):
-            now = max(producer, arrival)
-            # Let the consumer catch up to `now` in parallel.
-            while not fifo.empty:
-                start = max(consumer, fifo.peek_enqueue_cycle())
-                if start + sketch_cycles > now:
-                    break
-                fifo.pop()
-                consumer = start + sketch_cycles
-
-            producer = now + dispatch
-            report.total_packets += 1
-            report.total_bytes += packet.size
-
-            if self.ideal:
-                self.sketch.update(packet.flow, packet.size)
-                consumer = max(consumer, producer) + sketch_cycles
-                report.normal_packets += 1
-                report.normal_bytes += packet.size
-                report.normal_flows.add(packet.flow)
-                continue
-
-            if fifo.full and self.fastpath is None:
-                # NoFastPath: block until the daemon frees a slot.
-                start = max(consumer, fifo.peek_enqueue_cycle())
-                fifo.pop()
-                consumer = start + sketch_cycles
-                producer = max(producer, consumer)
-
-            if not fifo.full:
-                fifo.push(packet, producer)
-                # Counter state is order-insensitive within an epoch, so
-                # apply the sketch update now; the *cycles* are charged
-                # to the consumer when the packet is drained.
-                self.sketch.update(packet.flow, packet.size)
-                report.normal_packets += 1
-                report.normal_bytes += packet.size
-                report.normal_flows.add(packet.flow)
-            else:
-                kind = self.fastpath.update(packet.flow, packet.size)
-                producer += self.cost_model.fastpath_cycles(
-                    kind, self.fastpath.capacity
-                )
-                report.fastpath_packets += 1
-                report.fastpath_bytes += packet.size
-                report.fastpath_flows.add(packet.flow)
-
-        # Drain whatever is still buffered.
-        while not fifo.empty:
-            packet, enqueued = fifo.pop()
-            consumer = max(consumer, enqueued) + sketch_cycles
-
-        report.buffer_high_water = fifo.high_water
-        report.producer_cycles = producer
-        report.consumer_cycles = consumer
-        report.makespan_cycles = max(producer, consumer)
-        report.throughput_gbps = self.cost_model.gbps(
-            report.total_bytes, report.makespan_cycles
+        Delegates to a fresh :class:`HostEngine` over the switch's own
+        FIFO, so the interactive switch and the resumable/supervised
+        paths execute one shared loop.
+        """
+        engine = HostEngine(
+            sketch=self.sketch,
+            fastpath=self.fastpath,
+            cost_model=self.cost_model,
+            ideal=self.ideal,
+            fifo=self.buffer,
         )
-        return report
+        arrivals = self._arrival_cycles_array(trace, offered_gbps)
+        engine.run(
+            trace.packets,
+            None if arrivals is None else arrivals.tolist(),
+        )
+        return engine.finish()
 
     # ------------------------------------------------------------------
     # Two-phase batched engine
@@ -432,38 +347,9 @@ class SoftwareSwitch:
             sketch.update(packet.flow, packet.size)
 
     # ------------------------------------------------------------------
-    def _arrival_cycles(self, trace, offered_gbps: float | None):
-        if offered_gbps is None:
-            return (0.0 for _ in range(len(trace)))
-        if offered_gbps <= 0:
-            raise ConfigError("offered_gbps must be positive")
-        total_bytes = trace.total_bytes
-        target_duration = total_bytes * 8.0 / (offered_gbps * 1e9)
-        span = trace.duration
-        start = trace[0].timestamp if len(trace) else 0.0
-        hz = self.cost_model.cpu_hz
-        if span <= 0:
-            return (0.0 for _ in range(len(trace)))
-        scale = target_duration / span * hz
-        return ((p.timestamp - start) * scale for p in trace)
-
     def _arrival_cycles_array(self, trace, offered_gbps: float | None):
-        """Columnar mirror of :meth:`_arrival_cycles`.
+        """Per-packet arrival cycles (``None`` = back-to-back replay).
 
-        Returns ``None`` for back-to-back replay (all arrivals zero).
-        The element-wise float64 operations match the scalar
-        generator's Python-float arithmetic bit for bit.
+        See :func:`repro.dataplane.engine.arrival_cycles_array`.
         """
-        if offered_gbps is None:
-            return None
-        if offered_gbps <= 0:
-            raise ConfigError("offered_gbps must be positive")
-        total_bytes = trace.total_bytes
-        target_duration = total_bytes * 8.0 / (offered_gbps * 1e9)
-        span = trace.duration
-        start = trace[0].timestamp if len(trace) else 0.0
-        hz = self.cost_model.cpu_hz
-        if span <= 0:
-            return None
-        scale = target_duration / span * hz
-        return (trace.timestamps - start) * scale
+        return arrival_cycles_array(trace, offered_gbps, self.cost_model)

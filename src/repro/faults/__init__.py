@@ -23,7 +23,9 @@ without it.  See ``docs/robustness.md``.
 
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import (
+    DATAPLANE_KINDS,
     RETRIABLE_KINDS,
+    DataPlaneFault,
     FaultKind,
     FaultPlan,
     FaultSpec,
@@ -32,6 +34,8 @@ from repro.faults.plan import (
 )
 
 __all__ = [
+    "DATAPLANE_KINDS",
+    "DataPlaneFault",
     "FaultInjector",
     "FaultKind",
     "FaultPlan",

@@ -44,9 +44,19 @@ class FaultKind(Enum):
     #: The previous epoch's frame is delivered instead (stale replay);
     #: degrades to a drop when no earlier frame exists.
     REPLAY = "replay"
+    #: The host's data-plane worker dies *mid-epoch* at a packet
+    #: offset.  Recoverable via checkpoint/replay when durability is
+    #: enabled; forfeits the epoch (degraded merge) otherwise.
+    DATAPLANE_CRASH = "dp_crash"
+    #: The host's data-plane worker stops making progress mid-epoch
+    #: (hung syscall, livelock): heartbeats cease and the supervisor's
+    #: watchdog must detect it before a restart can happen.
+    HANG = "hang"
 
 
-#: Fixed sampling order so rate draws are reproducible.
+#: Fixed sampling order so rate draws are reproducible.  New kinds are
+#: appended at the END: a draw is only consumed when a kind's rate is
+#: positive, so older plans' schedules are unchanged by the addition.
 _KIND_ORDER = (
     FaultKind.CRASH,
     FaultKind.DROP,
@@ -55,7 +65,28 @@ _KIND_ORDER = (
     FaultKind.BITFLIP,
     FaultKind.DUPLICATE,
     FaultKind.REPLAY,
+    FaultKind.DATAPLANE_CRASH,
+    FaultKind.HANG,
 )
+
+#: Kinds that strike the data plane mid-epoch rather than the report
+#: path; they are scheduled by :meth:`FaultPlan.dataplane_schedule_for`
+#: with a packet offset and never appear in :meth:`schedule_for`.
+DATAPLANE_KINDS = frozenset(
+    {FaultKind.DATAPLANE_CRASH, FaultKind.HANG}
+)
+
+#: Kinds a :class:`FaultSpec.packet_offset` may be attached to.  A
+#: report-path ``CRASH`` spec pinned to an offset is *promoted* to a
+#: data-plane crash: the historical crash fault only ever fired at
+#: report-send time, which made mid-epoch crash tests meaningless.
+_OFFSET_KINDS = frozenset(
+    {FaultKind.CRASH, FaultKind.DATAPLANE_CRASH, FaultKind.HANG}
+)
+
+#: Salt separating the packet-offset draw stream from the schedule's
+#: rate draws (same construction as the injector's corruption salt).
+_OFFSET_SALT = 0x0FF5_E7D0
 
 #: Kinds that consume one delivery attempt and then clear on retry.
 RETRIABLE_KINDS = frozenset(
@@ -76,16 +107,43 @@ class FaultSpec:
     ``epoch`` / ``host`` may be ``None`` to match every epoch / host
     (a standing fault), which is how directed tests express "host 2 is
     always down".
+
+    ``packet_offset`` pins a crash/hang to an intra-epoch packet index:
+    the data plane stops after processing exactly that many packets of
+    its shard.  It is only valid for ``CRASH`` / ``DATAPLANE_CRASH`` /
+    ``HANG``; a ``CRASH`` spec carrying an offset is treated as a
+    data-plane crash (the offset is where it strikes).
     """
 
     kind: FaultKind
     epoch: int | None = None
     host: int | None = None
+    packet_offset: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.packet_offset is None:
+            return
+        if self.kind not in _OFFSET_KINDS:
+            raise ConfigError(
+                f"packet_offset only applies to crash/hang faults, "
+                f"not {self.kind.value!r}"
+            )
+        if self.packet_offset < 0:
+            raise ConfigError("packet_offset must be >= 0")
 
     def matches(self, epoch: int, host: int) -> bool:
         return (self.epoch is None or self.epoch == epoch) and (
             self.host is None or self.host == host
         )
+
+
+@dataclass(frozen=True)
+class DataPlaneFault:
+    """One scheduled mid-epoch fault: ``kind`` strikes after the host
+    has processed ``offset`` packets of its shard."""
+
+    kind: FaultKind
+    offset: int
 
 
 @dataclass
@@ -121,35 +179,113 @@ class FaultPlan:
         self.rates = normalized
 
     # ------------------------------------------------------------------
-    def schedule_for(self, epoch: int, host: int) -> list[FaultKind]:
-        """The faults hitting ``(epoch, host)``, in delivery order.
+    def _rate_draws(self, epoch: int, host: int) -> list[FaultKind]:
+        """Every rate-fired kind for one cell, in ``_KIND_ORDER``.
 
-        A pure function of ``(seed, epoch, host)`` — calling it twice,
-        in any order, from any process, yields the same list.
+        Shared by the report-path and data-plane schedules so both
+        consume the cell RNG's draw stream identically — a draw happens
+        exactly when a kind's rate is positive, regardless of which
+        schedule asks.
         """
-        faults: list[FaultKind] = []
+        fired: list[FaultKind] = []
         if self.rates:
             rng = self.rng_for(epoch, host)
             for kind in _KIND_ORDER:
                 rate = self.rates.get(kind, 0.0)
                 if rate > 0.0 and rng.random() < rate:
-                    faults.append(kind)
+                    fired.append(kind)
+        return fired
+
+    def schedule_for(self, epoch: int, host: int) -> list[FaultKind]:
+        """The report-path faults hitting ``(epoch, host)``, in
+        delivery order.
+
+        A pure function of ``(seed, epoch, host)`` — calling it twice,
+        in any order, from any process, yields the same list.  Data-
+        plane kinds (and specs pinned to a packet offset) are excluded:
+        they strike mid-epoch via :meth:`dataplane_schedule_for`.
+        """
+        faults = [
+            kind
+            for kind in self._rate_draws(epoch, host)
+            if kind not in DATAPLANE_KINDS
+        ]
         # Pinned specs stack: each matching spec consumes one delivery
         # attempt, so listing the same spec n times injects it n times
         # (how directed tests exhaust the retry budget).
         for spec in self.specs:
-            if spec.matches(epoch, host):
+            if (
+                spec.matches(epoch, host)
+                and spec.kind not in DATAPLANE_KINDS
+                and spec.packet_offset is None
+            ):
                 faults.append(spec.kind)
         # A crashed host never answers: every other fault is moot.
         if FaultKind.CRASH in faults:
             return [FaultKind.CRASH]
         return faults
 
+    def dataplane_schedule_for(
+        self, epoch: int, host: int, num_packets: int
+    ) -> list[DataPlaneFault]:
+        """Mid-epoch faults for ``(epoch, host)``, sorted by offset.
+
+        Rate-fired data-plane kinds strike at a seeded offset within
+        ``[0, num_packets)``; specs may pin the offset explicitly
+        (clamped to the shard length).  Offsets come from a *salted*
+        RNG, so adding or removing data-plane rates never perturbs the
+        report-path draw stream of an existing plan.
+        """
+        events: list[DataPlaneFault] = []
+        rng = self.offset_rng_for(epoch, host)
+        for kind in self._rate_draws(epoch, host):
+            if kind in DATAPLANE_KINDS:
+                events.append(
+                    DataPlaneFault(
+                        kind,
+                        rng.randrange(num_packets) if num_packets else 0,
+                    )
+                )
+        for spec in self.specs:
+            if not spec.matches(epoch, host):
+                continue
+            if spec.packet_offset is not None:
+                kind = (
+                    FaultKind.DATAPLANE_CRASH
+                    if spec.kind is FaultKind.CRASH
+                    else spec.kind
+                )
+                events.append(
+                    DataPlaneFault(
+                        kind, min(spec.packet_offset, num_packets)
+                    )
+                )
+            elif spec.kind in DATAPLANE_KINDS:
+                events.append(
+                    DataPlaneFault(
+                        spec.kind,
+                        rng.randrange(num_packets) if num_packets else 0,
+                    )
+                )
+        events.sort(key=lambda event: event.offset)
+        return events
+
     def rng_for(self, epoch: int, host: int) -> random.Random:
         """Dedicated RNG for one ``(epoch, host)`` cell (also used to
         pick corruption offsets, so bit-flips are reproducible too)."""
         return random.Random(
             (self.seed & 0xFFFF_FFFF) << 32
+            ^ (epoch & 0xFFFF) << 16
+            ^ (host & 0xFFFF)
+        )
+
+    def offset_rng_for(self, epoch: int, host: int) -> random.Random:
+        """Salted RNG for a cell's packet-offset draws, deliberately
+        separate from :meth:`rng_for` so data-plane scheduling never
+        consumes (or shifts) the report-path draw stream."""
+        return random.Random(
+            (self.seed & 0xFFFF_FFFF) << 40
+            ^ (_OFFSET_SALT & 0xFFFF_FFFF) << 32
             ^ (epoch & 0xFFFF) << 16
             ^ (host & 0xFFFF)
         )
@@ -175,6 +311,7 @@ class FaultPlan:
                     "kind": spec.kind.value,
                     "epoch": spec.epoch,
                     "host": spec.host,
+                    "packet_offset": spec.packet_offset,
                 }
                 for spec in self.specs
             ],
@@ -188,6 +325,7 @@ class FaultPlan:
                     kind=FaultKind(item["kind"]),
                     epoch=item.get("epoch"),
                     host=item.get("host"),
+                    packet_offset=item.get("packet_offset"),
                 )
                 for item in data.get("specs", ())
             ]

@@ -25,6 +25,12 @@ from repro.controlplane.transport import (
 )
 from repro.dataplane.cost_model import CostModel
 from repro.dataplane.host import Host, LocalReport
+from repro.durability import (
+    DEFAULT_CHECKPOINT_EVERY,
+    HostOutcome,
+    Supervisor,
+    checkpoint_from_env,
+)
 from repro.faults import FaultInjector, FaultPlan, faults_from_env
 from repro.framework.modes import DataPlaneMode
 from repro.tasks.base import MeasurementTask, TaskScore
@@ -33,6 +39,7 @@ from repro.telemetry import Telemetry, telemetry_from_env, trace_span
 from repro.telemetry.publish import (
     fastpath_stats,
     publish_collection_epoch,
+    publish_durability_epoch,
     publish_fastpath_epoch,
     publish_switch_epoch,
     publish_worker_crashes,
@@ -80,12 +87,39 @@ class PipelineConfig:
     report_timeout: float = 0.25
     #: Delivery retries per host after the first failed attempt.
     report_retries: int = 3
+    #: Root directory for durable host state.  ``None`` (the default)
+    #: disables checkpointing entirely — no supervisor, no snapshots,
+    #: bit-identical to a build without ``repro.durability``; setting
+    #: ``REPRO_CHECKPOINT_DIR=<dir>`` in the environment injects a
+    #: directory here instead (how CI's crash-recovery leg runs).
+    checkpoint_dir: str | None = None
+    #: Snapshot interval in packets (absolute-offset aligned).
+    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY
+    #: Optional extra snapshot trigger in simulated producer cycles.
+    checkpoint_cycle_budget: float | None = None
+    #: Restarts allowed per host per epoch before the supervisor gives
+    #: up and hands the host to the degraded merge.
+    max_restarts: int = 2
+    #: Consecutive gave-up epochs that trip a host's circuit breaker.
+    quarantine_threshold: int = 3
+    #: Epochs a quarantined host sits out before being retried.
+    quarantine_epochs: int = 2
+    #: Supervisor heartbeat interval in packets.
+    heartbeat_every: int = 2048
+    #: Seconds without a heartbeat before the watchdog flags a host.
+    watchdog_timeout: float = 1.0
 
     def __post_init__(self) -> None:
         if self.telemetry is None:
             self.telemetry = telemetry_from_env()
         if self.faults is None:
             self.faults = faults_from_env()
+        if self.checkpoint_dir is None:
+            env_dir, env_every = checkpoint_from_env()
+            if env_dir is not None:
+                self.checkpoint_dir = env_dir
+                if env_every is not None:
+                    self.checkpoint_every = env_every
 
 
 def _run_host_epoch(host, shard, offered_gbps):
@@ -104,6 +138,9 @@ class EpochResult:
     #: Delivery bookkeeping from the report collector; ``None`` when
     #: no :class:`FaultPlan` is configured (direct in-memory path).
     collection: CollectionResult | None = None
+    #: Per-host :class:`~repro.durability.HostOutcome` records from the
+    #: supervised data plane; ``None`` when checkpointing is disabled.
+    durability: list[HostOutcome] | None = None
 
     @property
     def degraded(self):
@@ -174,6 +211,24 @@ class SketchVisorPipeline:
         else:
             self._injector = None
             self._collector = None
+        # Durable host state is likewise opt-in: with no checkpoint
+        # directory the supervisor never exists and the data plane runs
+        # the historical (unsupervised) paths bit for bit.
+        if self.config.checkpoint_dir is not None:
+            self._supervisor = Supervisor(
+                self.config.checkpoint_dir,
+                plan=self.config.faults,
+                injector=self._injector,
+                checkpoint_every=self.config.checkpoint_every,
+                cycle_budget=self.config.checkpoint_cycle_budget,
+                heartbeat_every=self.config.heartbeat_every,
+                watchdog_timeout=self.config.watchdog_timeout,
+                max_restarts=self.config.max_restarts,
+                quarantine_threshold=self.config.quarantine_threshold,
+                quarantine_epochs=self.config.quarantine_epochs,
+            )
+        else:
+            self._supervisor = None
         self._epoch_counter = 0
 
     def describe(self) -> str:
@@ -188,7 +243,9 @@ class SketchVisorPipeline:
             f"buffer={cfg.buffer_packets}p, "
             f"fastpath={cfg.fastpath_bytes}B, "
             f"telemetry={'on' if cfg.telemetry is not None else 'off'}, "
-            f"chaos={'on' if cfg.faults is not None else 'off'})"
+            f"chaos={'on' if cfg.faults is not None else 'off'}, "
+            f"durability="
+            f"{'on' if cfg.checkpoint_dir is not None else 'off'})"
         )
 
     def __repr__(self) -> str:
@@ -224,7 +281,35 @@ class SketchVisorPipeline:
             )
         return hosts
 
-    def _run_dataplane(self, trace: Trace) -> list[LocalReport]:
+    def _doomed_hosts(self, hosts, shards, epoch: int) -> set[int]:
+        """Hosts whose shard has a mid-epoch fault scheduled while no
+        supervisor can recover them: the crash/hang loses the epoch
+        (their report goes missing → degraded merge), exactly the
+        pre-durability behavior the checkpoint layer exists to fix."""
+        cfg = self.config
+        if cfg.faults is None:
+            return set()
+        doomed = set()
+        for host, shard in zip(hosts, shards):
+            events = cfg.faults.dataplane_schedule_for(
+                epoch, host.host_id, len(shard.packets)
+            )
+            if events:
+                doomed.add(host.host_id)
+                if self._injector is not None:
+                    self._injector.record(events[0].kind)
+        return doomed
+
+    def _run_dataplane(
+        self, trace: Trace
+    ) -> tuple[list[LocalReport], list[int], list[HostOutcome] | None]:
+        """Run one epoch's data plane.
+
+        Returns ``(reports, missing_hosts, outcomes)``: reports that
+        survived, hosts whose epoch was lost to an unrecovered
+        data-plane fault, and the supervisor's per-host outcome records
+        (``None`` when checkpointing is disabled).
+        """
         cfg = self.config
         if cfg.workers < 1:
             raise ConfigError("workers must be >= 1")
@@ -235,6 +320,42 @@ class SketchVisorPipeline:
         # the worker) emit identical counters.
         hosts = self._build_hosts()
         workers = min(cfg.workers, len(hosts))
+        # The epoch the *next* _aggregate call will stamp on these
+        # reports — fault schedules must be keyed by the same number.
+        epoch = self._epoch_counter
+        if self._supervisor is not None and workers <= 1:
+            # Supervised path: the scalar reference engine under
+            # checkpointing (batch and scalar are bit-identical by
+            # contract, so forcing scalar here changes no counters).
+            with trace_span(
+                cfg.telemetry, "dataplane.supervised", epoch=epoch
+            ):
+                outcomes = self._supervisor.run_epoch(
+                    hosts, shards, cfg.offered_gbps, epoch
+                )
+            reports = [
+                o.report for o in outcomes if o.report is not None
+            ]
+            missing = [
+                o.host_id for o in outcomes if o.report is None
+            ]
+            if cfg.telemetry is not None:
+                publish_durability_epoch(
+                    cfg.telemetry.registry, outcomes
+                )
+                self._publish_reports(reports)
+            return reports, missing, outcomes
+        # Unsupervised (or process-pool) path: a scheduled mid-epoch
+        # fault is unrecoverable — the host's epoch is simply lost.
+        doomed = self._doomed_hosts(hosts, shards, epoch)
+        live = [
+            (host, shard)
+            for host, shard in zip(hosts, shards)
+            if host.host_id not in doomed
+        ]
+        hosts = [host for host, _shard in live]
+        shards = [shard for _host, shard in live]
+        workers = min(cfg.workers, len(hosts)) if hosts else 0
         if workers <= 1:
             reports = []
             for host, shard in zip(hosts, shards):
@@ -289,7 +410,7 @@ class SketchVisorPipeline:
             reports = [results[i] for i in range(len(futures))]
         if cfg.telemetry is not None:
             self._publish_reports(reports)
-        return reports
+        return reports, sorted(doomed), None
 
     # ------------------------------------------------------------------
     def _next_epoch(self) -> int:
@@ -298,7 +419,9 @@ class SketchVisorPipeline:
         return epoch
 
     def _aggregate(
-        self, reports: list[LocalReport]
+        self,
+        reports: list[LocalReport],
+        extra_missing: list[int] | None = None,
     ) -> tuple[NetworkResult, CollectionResult | None]:
         """Hand one epoch's reports to the controller.
 
@@ -306,12 +429,27 @@ class SketchVisorPipeline:
         call.  With one, reports round-trip the v2 wire format through
         the :class:`ReportCollector` (faults injected, retries, dedup)
         and the controller merges whatever survived, degraded-mode if
-        necessary.
+        necessary.  ``extra_missing`` names hosts whose report never
+        reached the collector at all (unrecovered data-plane faults) —
+        they join the missing set the degraded merge compensates for.
         """
         cfg = self.config
-        if self._collector is None:
-            return self.controller.aggregate(reports), None
+        extra_missing = extra_missing or []
         epoch = self._next_epoch()
+        if self._collector is None:
+            if extra_missing:
+                # No report channel to blame, but hosts are still
+                # missing: go straight to the degraded merge.
+                return (
+                    self.controller.aggregate(
+                        reports,
+                        expected_hosts=cfg.num_hosts,
+                        missing_hosts=sorted(extra_missing),
+                        epoch=epoch,
+                    ),
+                    None,
+                )
+            return self.controller.aggregate(reports), None
         with trace_span(
             cfg.telemetry, "controlplane.collect", epoch=epoch
         ):
@@ -320,6 +458,12 @@ class SketchVisorPipeline:
                 for report in reports
             }
             collection = self._collector.collect(frames, epoch)
+        if extra_missing:
+            collection.missing_hosts.extend(
+                host_id
+                for host_id in sorted(extra_missing)
+                if host_id not in collection.missing_hosts
+            )
         if cfg.telemetry is not None:
             publish_collection_epoch(
                 cfg.telemetry.registry, collection
@@ -361,8 +505,10 @@ class SketchVisorPipeline:
         telemetry = self.config.telemetry
         with trace_span(telemetry, "epoch", task=self.task.name):
             with trace_span(telemetry, "dataplane"):
-                reports = self._run_dataplane(trace)
-            network, collection = self._aggregate(reports)
+                reports, dp_missing, outcomes = self._run_dataplane(
+                    trace
+                )
+            network, collection = self._aggregate(reports, dp_missing)
             with trace_span(telemetry, "task.answer"):
                 answer = self.task.answer(network.sketch)
             with trace_span(telemetry, "groundtruth"):
@@ -375,6 +521,7 @@ class SketchVisorPipeline:
             network=network,
             reports=reports,
             collection=collection,
+            durability=outcomes,
         )
 
     def run_epoch_pair(
@@ -390,11 +537,17 @@ class SketchVisorPipeline:
         telemetry = self.config.telemetry
         with trace_span(telemetry, "epoch", task=self.task.name):
             with trace_span(telemetry, "dataplane", half="a"):
-                reports_a = self._run_dataplane(epoch_a)
-            network_a, _ = self._aggregate(reports_a)
+                reports_a, missing_a, outcomes_a = self._run_dataplane(
+                    epoch_a
+                )
+            network_a, _ = self._aggregate(reports_a, missing_a)
             with trace_span(telemetry, "dataplane", half="b"):
-                reports_b = self._run_dataplane(epoch_b)
-            network_b, collection_b = self._aggregate(reports_b)
+                reports_b, missing_b, outcomes_b = self._run_dataplane(
+                    epoch_b
+                )
+            network_b, collection_b = self._aggregate(
+                reports_b, missing_b
+            )
             with trace_span(telemetry, "task.answer"):
                 answer = self.task.answer_pair(
                     network_a.sketch, network_b.sketch
@@ -410,4 +563,9 @@ class SketchVisorPipeline:
             network=network_b,
             reports=reports_a + reports_b,
             collection=collection_b,
+            durability=(
+                None
+                if outcomes_a is None and outcomes_b is None
+                else (outcomes_a or []) + (outcomes_b or [])
+            ),
         )

@@ -172,6 +172,10 @@ def publish_collection_epoch(
         "sketchvisor_transport_missing_reports_total",
         "Host reports still missing when collection gave up",
     ).inc(len(collection.missing_hosts))
+    registry.counter(
+        "sketchvisor_transport_v1_frames_total",
+        "Deprecated v1 (un-CRC'd) report frames decoded",
+    ).inc(getattr(stats, "v1_frames", 0))
 
 
 def publish_worker_crashes(
@@ -183,6 +187,80 @@ def publish_worker_crashes(
         "Process-pool workers that died mid-epoch (shards rerun "
         "serially)",
     ).inc(count)
+
+
+def publish_durability_epoch(
+    registry: MetricsRegistry, outcomes
+) -> None:
+    """Publish one supervised epoch's durability outcome per host.
+
+    ``outcomes`` is the supervisor's list of
+    :class:`~repro.durability.supervisor.HostOutcome` records; every
+    counter is a per-epoch increment, so totals read as "what the
+    checkpoint/restart machinery did so far".
+    """
+    writes = registry.counter(
+        "sketchvisor_checkpoint_writes_total",
+        "Engine snapshots written by the checkpointer",
+    )
+    volume = registry.counter(
+        "sketchvisor_checkpoint_bytes_total",
+        "Snapshot bytes written by the checkpointer",
+    )
+    restores = registry.counter(
+        "sketchvisor_checkpoint_restores_total",
+        "Engine restores from a checkpoint after a fault",
+    )
+    corrupt = registry.counter(
+        "sketchvisor_checkpoint_corrupt_snapshots_total",
+        "Snapshots skipped during restore (CRC/decode failure)",
+    )
+    replayed = registry.counter(
+        "sketchvisor_replay_packets_total",
+        "Packets replayed from the journaled tail after restores",
+    )
+    host_faults = registry.counter(
+        "sketchvisor_host_faults_total",
+        "Mid-epoch data-plane faults survived, by kind",
+    )
+    restarts = registry.counter(
+        "sketchvisor_host_restarts_total",
+        "Host restart-with-replay attempts",
+    )
+    gave_up = registry.counter(
+        "sketchvisor_host_gave_up_epochs_total",
+        "Host epochs forfeited after exhausting restarts",
+    )
+    quarantines = registry.counter(
+        "sketchvisor_host_quarantined_epochs_total",
+        "Host epochs sat out under circuit-breaker quarantine",
+    )
+    watchdog = registry.counter(
+        "sketchvisor_watchdog_wait_seconds_total",
+        "Simulated seconds the watchdog waited out hung hosts",
+    )
+    latency = registry.histogram(
+        "sketchvisor_recovery_seconds",
+        "Wall time of one restore-and-reposition recovery",
+        buckets=EPOCH_SECONDS_BUCKETS,
+    )
+    for outcome in outcomes:
+        host = str(outcome.host_id)
+        writes.inc(outcome.checkpoint_writes, host=host)
+        volume.inc(outcome.checkpoint_bytes, host=host)
+        restores.inc(outcome.restores, host=host)
+        corrupt.inc(outcome.corrupt_snapshots, host=host)
+        replayed.inc(outcome.replayed_packets, host=host)
+        host_faults.inc(outcome.crashes, host=host, kind="crash")
+        host_faults.inc(outcome.hangs, host=host, kind="hang")
+        restarts.inc(outcome.restarts, host=host)
+        gave_up.inc(1 if outcome.gave_up else 0, host=host)
+        quarantines.inc(1 if outcome.quarantined else 0, host=host)
+        watchdog.inc(outcome.watchdog_wait, host=host)
+        if outcome.restores:
+            latency.observe(
+                outcome.recovery_seconds / outcome.restores
+            )
 
 
 def publish_controller_epoch(registry: MetricsRegistry, network) -> None:

@@ -1,0 +1,289 @@
+"""StateCodec round-trip properties across every sketch type.
+
+The durability contract starts here: if ``decode(encode(x))`` is not
+*exactly* ``x`` for every piece of host state, checkpoint/replay cannot
+be bit-identical.  These tests sweep every registered sketch type
+through the codec — empty, lightly updated, batch-updated, and
+saturated — plus the flattened fast-path tables and the full engine
+snapshot, and then hammer the frame with the corruptions the CRC is
+there to catch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import CorruptSnapshotError
+from repro.dataplane.engine import HostEngine
+from repro.durability.codec import (
+    StateCodec,
+    _freeze_fastpath,
+    _thaw_fastpath,
+)
+from repro.fastpath.misra_gries import MisraGriesTopK
+from repro.fastpath.topk import FastPath
+from repro.sketches import (
+    MRAC,
+    CountMinSketch,
+    CountSketch,
+    Deltoid,
+    FlowRadar,
+    FMSketch,
+    HyperLogLog,
+    KMinSketch,
+    LinearCounting,
+    ReversibleSketch,
+    TwoLevelSketch,
+    UnivMon,
+)
+from tests.conftest import make_flow
+
+#: Small instances of every registered sketch type (§ Table 1), sized
+#: for test speed — the codec is structure-generic, so small is enough.
+SKETCH_FACTORIES = {
+    "countmin": lambda: CountMinSketch(width=64, depth=3, seed=3),
+    "countsketch": lambda: CountSketch(width=64, depth=3, seed=3),
+    "deltoid": lambda: Deltoid(seed=3),
+    "revsketch": lambda: ReversibleSketch(seed=3),
+    "flowradar": lambda: FlowRadar(
+        bloom_bits=2048, num_cells=512, seed=3
+    ),
+    "univmon": lambda: UnivMon(
+        level_widths=(64, 32, 16), depth=3, heap_size=20, seed=3
+    ),
+    "twolevel": lambda: TwoLevelSketch(seed=3),
+    "mrac": lambda: MRAC(seed=3),
+    "fm": lambda: FMSketch(seed=3),
+    "hll": lambda: HyperLogLog(seed=3),
+    "kmin": lambda: KMinSketch(seed=3),
+    "linear": lambda: LinearCounting(seed=3),
+}
+
+
+def state_equal(a, b, path="") -> bool:
+    """Recursive exact equality over arbitrary repro state objects."""
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, np.ndarray):
+        return (
+            a.dtype == b.dtype
+            and a.shape == b.shape
+            and np.array_equal(a, b)
+        )
+    if isinstance(a, dict):
+        if set(a) != set(b):
+            return False
+        # Insertion order is load-bearing for fast-path tables.
+        if list(a) != list(b):
+            return False
+        return all(state_equal(a[k], b[k], f"{path}.{k}") for k in a)
+    if isinstance(a, (list, tuple)):
+        return len(a) == len(b) and all(
+            state_equal(x, y, f"{path}[]") for x, y in zip(a, b)
+        )
+    if isinstance(a, (set, frozenset)):
+        return a == b
+    if hasattr(a, "__dict__"):
+        return state_equal(vars(a), vars(b), f"{path}.__dict__")
+    if hasattr(a, "__slots__"):
+        return all(
+            state_equal(
+                getattr(a, slot), getattr(b, slot), f"{path}.{slot}"
+            )
+            for slot in a.__slots__
+        )
+    return a == b
+
+
+def updates_strategy(max_size=200):
+    """(flow index, byte count) streams over a small flow pool, so
+    collisions, kick-outs, and heap churn all actually happen."""
+    return st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=24),
+            st.integers(min_value=40, max_value=1500),
+        ),
+        max_size=max_size,
+    )
+
+
+@pytest.fixture(scope="module")
+def codec() -> StateCodec:
+    return StateCodec()
+
+
+class TestSketchRoundTrip:
+    @pytest.mark.parametrize("name", sorted(SKETCH_FACTORIES))
+    def test_empty_sketch_round_trips(self, codec, name):
+        sketch = SKETCH_FACTORIES[name]()
+        restored = codec.decode(codec.encode(sketch))
+        assert state_equal(sketch, restored), name
+
+    @pytest.mark.parametrize("name", sorted(SKETCH_FACTORIES))
+    @settings(max_examples=20, deadline=None)
+    @given(updates=updates_strategy())
+    def test_updated_sketch_round_trips(self, codec, name, updates):
+        sketch = SKETCH_FACTORIES[name]()
+        for index, size in updates:
+            sketch.update(make_flow(index), size)
+        restored = codec.decode(codec.encode(sketch))
+        assert state_equal(sketch, restored), name
+        assert np.array_equal(sketch.to_matrix(), restored.to_matrix())
+
+    @pytest.mark.parametrize("name", sorted(SKETCH_FACTORIES))
+    def test_batch_updated_sketch_round_trips(self, codec, name):
+        rng = np.random.default_rng(11)
+        keys64 = rng.integers(
+            0, 2**63, size=400, dtype=np.uint64
+        )
+        values = rng.integers(
+            40, 1500, size=400
+        ).astype(np.float64)
+        sketch = SKETCH_FACTORIES[name]()
+        if not sketch.key64_updates:
+            pytest.skip("sketch has no key64 batch path")
+        sketch.update_batch(keys64, values)
+        restored = codec.decode(codec.encode(sketch))
+        assert state_equal(sketch, restored), name
+
+    @pytest.mark.parametrize("name", sorted(SKETCH_FACTORIES))
+    def test_restored_sketch_evolves_identically(self, codec, name):
+        """The restored copy must not just *look* equal — it must keep
+        behaving identically under further updates (live hash state,
+        heaps, etc. all have to survive)."""
+        sketch = SKETCH_FACTORIES[name]()
+        for index in range(30):
+            sketch.update(make_flow(index), 100 + index)
+        restored = codec.decode(codec.encode(sketch))
+        for index in range(30, 60):
+            sketch.update(make_flow(index % 40), 99)
+            restored.update(make_flow(index % 40), 99)
+        assert state_equal(sketch, restored), name
+
+
+class TestFastPathRoundTrip:
+    @settings(max_examples=25, deadline=None)
+    @given(updates=updates_strategy())
+    def test_sketchvisor_fastpath(self, updates):
+        fastpath = FastPath(memory_bytes=512)  # tiny → kick-outs
+        for index, size in updates:
+            fastpath.update(make_flow(index), size)
+        restored = _thaw_fastpath(_freeze_fastpath(fastpath))
+        assert state_equal(fastpath, restored)
+        assert list(restored.table) == list(fastpath.table)
+
+    @settings(max_examples=25, deadline=None)
+    @given(updates=updates_strategy())
+    def test_misra_gries_fastpath(self, updates):
+        fastpath = MisraGriesTopK(memory_bytes=256)
+        for index, size in updates:
+            fastpath.update(make_flow(index), size)
+        restored = _thaw_fastpath(_freeze_fastpath(fastpath))
+        assert state_equal(fastpath, restored)
+
+    def test_none_fastpath(self):
+        assert _thaw_fastpath(_freeze_fastpath(None)) is None
+
+    def test_saturated_fastpath_round_trips(self):
+        """A table driven far past capacity (evictions + rejections)."""
+        fastpath = FastPath(memory_bytes=256)
+        for index in range(500):
+            fastpath.update(make_flow(index % 60), 40 + index % 1400)
+        assert fastpath.num_kickouts > 0
+        restored = _thaw_fastpath(_freeze_fastpath(fastpath))
+        assert state_equal(fastpath, restored)
+
+
+class TestEngineSnapshot:
+    def test_mid_epoch_engine_round_trips(self, codec, small_trace):
+        engine = HostEngine(
+            sketch=CountMinSketch(width=64, depth=3, seed=3),
+            fastpath=FastPath(memory_bytes=1024),
+            buffer_packets=32,
+        )
+        engine.run(small_trace.packets, stop_at=len(small_trace) // 2)
+        restored = codec.restore_engine(
+            codec.snapshot_engine(engine), engine.cost_model
+        )
+        assert restored.offset == engine.offset
+        assert restored.producer == engine.producer
+        assert restored.consumer == engine.consumer
+        assert state_equal(engine.report, restored.report)
+        assert state_equal(engine.sketch, restored.sketch)
+        assert state_equal(engine.fastpath, restored.fastpath)
+        assert list(restored.fifo._queue) == list(engine.fifo._queue)
+        assert restored.fifo.high_water == engine.fifo.high_water
+
+    def test_resumed_engine_matches_uninterrupted(
+        self, codec, small_trace
+    ):
+        """Snapshot mid-epoch, restore, run both to the end: identical
+        reports — the keystone the checkpoint layer stands on."""
+        packets = small_trace.packets
+
+        def fresh():
+            return HostEngine(
+                sketch=CountMinSketch(width=64, depth=3, seed=3),
+                fastpath=FastPath(memory_bytes=1024),
+                buffer_packets=32,
+            )
+
+        straight = fresh()
+        straight.run(packets)
+        expected = straight.finish()
+
+        interrupted = fresh()
+        interrupted.run(packets, stop_at=len(packets) // 3)
+        resumed = codec.restore_engine(
+            codec.snapshot_engine(interrupted), interrupted.cost_model
+        )
+        resumed.run(packets)
+        actual = resumed.finish()
+        assert state_equal(expected, actual)
+        assert state_equal(straight.sketch, resumed.sketch)
+        assert state_equal(straight.fastpath, resumed.fastpath)
+
+
+class TestFrameCorruption:
+    def _blob(self, codec):
+        sketch = CountMinSketch(width=16, depth=2, seed=3)
+        sketch.update(make_flow(1), 100)
+        return codec.encode(sketch)
+
+    def test_truncated_header(self, codec):
+        with pytest.raises(CorruptSnapshotError):
+            codec.decode(self._blob(codec)[:4])
+
+    def test_truncated_payload(self, codec):
+        with pytest.raises(CorruptSnapshotError):
+            codec.decode(self._blob(codec)[:-3])
+
+    def test_bad_magic(self, codec):
+        blob = bytearray(self._blob(codec))
+        blob[0] ^= 0xFF
+        with pytest.raises(CorruptSnapshotError):
+            codec.decode(bytes(blob))
+
+    def test_unknown_version(self, codec):
+        blob = bytearray(self._blob(codec))
+        blob[4] = 99
+        with pytest.raises(CorruptSnapshotError):
+            codec.decode(bytes(blob))
+
+    @pytest.mark.parametrize("position", [0.1, 0.5, 0.9])
+    def test_payload_bitflip_caught_by_crc(self, codec, position):
+        blob = bytearray(self._blob(codec))
+        index = codec.header_size + int(
+            (len(blob) - codec.header_size) * position
+        )
+        blob[index] ^= 0x10
+        with pytest.raises(CorruptSnapshotError):
+            codec.decode(bytes(blob))
+
+    def test_not_an_engine_snapshot(self, codec):
+        blob = codec.encode({"format": "something-else"})
+        with pytest.raises(CorruptSnapshotError):
+            codec.restore_engine(blob, None)
