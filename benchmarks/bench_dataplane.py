@@ -138,6 +138,59 @@ def bench_parallel(trace, seed: int, num_hosts: int, workers: int):
     return timings
 
 
+def bench_accuracy_overhead(trace, seed: int, num_hosts: int):
+    """End-to-end epoch time with and without accuracy telemetry.
+
+    Runs the full pipeline (dataplane + merge + recovery + query) twice:
+    once bare, once with telemetry + error-bound publication + a shadow
+    ground-truth sample + SLO evaluation.  The acceptance gate requires
+    the instrumented run to stay within 5% of the bare run.
+    """
+    from repro.telemetry import Telemetry
+    from repro.telemetry.accuracy import SLOPolicy
+
+    truth = GroundTruth.from_trace(trace)
+    policy = SLOPolicy.from_dict({
+        "rules": [
+            {"name": "are-ceiling",
+             "metric": "sketchvisor_accuracy_empirical_flow_are",
+             "op": "<=", "threshold": 10.0},
+            {"name": "recall-floor",
+             "metric": "sketchvisor_accuracy_empirical_hh_recall",
+             "op": ">=", "threshold": 0.0},
+        ]
+    })
+    timings = {}
+    for label in ("bare", "instrumented"):
+        telemetry = Telemetry() if label == "instrumented" else None
+        pipeline = SketchVisorPipeline(
+            HeavyHitterTask("univmon", threshold=0.001),
+            dataplane=DataPlaneMode.SKETCHVISOR,
+            config=PipelineConfig(
+                num_hosts=num_hosts,
+                seed=seed,
+                batch=True,
+                workers=1,
+                telemetry=telemetry,
+                slo=policy if telemetry else None,
+                shadow_samples=128 if telemetry else 0,
+            ),
+        )
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            pipeline.run_epoch(trace, truth)
+            best = min(best, time.perf_counter() - start)
+        timings[label] = {
+            "seconds": best,
+            "packets_per_sec": len(trace) / best,
+        }
+    timings["overhead_pct"] = 100.0 * (
+        timings["instrumented"]["seconds"] / timings["bare"]["seconds"] - 1.0
+    )
+    return timings
+
+
 def git_sha() -> str | None:
     """Short commit SHA of the repo being benchmarked, if available."""
     try:
@@ -268,6 +321,15 @@ def main(argv=None) -> int:
             f" | speedup {parallel_results['speedup']:.1f}x"
         )
 
+    accuracy_results = bench_accuracy_overhead(
+        trace, args.seed, args.hosts
+    )
+    print(
+        f"  {'accuracy':12s} bare {accuracy_results['bare']['packets_per_sec']:>12,.0f} pps"
+        f" | instrumented {accuracy_results['instrumented']['packets_per_sec']:>12,.0f} pps"
+        f" | overhead {accuracy_results['overhead_pct']:+.1f}%"
+    )
+
     entry = {
         "timestamp": datetime.now(timezone.utc).isoformat(),
         "git_sha": git_sha(),
@@ -282,6 +344,7 @@ def main(argv=None) -> int:
         },
         "switch": switch_results,
         "parallel": parallel_results,
+        "accuracy_overhead": accuracy_results,
         "telemetry": instrumented_snapshot(
             trace, args.sketch, args.seed
         ),
@@ -291,6 +354,9 @@ def main(argv=None) -> int:
 
     if not args.smoke and switch_results["ideal"]["speedup"] < 5.0:
         print("FAIL: batch ideal speedup below the 5x acceptance floor")
+        return 1
+    if not args.smoke and accuracy_results["overhead_pct"] > 5.0:
+        print("FAIL: accuracy telemetry overhead above the 5% ceiling")
         return 1
     return 0
 

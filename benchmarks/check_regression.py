@@ -1,0 +1,159 @@
+#!/usr/bin/env python
+"""Bench-regression gate: fresh run vs the committed trajectory.
+
+Compares machine-independent *speedup ratios* (scalar/batch, serial/
+parallel) from a fresh benchmark run against the best committed
+non-smoke entry in the trajectory file.  Raw packets/sec depends on
+the runner's hardware, so only the ratios are gated; a fresh ratio
+more than ``--tolerance`` (default 15%) below the committed baseline
+fails the build.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_dataplane.py --output /tmp/fresh.json
+    python benchmarks/check_regression.py /tmp/fresh.json \
+        --baseline BENCH_dataplane.json
+
+Exit codes: 0 = within tolerance (or vacuous pass — no comparable
+baseline), 1 = regression detected, 2 = usage / malformed input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+# (human label, path into a trajectory entry) for each gated ratio.
+GATED_RATIOS = (
+    ("ideal batch speedup", ("switch", "ideal", "speedup")),
+    ("sketchvisor batch speedup", ("switch", "sketchvisor", "speedup")),
+    ("multi-host parallel speedup", ("parallel", "speedup")),
+)
+
+
+def _load_runs(path: Path) -> list[dict]:
+    try:
+        loaded = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"error: cannot read {path}: {exc}")
+    runs = loaded.get("runs") if isinstance(loaded, dict) else None
+    if not isinstance(runs, list):
+        raise SystemExit(f"error: {path} has no 'runs' list")
+    return runs
+
+
+def _extract(entry: dict, path: tuple[str, ...]) -> float | None:
+    node = entry
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+def _baseline_ratio(runs: list[dict], path: tuple[str, ...]) -> float | None:
+    """Best non-smoke committed value — tolerant of partial entries."""
+    values = [
+        v for entry in runs
+        if not entry.get("smoke")
+        if (v := _extract(entry, path)) is not None
+    ]
+    return max(values) if values else None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "fresh", type=Path,
+        help="trajectory file produced by the fresh benchmark run",
+    )
+    parser.add_argument(
+        "--baseline", type=Path,
+        default=REPO_ROOT / "BENCH_dataplane.json",
+        help="committed trajectory file to compare against",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.15,
+        help="allowed fractional drop below baseline (default 0.15)",
+    )
+    parser.add_argument(
+        "--smoke-tolerance", type=float, default=0.5,
+        help="tolerance applied when the fresh run is a --smoke pass "
+        "(tiny trace, one repeat: ratios are noisy; default 0.5)",
+    )
+    args = parser.parse_args(argv)
+
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error("--tolerance must be in [0, 1)")
+    if not 0.0 <= args.smoke_tolerance < 1.0:
+        parser.error("--smoke-tolerance must be in [0, 1)")
+
+    fresh_runs = _load_runs(args.fresh)
+    if not fresh_runs:
+        raise SystemExit(f"error: {args.fresh} contains no runs")
+    fresh = fresh_runs[-1]
+    tolerance = args.tolerance
+    if fresh.get("smoke"):
+        tolerance = max(tolerance, args.smoke_tolerance)
+        print(
+            f"note: fresh run is a smoke pass; widening tolerance "
+            f"to {tolerance:.0%}"
+        )
+
+    if not args.baseline.exists():
+        print(
+            f"PASS (vacuous): no committed baseline at {args.baseline}; "
+            "nothing to compare against"
+        )
+        return 0
+    baseline_runs = _load_runs(args.baseline)
+
+    failures = []
+    compared = 0
+    for label, path in GATED_RATIOS:
+        fresh_value = _extract(fresh, path)
+        base_value = _baseline_ratio(baseline_runs, path)
+        if fresh_value is None or base_value is None:
+            print(f"  {label}: skipped (no comparable data)")
+            continue
+        compared += 1
+        floor = base_value * (1.0 - tolerance)
+        status = "OK" if fresh_value >= floor else "REGRESSION"
+        print(
+            f"  {label}: fresh {fresh_value:.2f}x vs baseline "
+            f"{base_value:.2f}x (floor {floor:.2f}x) -> {status}"
+        )
+        if fresh_value < floor:
+            failures.append(label)
+
+    # Accuracy-telemetry overhead has a fixed ceiling rather than a
+    # trajectory baseline: the fresh run must stay under 5% + tolerance
+    # headroom (smoke traces are noisy, so the gate is advisory there).
+    overhead = _extract(fresh, ("accuracy_overhead", "overhead_pct"))
+    if overhead is not None and not fresh.get("smoke"):
+        compared += 1
+        ceiling = 5.0
+        status = "OK" if overhead <= ceiling else "REGRESSION"
+        print(
+            f"  accuracy telemetry overhead: {overhead:+.1f}% "
+            f"(ceiling {ceiling:.0f}%) -> {status}"
+        )
+        if overhead > ceiling:
+            failures.append("accuracy telemetry overhead")
+
+    if failures:
+        print(f"FAIL: {len(failures)} regression(s): {', '.join(failures)}")
+        return 1
+    if compared == 0:
+        print("PASS (vacuous): no comparable ratios between fresh and baseline")
+    else:
+        print(f"PASS: {compared} ratio(s) within {tolerance:.0%} tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,10 @@ run
 telemetry
     Run one fully instrumented epoch and export its metrics (Prometheus
     text / JSON snapshot) and trace (span tree / Chrome trace JSON).
+dash
+    Stream a multi-epoch run as a live terminal dashboard (sparkline
+    trends, accuracy gauges, SLO breaches) and optionally write a
+    self-contained HTML report.
 inspect
     Print ground-truth statistics of a trace.
 convert
@@ -123,7 +127,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
             TraceConfig(num_flows=args.flows, seed=args.seed)
         )
     truth = GroundTruth.from_trace(trace)
-    telemetry = Telemetry() if args.trace else None
+    # Accuracy observability (SLOs, shadow sampling, flight-recorder
+    # dumps) rides on telemetry, so any of those flags turns it on.
+    wants_accuracy = bool(
+        args.slo or args.shadow_samples or args.recorder_out
+    )
+    telemetry = Telemetry() if (args.trace or wants_accuracy) else None
 
     kwargs: dict = {}
     if args.task in ("heavy_hitter", "heavy_changer"):
@@ -194,6 +203,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         config_kwargs["checkpoint_dir"] = args.checkpoint_dir
     if args.checkpoint_every is not None:
         config_kwargs["checkpoint_every"] = args.checkpoint_every
+    if args.slo:
+        config_kwargs["slo"] = args.slo
+    if args.shadow_samples:
+        config_kwargs["shadow_samples"] = args.shadow_samples
+    if args.recorder_out:
+        config_kwargs["recorder_path"] = args.recorder_out
     pipeline = SketchVisorPipeline(
         task,
         dataplane=DataPlaneMode(args.dataplane),
@@ -258,6 +273,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"{sum(1 for o in outcomes if o.quarantined)} quarantined"
         )
     if telemetry is not None:
+        bound = telemetry.registry.value(
+            "sketchvisor_accuracy_sketch_error_bound_bytes",
+            sketch=result.network.sketch.name,
+        )
+        if bound is not None:
+            print(f"error bound     : {bound:,.0f} bytes/flow")
+        are = telemetry.registry.value(
+            "sketchvisor_accuracy_empirical_flow_are"
+        )
+        if are is not None:
+            print(f"empirical ARE   : {are:.2%} (shadow sample)")
+    for breach in result.slo_breaches:
+        print(f"ACCURACY_SLO_BREACH: {breach.describe()}")
+    if (
+        telemetry is not None
+        and args.recorder_out
+        and telemetry.recorder.dumps
+    ):
+        print(
+            f"flight recorder : dumped "
+            f"{len(telemetry.recorder.events())} event(s) to "
+            f"{telemetry.recorder.dumps[-1]}"
+        )
+    if telemetry is not None and args.trace:
         _dump_telemetry(args, telemetry)
     return 0
 
@@ -279,6 +318,11 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
     task = create_task(args.task, args.solution, **kwargs)
 
     telemetry = Telemetry()
+    config_kwargs: dict = {}
+    if args.checkpoint_dir:
+        config_kwargs["checkpoint_dir"] = args.checkpoint_dir
+    if args.chaos:
+        config_kwargs["faults"] = FaultPlan.load(args.chaos)
     pipeline = SketchVisorPipeline(
         task,
         dataplane=DataPlaneMode(args.dataplane),
@@ -287,6 +331,7 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
             num_hosts=args.hosts,
             batch=args.batch,
             telemetry=telemetry,
+            **config_kwargs,
         ),
     )
     print(pipeline.describe(), file=sys.stderr)
@@ -301,20 +346,108 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
     if args.tree:
         print(span_tree(telemetry.tracer.tree_rows()))
         print()
-    if args.prom is not None:
-        write_prometheus(telemetry.registry, args.prom)
-        if args.prom != "-":
-            print(f"wrote Prometheus metrics to {args.prom}")
-    if args.json is not None:
-        write_json_snapshot(
-            telemetry.registry, args.json, telemetry.tracer
-        )
-        if args.json != "-":
-            print(f"wrote JSON snapshot to {args.json}")
+    # Exports run only now, after the epoch: every family the run
+    # registered along the way (durability counters included — they
+    # only exist once the supervisor has run) is in the registry by
+    # the time any snapshot is rendered.
+    if args.format is not None:
+        # --format/--output mode: one export, one destination.
+        destination = args.output or "-"
+        if args.format == "prom":
+            write_prometheus(telemetry.registry, destination)
+        else:
+            write_json_snapshot(
+                telemetry.registry, destination, telemetry.tracer
+            )
+        if destination != "-":
+            print(f"wrote {args.format} metrics to {destination}")
+    else:
+        if args.prom is not None:
+            write_prometheus(telemetry.registry, args.prom)
+            if args.prom != "-":
+                print(f"wrote Prometheus metrics to {args.prom}")
+        if args.json is not None:
+            write_json_snapshot(
+                telemetry.registry, args.json, telemetry.tracer
+            )
+            if args.json != "-":
+                print(f"wrote JSON snapshot to {args.json}")
     if args.chrome_trace is not None:
         write_chrome_trace(telemetry.tracer, args.chrome_trace)
         print(f"wrote Chrome trace to {args.chrome_trace} "
               "(load in chrome://tracing or ui.perfetto.dev)")
+    return 0
+
+
+def _cmd_dash(args: argparse.Namespace) -> int:
+    """Stream a multi-epoch run as a live dashboard."""
+    from repro.dash import epoch_row, paint_live_frame, write_html_report
+    from repro.framework.monitor import AlertKind, ContinuousMonitor
+    from repro.traffic.generator import generate_epochs
+
+    truth_probe = generate_trace(
+        TraceConfig(num_flows=args.flows, seed=args.seed)
+    )
+    total_bytes = GroundTruth.from_trace(truth_probe).total_bytes
+    kwargs: dict = {}
+    if args.task in ("heavy_hitter", "heavy_changer"):
+        kwargs["threshold"] = args.threshold_fraction * total_bytes
+    elif args.task in ("ddos", "superspreader"):
+        kwargs["threshold"] = args.spread_threshold
+    task = create_task(args.task, args.solution, **kwargs)
+
+    telemetry = Telemetry()
+    config_kwargs: dict = {}
+    if args.chaos:
+        config_kwargs["faults"] = FaultPlan.load(args.chaos)
+    if args.slo:
+        config_kwargs["slo"] = args.slo
+    if args.recorder_out:
+        config_kwargs["recorder_path"] = args.recorder_out
+    monitor = ContinuousMonitor(
+        [task],
+        dataplane=DataPlaneMode(args.dataplane),
+        recovery=RecoveryMode(args.recovery),
+        config=PipelineConfig(
+            num_hosts=args.hosts,
+            telemetry=telemetry,
+            shadow_samples=args.shadow_samples,
+            **config_kwargs,
+        ),
+    )
+    rows: list[dict] = []
+    repaint = None if not args.plain else False
+    for epoch_index, trace in enumerate(
+        generate_epochs(
+            TraceConfig(num_flows=args.flows, seed=args.seed),
+            num_epochs=args.epochs,
+        )
+    ):
+        summary = monitor.process_epoch(trace)
+        result = summary.results.get(task.name)
+        if result is None:
+            # Heavy changer's first epoch has no pair yet.
+            continue
+        rows.append(epoch_row(result))
+        paint_live_frame(rows, telemetry.registry, repaint=repaint)
+    breaches = monitor.alerts(AlertKind.ACCURACY_SLO_BREACH)
+    for alert in breaches:
+        print(
+            f"ACCURACY_SLO_BREACH: epoch {alert.epoch} rule "
+            f"{alert.subject} value {alert.magnitude:g}"
+        )
+    if args.html:
+        write_html_report(
+            args.html,
+            rows,
+            telemetry.registry,
+            title=f"SketchVisor dash — {args.task}/{args.solution}",
+            subtitle=(
+                f"{len(rows)} epoch(s), {args.hosts} host(s), "
+                f"{len(breaches)} SLO breach(es)"
+            ),
+        )
+        print(f"wrote HTML report to {args.html}")
     return 0
 
 
@@ -466,6 +599,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="snapshot interval in packets (default 16384); only "
         "meaningful with --checkpoint-dir",
     )
+    run.add_argument(
+        "--slo",
+        metavar="POLICY.json",
+        help="evaluate an accuracy SLO policy each epoch and print "
+        "ACCURACY_SLO_BREACH lines (see docs/observability.md); "
+        "implies telemetry",
+    )
+    run.add_argument(
+        "--shadow-samples",
+        type=int,
+        default=0,
+        metavar="N",
+        help="sample N flows per epoch as shadow ground truth for "
+        "empirical error gauges; implies telemetry",
+    )
+    run.add_argument(
+        "--recorder-out",
+        metavar="FILE.json",
+        help="dump the flight recorder to FILE on crash, quarantine, "
+        "or SLO breach; implies telemetry",
+    )
     run.set_defaults(func=_cmd_run)
 
     telemetry = commands.add_parser(
@@ -521,7 +675,90 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_false",
         help="skip printing the stage-timing tree",
     )
+    telemetry.add_argument(
+        "--format",
+        choices=["prom", "json"],
+        help="export format; with --output this supersedes "
+        "--prom/--json",
+    )
+    telemetry.add_argument(
+        "--output",
+        metavar="FILE",
+        help="export destination for --format ('-' for stdout)",
+    )
+    telemetry.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="run the epoch under the durability supervisor so "
+        "checkpoint/restore counters appear in the export",
+    )
+    telemetry.add_argument(
+        "--chaos",
+        metavar="PLAN.json",
+        help="inject faults from a FaultPlan JSON during the epoch",
+    )
     telemetry.set_defaults(func=_cmd_telemetry)
+
+    dash = commands.add_parser(
+        "dash",
+        help="stream a multi-epoch run as a live dashboard "
+        "(+ optional HTML report)",
+    )
+    dash.add_argument(
+        "--task",
+        choices=sorted(TASK_REGISTRY),
+        default="heavy_hitter",
+    )
+    dash.add_argument("--solution", default="deltoid")
+    dash.add_argument("--epochs", type=int, default=5)
+    dash.add_argument("--flows", type=int, default=2000)
+    dash.add_argument("--seed", type=int, default=1)
+    dash.add_argument("--hosts", type=int, default=2)
+    dash.add_argument(
+        "--dataplane",
+        choices=[mode.value for mode in DataPlaneMode],
+        default=DataPlaneMode.SKETCHVISOR.value,
+    )
+    dash.add_argument(
+        "--recovery",
+        choices=[mode.value for mode in RecoveryMode],
+        default=RecoveryMode.SKETCHVISOR.value,
+    )
+    dash.add_argument("--threshold-fraction", type=float, default=0.005)
+    dash.add_argument("--spread-threshold", type=int, default=100)
+    dash.add_argument(
+        "--shadow-samples",
+        type=int,
+        default=128,
+        metavar="N",
+        help="shadow ground-truth sample size per epoch (0 disables)",
+    )
+    dash.add_argument(
+        "--slo",
+        metavar="POLICY.json",
+        help="accuracy SLO policy evaluated each epoch",
+    )
+    dash.add_argument(
+        "--chaos",
+        metavar="PLAN.json",
+        help="inject faults from a FaultPlan JSON file",
+    )
+    dash.add_argument(
+        "--recorder-out",
+        metavar="FILE.json",
+        help="flight-recorder dump path for breach/crash triggers",
+    )
+    dash.add_argument(
+        "--html",
+        metavar="FILE.html",
+        help="write a self-contained HTML report after the run",
+    )
+    dash.add_argument(
+        "--plain",
+        action="store_true",
+        help="append frames instead of repainting (for logs/pipes)",
+    )
+    dash.set_defaults(func=_cmd_dash)
 
     return parser
 

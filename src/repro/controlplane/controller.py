@@ -51,6 +51,11 @@ class NetworkResult:
     num_hosts: int = 0
     lens_iterations: int = 0
     lens_converged: bool = True
+    #: Fast-path volume recovery re-injected for tracked flows and the
+    #: synthetic small-flow remainder (the Eq. 2 decomposition; both
+    #: zero when the fast path never activated or recovery skipped it).
+    tracked_bytes: float = 0.0
+    small_flow_bytes: float = 0.0
     #: Present when the epoch was merged from fewer hosts than
     #: expected; ``None`` for clean full-quorum epochs.
     degraded: DegradedEpoch | None = None
@@ -184,6 +189,8 @@ class Controller:
             num_hosts=len(reports),
             lens_iterations=state.lens_iterations,
             lens_converged=state.lens_converged,
+            tracked_bytes=state.tracked_bytes,
+            small_flow_bytes=state.small_flow_bytes,
             degraded=degraded,
         )
         if self.telemetry is not None:

@@ -61,6 +61,11 @@ class RecoveredState:
     flow_estimates: dict[FlowKey, float]
     lens_iterations: int = 0
     lens_converged: bool = True
+    #: Fast-path volume re-injected for tracked flows (Σx).
+    tracked_bytes: float = 0.0
+    #: Untracked small-flow mass realized synthetically (the Eq. 2
+    #: remainder ``V - Σx``; zero when recovery skipped it).
+    small_flow_bytes: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -169,7 +174,11 @@ def recover(
         for flow, value in zip(flows, bounds):
             _inject(recovered, flow, value)
             estimates[flow] = float(value)
-        return RecoveredState(sketch=recovered, flow_estimates=estimates)
+        return RecoveredState(
+            sketch=recovered,
+            flow_estimates=estimates,
+            tracked_bytes=float(sum(estimates.values())),
+        )
 
     # SketchVisor: full compressive-sensing interpolation.
     try:
@@ -193,7 +202,12 @@ def recover(
             _tracking_boundary(snapshot),
             count=_missing_flow_count(snapshot),
         )
-        return RecoveredState(sketch=recovered, flow_estimates=estimates)
+        return RecoveredState(
+            sketch=recovered,
+            flow_estimates=estimates,
+            tracked_bytes=float(sum(estimates.values())),
+            small_flow_bytes=remaining,
+        )
 
     with trace_span(
         telemetry, "recovery.lens", flows=len(flows), mode=mode.value
@@ -238,6 +252,8 @@ def recover(
         flow_estimates=estimates,
         lens_iterations=result.iterations,
         lens_converged=result.converged,
+        tracked_bytes=float(result.x.sum()),
+        small_flow_bytes=remaining,
     )
 
 

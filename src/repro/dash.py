@@ -1,0 +1,449 @@
+"""The ``repro dash`` surfaces: live epoch dashboard + HTML report.
+
+Two renderings of the same per-epoch history:
+
+* a **live terminal view** — one frame per epoch (sparkline trends,
+  accuracy gauge digest, SLO breach count) painted in place on a TTY
+  and appended plainly when piped;
+* a **self-contained HTML report** for post-run analysis — inline SVG
+  trend charts (one metric per chart, crosshair + tooltip, dark-mode
+  aware, no external dependencies) over the full epoch table.
+
+Both consume ``epoch_row`` dicts distilled from
+:class:`~repro.framework.pipeline.EpochResult` objects, so any driver
+(the CLI's generated epoch stream, a notebook loop) can feed them.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.reporting import dashboard_frame, metrics_summary
+
+#: Fields of one epoch row, in display order: key, label, unit format.
+EPOCH_FIELDS: tuple[tuple[str, str, str], ...] = (
+    ("throughput_gbps", "Throughput", "Gbps"),
+    ("relative_error", "Relative error", ""),
+    ("recall", "Recall", ""),
+    ("precision", "Precision", ""),
+    ("fastpath_byte_fraction", "Fast-path byte share", ""),
+    ("slo_breaches", "SLO breaches", ""),
+    ("missing_hosts", "Missing hosts", ""),
+)
+
+
+def epoch_row(result) -> dict[str, float]:
+    """Distil one :class:`EpochResult` into a numeric dashboard row."""
+    score = result.score
+    degraded = result.network.degraded
+    return {
+        "throughput_gbps": result.throughput_gbps,
+        "relative_error": (
+            score.relative_error
+            if score.relative_error is not None
+            else None
+        ),
+        "recall": score.recall,
+        "precision": score.precision,
+        "fastpath_byte_fraction": result.fastpath_byte_fraction,
+        "slo_breaches": float(len(result.slo_breaches)),
+        "missing_hosts": float(
+            len(degraded.missing_hosts) if degraded is not None else 0
+        ),
+    }
+
+
+def paint_live_frame(
+    rows, registry=None, stream=None, repaint: bool | None = None
+) -> None:
+    """Print one dashboard frame; repaint in place on a TTY."""
+    stream = stream or sys.stdout
+    if repaint is None:
+        repaint = stream.isatty()
+    frame = dashboard_frame(
+        [
+            {k: v for k, v in row.items() if v is not None}
+            for row in rows
+        ],
+        registry,
+    )
+    if repaint:
+        # Home the cursor and clear below, so the frame redraws in
+        # place instead of scrolling.
+        stream.write("\x1b[H\x1b[J")
+    stream.write(frame + "\n")
+    if not repaint:
+        stream.write("\n")
+    stream.flush()
+
+
+# ----------------------------------------------------------------------
+# HTML report
+# ----------------------------------------------------------------------
+_HTML_TEMPLATE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>__TITLE__</title>
+<style>
+.viz-root {
+  color-scheme: light;
+  --surface-1: #fcfcfb;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --grid: #e4e3e0;
+  --series-1: #2a78d6;
+  font: 14px/1.45 system-ui, sans-serif;
+  background: var(--surface-1);
+  color: var(--text-primary);
+  margin: 0;
+  padding: 24px;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) .viz-root {
+    color-scheme: dark;
+    --surface-1: #1a1a19;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --grid: #33332f;
+    --series-1: #3987e5;
+  }
+}
+h1 { font-size: 20px; margin: 0 0 4px; }
+.sub { color: var(--text-secondary); margin: 0 0 20px; }
+.charts { display: flex; flex-wrap: wrap; gap: 24px; }
+.chart { width: 360px; }
+.chart h2 {
+  font-size: 13px; font-weight: 600; margin: 0 0 2px;
+}
+.chart .latest { color: var(--text-secondary); font-size: 12px;
+  margin: 0 0 6px; }
+svg { display: block; overflow: visible; }
+.gridline { stroke: var(--grid); stroke-width: 1; }
+.axis-text { fill: var(--text-secondary); font-size: 10px;
+  font-variant-numeric: tabular-nums; }
+.series-line { stroke: var(--series-1); stroke-width: 2;
+  fill: none; stroke-linejoin: round; stroke-linecap: round; }
+.series-area { fill: var(--series-1); opacity: 0.1; }
+.series-dot { fill: var(--series-1); stroke: var(--surface-1);
+  stroke-width: 2; }
+.series-bar { fill: var(--series-1); }
+.series-bar.hover { opacity: 0.75; }
+.crosshair { stroke: var(--grid); stroke-width: 1;
+  visibility: hidden; }
+.tooltip {
+  position: fixed; pointer-events: none; visibility: hidden;
+  background: var(--surface-1); color: var(--text-primary);
+  border: 1px solid var(--grid); border-radius: 4px;
+  padding: 4px 8px; font-size: 12px; z-index: 2;
+}
+.tooltip .value { font-weight: 600; }
+.tooltip .label { color: var(--text-secondary); margin-left: 6px; }
+section { margin-top: 28px; }
+section h2 { font-size: 15px; }
+pre.summary {
+  color: var(--text-secondary); font-size: 12px; overflow-x: auto;
+}
+table { border-collapse: collapse; font-size: 12px;
+  font-variant-numeric: tabular-nums; }
+th, td { text-align: right; padding: 3px 10px;
+  border-bottom: 1px solid var(--grid); }
+th { color: var(--text-secondary); font-weight: 600; }
+</style>
+</head>
+<body class="viz-root">
+<h1>__TITLE__</h1>
+<p class="sub">__SUBTITLE__</p>
+<div class="charts" id="charts"></div>
+<section>
+<h2>Accuracy &amp; telemetry digest</h2>
+<pre class="summary">__SUMMARY__</pre>
+</section>
+<section>
+<h2>Per-epoch table</h2>
+__TABLE__
+</section>
+<div class="tooltip" id="tooltip"></div>
+<script type="application/json" id="dash-data">__DATA__</script>
+<script>
+"use strict";
+const DATA = JSON.parse(
+  document.getElementById("dash-data").textContent);
+const tooltip = document.getElementById("tooltip");
+const W = 360, H = 160, PAD = {top: 8, right: 14, bottom: 22, left: 44};
+const SVGNS = "http://www.w3.org/2000/svg";
+
+function el(tag, attrs, parent) {
+  const node = document.createElementNS(SVGNS, tag);
+  for (const [k, v] of Object.entries(attrs)) {
+    node.setAttribute(k, v);
+  }
+  if (parent) parent.appendChild(node);
+  return node;
+}
+
+function fmt(value) {
+  if (value === null || value === undefined) return "–";
+  if (Math.abs(value) >= 1000) {
+    return value.toLocaleString(undefined,
+      {maximumFractionDigits: 0});
+  }
+  return Number.isInteger(value) ? String(value)
+    : value.toPrecision(3);
+}
+
+function ticks(max) {
+  if (max <= 0) return [0, 1];
+  const step = Math.pow(10, Math.floor(Math.log10(max)));
+  const scaled = max / step;
+  const unit = scaled <= 2 ? step / 2 : scaled <= 5 ? step : 2 * step;
+  const out = [];
+  for (let v = 0; v <= max + 1e-9; v += unit) out.push(v);
+  return out.length > 1 ? out : [0, max];
+}
+
+function showTooltip(event, valueText, labelText) {
+  tooltip.textContent = "";
+  const value = document.createElement("span");
+  value.className = "value";
+  value.textContent = valueText;
+  const label = document.createElement("span");
+  label.className = "label";
+  label.textContent = labelText;
+  tooltip.append(value, label);
+  tooltip.style.visibility = "visible";
+  tooltip.style.left = (event.clientX + 14) + "px";
+  tooltip.style.top = (event.clientY - 10) + "px";
+}
+
+function hideTooltip() { tooltip.style.visibility = "hidden"; }
+
+function buildChart(metric) {
+  const values = DATA.rows.map(r => r[metric.key]);
+  if (!values.some(v => v !== null && v !== undefined)) return;
+  const card = document.createElement("div");
+  card.className = "chart";
+  const title = document.createElement("h2");
+  title.textContent = metric.label +
+    (metric.unit ? " (" + metric.unit + ")" : "");
+  const latest = document.createElement("p");
+  latest.className = "latest";
+  latest.textContent = "latest: " +
+    fmt(values[values.length - 1]);
+  card.append(title, latest);
+  const svg = el("svg", {
+    width: W, height: H, role: "img",
+    "aria-label": metric.label + " per epoch",
+  }, null);
+  card.appendChild(svg);
+  document.getElementById("charts").appendChild(card);
+
+  const n = values.length;
+  const innerW = W - PAD.left - PAD.right;
+  const innerH = H - PAD.top - PAD.bottom;
+  const max = Math.max(...values.filter(v => v !== null), 0);
+  const yTicks = ticks(max);
+  const yMax = yTicks[yTicks.length - 1] || 1;
+  const x = i => PAD.left +
+    (n > 1 ? (i / (n - 1)) * innerW : innerW / 2);
+  const y = v => PAD.top + innerH - (v / yMax) * innerH;
+
+  for (const tick of yTicks) {
+    el("line", {class: "gridline", x1: PAD.left, x2: W - PAD.right,
+      y1: y(tick), y2: y(tick)}, svg);
+    const text = el("text", {class: "axis-text", x: PAD.left - 6,
+      y: y(tick) + 3, "text-anchor": "end"}, svg);
+    text.textContent = fmt(tick);
+  }
+  const xStep = Math.max(1, Math.ceil(n / 6));
+  for (let i = 0; i < n; i += xStep) {
+    const text = el("text", {class: "axis-text", x: x(i),
+      y: H - 6, "text-anchor": "middle"}, svg);
+    text.textContent = String(i);
+  }
+
+  if (metric.kind === "bar") {
+    const band = n > 0 ? innerW / n : innerW;
+    const width = Math.min(24, Math.max(2, band - 2));
+    values.forEach((v, i) => {
+      if (v === null || v === undefined) return;
+      const cx = x(i), top = y(v), bottom = y(0);
+      const h = Math.max(bottom - top, 0);
+      const r = Math.min(4, width / 2, h);
+      const bar = el("path", {
+        class: "series-bar",
+        d: "M" + (cx - width / 2) + " " + bottom +
+           "V" + (top + r) +
+           "Q" + (cx - width / 2) + " " + top + " " +
+           (cx - width / 2 + r) + " " + top +
+           "H" + (cx + width / 2 - r) +
+           "Q" + (cx + width / 2) + " " + top + " " +
+           (cx + width / 2) + " " + (top + r) +
+           "V" + bottom + "Z",
+      }, svg);
+      const hit = el("rect", {
+        x: cx - Math.max(width, 24) / 2, y: PAD.top,
+        width: Math.max(width, 24), height: innerH,
+        fill: "transparent",
+      }, svg);
+      hit.addEventListener("pointermove", e => {
+        bar.classList.add("hover");
+        showTooltip(e, fmt(v), metric.label + " · epoch " + i);
+      });
+      hit.addEventListener("pointerleave", () => {
+        bar.classList.remove("hover");
+        hideTooltip();
+      });
+    });
+    return;
+  }
+
+  const points = values
+    .map((v, i) => (v === null || v === undefined)
+      ? null : [x(i), y(v)])
+    .filter(Boolean);
+  if (points.length > 1) {
+    const lineD = points.map((p, i) =>
+      (i ? "L" : "M") + p[0] + " " + p[1]).join("");
+    el("path", {class: "series-area",
+      d: lineD + "L" + points[points.length - 1][0] + " " + y(0) +
+         "L" + points[0][0] + " " + y(0) + "Z"}, svg);
+    el("path", {class: "series-line", d: lineD}, svg);
+  }
+  const last = points[points.length - 1];
+  el("circle", {class: "series-dot", cx: last[0], cy: last[1],
+    r: 4}, svg);
+
+  const crosshair = el("line", {class: "crosshair", y1: PAD.top,
+    y2: PAD.top + innerH, x1: 0, x2: 0}, svg);
+  const focusDot = el("circle", {class: "series-dot", r: 4,
+    visibility: "hidden"}, svg);
+  svg.addEventListener("pointermove", e => {
+    const rect = svg.getBoundingClientRect();
+    const px = e.clientX - rect.left;
+    let best = 0;
+    for (let i = 1; i < n; i++) {
+      if (Math.abs(x(i) - px) < Math.abs(x(best) - px)) best = i;
+    }
+    const v = values[best];
+    if (v === null || v === undefined) return;
+    crosshair.setAttribute("x1", x(best));
+    crosshair.setAttribute("x2", x(best));
+    crosshair.style.visibility = "visible";
+    focusDot.setAttribute("cx", x(best));
+    focusDot.setAttribute("cy", y(v));
+    focusDot.style.visibility = "visible";
+    showTooltip(e, fmt(v), metric.label + " · epoch " + best);
+  });
+  svg.addEventListener("pointerleave", () => {
+    crosshair.style.visibility = "hidden";
+    focusDot.style.visibility = "hidden";
+    hideTooltip();
+  });
+}
+
+for (const metric of DATA.metrics) buildChart(metric);
+</script>
+</body>
+</html>
+"""
+
+
+def _html_escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+    )
+
+
+def _epoch_table(rows) -> str:
+    columns = [
+        (key, label)
+        for key, label, _unit in EPOCH_FIELDS
+        if any(row.get(key) is not None for row in rows)
+    ]
+    header = "".join(
+        f"<th scope=\"col\">{_html_escape(label)}</th>"
+        for _key, label in columns
+    )
+    body = []
+    for index, row in enumerate(rows):
+        cells = "".join(
+            "<td>{}</td>".format(
+                "–"
+                if row.get(key) is None
+                else f"{row[key]:.4g}"
+            )
+            for key, _label in columns
+        )
+        body.append(f"<tr><td>{index}</td>{cells}</tr>")
+    return (
+        "<table><thead><tr><th scope=\"col\">Epoch</th>"
+        + header
+        + "</tr></thead><tbody>"
+        + "".join(body)
+        + "</tbody></table>"
+    )
+
+
+def html_report(
+    rows,
+    registry=None,
+    title: str = "SketchVisor run report",
+    subtitle: str = "",
+) -> str:
+    """Render the epoch history as a self-contained HTML document."""
+    metrics = [
+        {
+            "key": key,
+            "label": label,
+            "unit": unit,
+            "kind": (
+                "bar"
+                if key in ("slo_breaches", "missing_hosts")
+                else "line"
+            ),
+        }
+        for key, label, unit in EPOCH_FIELDS
+    ]
+    data = {
+        "metrics": metrics,
+        "rows": [
+            {
+                key: (None if row.get(key) is None else row[key])
+                for key, _label, _unit in EPOCH_FIELDS
+            }
+            for row in rows
+        ],
+    }
+    summary = (
+        metrics_summary(registry) if registry is not None else ""
+    )
+    # The JSON payload lives inside a <script> element: escape the
+    # only sequence that could terminate it early.
+    payload = json.dumps(data).replace("</", "<\\/")
+    return (
+        _HTML_TEMPLATE.replace("__TITLE__", _html_escape(title))
+        .replace("__SUBTITLE__", _html_escape(subtitle))
+        .replace("__SUMMARY__", _html_escape(summary))
+        .replace("__TABLE__", _epoch_table(rows))
+        .replace("__DATA__", payload)
+    )
+
+
+def write_html_report(
+    path: str | Path,
+    rows,
+    registry=None,
+    title: str = "SketchVisor run report",
+    subtitle: str = "",
+) -> Path:
+    destination = Path(path)
+    destination.write_text(
+        html_report(rows, registry, title=title, subtitle=subtitle)
+    )
+    return destination

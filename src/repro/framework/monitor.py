@@ -37,6 +37,10 @@ class AlertKind(Enum):
     #: full set not).  ``subject`` is the tuple of missing host ids and
     #: ``magnitude`` the estimated relative-error inflation.
     DEGRADED_EPOCH = "degraded_epoch"
+    #: An accuracy-SLO rule failed its objective this epoch.
+    #: ``subject`` is the rule name and ``magnitude`` the offending
+    #: metric value (the breach record rides in the epoch result).
+    ACCURACY_SLO_BREACH = "accuracy_slo_breach"
 
 
 @dataclass(frozen=True)
@@ -136,6 +140,15 @@ class ContinuousMonitor:
                             magnitude=degraded.error_inflation,
                         )
                     )
+                summary.alerts.extend(
+                    Alert(
+                        epoch=self._epoch_index,
+                        kind=AlertKind.ACCURACY_SLO_BREACH,
+                        subject=breach.rule,
+                        magnitude=breach.value,
+                    )
+                    for breach in result.slo_breaches
+                )
         if telemetry is not None:
             publish_monitor_epoch(
                 telemetry.registry,

@@ -10,6 +10,7 @@ against exact ground truth.
 from __future__ import annotations
 
 import logging
+import os
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -36,6 +37,11 @@ from repro.framework.modes import DataPlaneMode
 from repro.tasks.base import MeasurementTask, TaskScore
 from repro.tasks.heavy_changer import HeavyChangerTask
 from repro.telemetry import Telemetry, telemetry_from_env, trace_span
+from repro.telemetry.accuracy import (
+    AccuracyObserver,
+    SLOBreach,
+    SLOPolicy,
+)
 from repro.telemetry.publish import (
     fastpath_stats,
     publish_collection_epoch,
@@ -108,6 +114,17 @@ class PipelineConfig:
     heartbeat_every: int = 2048
     #: Seconds without a heartbeat before the watchdog flags a host.
     watchdog_timeout: float = 1.0
+    #: Accuracy SLO policy: an :class:`SLOPolicy`, a path to a policy
+    #: JSON, or ``None`` (no SLO evaluation).  Needs telemetry;
+    #: ``REPRO_SLO=<path>`` in the environment injects a path here.
+    slo: SLOPolicy | str | None = None
+    #: Shadow ground-truth sample size per epoch (0 disables the
+    #: empirical error gauges); ``REPRO_SHADOW_SAMPLES=<n>`` injects.
+    shadow_samples: int = 0
+    #: Where the flight recorder dumps on crash, quarantine, or SLO
+    #: breach; ``None`` records into the ring without auto-dumping.
+    #: ``REPRO_RECORDER_PATH=<file>`` injects a path here.
+    recorder_path: str | None = None
 
     def __post_init__(self) -> None:
         if self.telemetry is None:
@@ -120,6 +137,18 @@ class PipelineConfig:
                 self.checkpoint_dir = env_dir
                 if env_every is not None:
                     self.checkpoint_every = env_every
+        if self.slo is None:
+            env_slo = os.environ.get("REPRO_SLO")
+            if env_slo:
+                self.slo = env_slo
+        if self.shadow_samples == 0:
+            env_samples = os.environ.get("REPRO_SHADOW_SAMPLES", "")
+            if env_samples.isdigit():
+                self.shadow_samples = int(env_samples)
+        if self.recorder_path is None:
+            self.recorder_path = (
+                os.environ.get("REPRO_RECORDER_PATH") or None
+            )
 
 
 def _run_host_epoch(host, shard, offered_gbps):
@@ -141,6 +170,8 @@ class EpochResult:
     #: Per-host :class:`~repro.durability.HostOutcome` records from the
     #: supervised data plane; ``None`` when checkpointing is disabled.
     durability: list[HostOutcome] | None = None
+    #: Accuracy-SLO rules this epoch failed (empty without a policy).
+    slo_breaches: list[SLOBreach] = field(default_factory=list)
 
     @property
     def degraded(self):
@@ -229,6 +260,22 @@ class SketchVisorPipeline:
             )
         else:
             self._supervisor = None
+        # Accuracy observability rides on telemetry: theoretical-bound
+        # gauges are always published when instrumented; the shadow
+        # sampler and SLO engine are opt-in on top.
+        if self.config.telemetry is not None:
+            policy = self.config.slo
+            if isinstance(policy, str):
+                policy = SLOPolicy.load(policy)
+            self._accuracy = AccuracyObserver(
+                self.config.telemetry,
+                policy=policy,
+                shadow_samples=self.config.shadow_samples,
+                seed=self.config.seed,
+                recorder_path=self.config.recorder_path,
+            )
+        else:
+            self._accuracy = None
         self._epoch_counter = 0
 
     def describe(self) -> str:
@@ -398,6 +445,11 @@ class SketchVisorPipeline:
                     publish_worker_crashes(
                         cfg.telemetry.registry, len(crashed)
                     )
+                    cfg.telemetry.recorder.record(
+                        "worker_crash",
+                        epoch=epoch,
+                        hosts=[hosts[i].host_id for i in crashed],
+                    )
                 for index in crashed:
                     with trace_span(
                         cfg.telemetry,
@@ -495,6 +547,41 @@ class SketchVisorPipeline:
                     host=str(report.host_id),
                 )
 
+    def _finish_epoch(
+        self, result: EpochResult, dp_missing: list[int]
+    ) -> EpochResult:
+        """Accuracy observability tail of every epoch.
+
+        Records the epoch's notable events into the flight recorder,
+        publishes the error-bound and shadow-sample gauges, evaluates
+        the SLO policy (attaching breaches to the result), and
+        auto-dumps the recorder on unrecovered crash or quarantine.
+        """
+        observer = self._accuracy
+        if observer is None:
+            return result
+        epoch = self._epoch_counter - 1
+        recorder = self.config.telemetry.recorder
+        recorder.record_epoch_events(
+            epoch,
+            reports=result.reports,
+            buffer_capacity=self.config.buffer_packets,
+            collection=result.collection,
+            outcomes=result.durability,
+            network=result.network,
+            dp_missing=dp_missing,
+        )
+        with trace_span(self.config.telemetry, "accuracy.observe"):
+            result.slo_breaches = observer.observe_epoch(
+                result, self.task, epoch
+            )
+        outcomes = result.durability or []
+        if any(o.quarantined for o in outcomes):
+            observer.maybe_dump("quarantine")
+        elif dp_missing or any(o.gave_up for o in outcomes):
+            observer.maybe_dump("crash")
+        return result
+
     # ------------------------------------------------------------------
     def run_epoch(
         self, trace: Trace, truth: GroundTruth | None = None
@@ -504,6 +591,9 @@ class SketchVisorPipeline:
             raise ConfigError("heavy changer needs run_epoch_pair")
         telemetry = self.config.telemetry
         with trace_span(telemetry, "epoch", task=self.task.name):
+            if self._accuracy is not None:
+                with trace_span(telemetry, "accuracy.shadow_sample"):
+                    self._accuracy.observe_trace(trace)
             with trace_span(telemetry, "dataplane"):
                 reports, dp_missing, outcomes = self._run_dataplane(
                     trace
@@ -515,14 +605,15 @@ class SketchVisorPipeline:
                 truth = truth or GroundTruth.from_trace(trace)
             with trace_span(telemetry, "task.score"):
                 score = self.task.score(answer, truth)
-        return EpochResult(
-            answer=answer,
-            score=score,
-            network=network,
-            reports=reports,
-            collection=collection,
-            durability=outcomes,
-        )
+            result = EpochResult(
+                answer=answer,
+                score=score,
+                network=network,
+                reports=reports,
+                collection=collection,
+                durability=outcomes,
+            )
+            return self._finish_epoch(result, dp_missing)
 
     def run_epoch_pair(
         self,
@@ -541,6 +632,11 @@ class SketchVisorPipeline:
                     epoch_a
                 )
             network_a, _ = self._aggregate(reports_a, missing_a)
+            if self._accuracy is not None:
+                # The pair's answer is scored against the second epoch;
+                # shadow-sample that one.
+                with trace_span(telemetry, "accuracy.shadow_sample"):
+                    self._accuracy.observe_trace(epoch_b)
             with trace_span(telemetry, "dataplane", half="b"):
                 reports_b, missing_b, outcomes_b = self._run_dataplane(
                     epoch_b
@@ -557,15 +653,18 @@ class SketchVisorPipeline:
                 truth_b = truth_b or GroundTruth.from_trace(epoch_b)
             with trace_span(telemetry, "task.score"):
                 score = self.task.score_pair(answer, truth_a, truth_b)
-        return EpochResult(
-            answer=answer,
-            score=score,
-            network=network_b,
-            reports=reports_a + reports_b,
-            collection=collection_b,
-            durability=(
-                None
-                if outcomes_a is None and outcomes_b is None
-                else (outcomes_a or []) + (outcomes_b or [])
-            ),
-        )
+            result = EpochResult(
+                answer=answer,
+                score=score,
+                network=network_b,
+                reports=reports_a + reports_b,
+                collection=collection_b,
+                durability=(
+                    None
+                    if outcomes_a is None and outcomes_b is None
+                    else (outcomes_a or []) + (outcomes_b or [])
+                ),
+            )
+            return self._finish_epoch(
+                result, sorted(set(missing_a) | set(missing_b))
+            )

@@ -159,6 +159,104 @@ def sparkline(values: Sequence[float]) -> str:
     )
 
 
+def metrics_summary(registry, prefix: str = "") -> str:
+    """Digest a :class:`~repro.telemetry.MetricsRegistry` for humans.
+
+    Counters and gauges print their cross-label totals; histograms
+    print ``p50/p95/p99`` quantile estimates plus the observation
+    count — never raw bucket dumps, which are unreadable at a glance
+    and belong in the Prometheus/JSON exports.  ``prefix`` filters
+    family names.
+    """
+    counter_lines: list[str] = []
+    histogram_lines: list[str] = []
+    for family in registry.families():
+        if prefix and not family.name.startswith(prefix):
+            continue
+        if family.kind == "histogram":
+            for labels, child in family.samples():
+                if child.count == 0:
+                    continue
+                quantiles = child.quantiles()
+                label_text = (
+                    " {"
+                    + ",".join(
+                        f"{k}={v}" for k, v in sorted(labels.items())
+                    )
+                    + "}"
+                    if labels
+                    else ""
+                )
+                histogram_lines.append(
+                    f"  {family.name}{label_text}  "
+                    + "/".join(
+                        _format_number(quantiles[q])
+                        for q in ("p50", "p95", "p99")
+                    )
+                    + f"  (n={child.count})"
+                )
+        else:
+            total = family.total()
+            if total:
+                counter_lines.append(
+                    f"  {family.name}  {_format_number(total)}"
+                )
+    sections = []
+    if counter_lines:
+        sections.append("totals:\n" + "\n".join(counter_lines))
+    if histogram_lines:
+        sections.append(
+            "histograms (p50/p95/p99):\n" + "\n".join(histogram_lines)
+        )
+    return "\n".join(sections) if sections else "(no metrics)"
+
+
+def dashboard_frame(
+    epoch_rows: Sequence[Mapping[str, float]],
+    registry=None,
+    width: int = 30,
+) -> str:
+    """One frame of the live ``repro dash`` display.
+
+    ``epoch_rows`` is the run's history — one mapping per epoch with
+    numeric fields (e.g. ``throughput_gbps``, ``relative_error``,
+    ``breaches``); each field renders as a sparkline of its history
+    plus the latest value.  ``registry`` appends the accuracy gauge
+    block when given.
+    """
+    if not epoch_rows:
+        return "(no epochs yet)"
+    latest = epoch_rows[-1]
+    lines = [f"epoch {len(epoch_rows) - 1}"]
+    fields = [key for key in latest if key != "epoch"]
+    name_width = max((len(k) for k in fields), default=0)
+    for key in fields:
+        history = [
+            float(row[key])
+            for row in epoch_rows
+            if row.get(key) is not None
+            and math.isfinite(float(row[key]))
+        ]
+        if not history:
+            continue
+        trend = sparkline(history[-width:])
+        lines.append(
+            f"{key:<{name_width}}  {trend:<{width}}  "
+            f"{_format_number(history[-1])}"
+        )
+    if registry is not None:
+        accuracy = metrics_summary(
+            registry, prefix="sketchvisor_accuracy"
+        )
+        if accuracy != "(no metrics)":
+            lines.append("accuracy:")
+            lines.append(accuracy)
+        breaches = registry.total("sketchvisor_slo_breaches_total")
+        if breaches:
+            lines.append(f"slo breaches: {_format_number(breaches)}")
+    return "\n".join(lines)
+
+
 def _format_number(value: float) -> str:
     if not math.isfinite(value):
         return str(value)

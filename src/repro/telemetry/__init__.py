@@ -11,7 +11,13 @@ Three pieces, all optional and all off by default:
   nesting for every pipeline stage, renderable as a stage-timing tree
   or exported as ``chrome://tracing`` JSON;
 * exporters (:mod:`repro.telemetry.exporters`) — Prometheus text
-  exposition and JSON snapshots.
+  exposition and JSON snapshots;
+* :class:`~repro.telemetry.recorder.FlightRecorder` — a bounded ring
+  of structured events dumped to a JSON artifact on crash, quarantine,
+  or accuracy-SLO breach;
+* accuracy observability (:mod:`repro.telemetry.accuracy`) —
+  theoretical error envelopes from live sketch state, an empirical
+  shadow ground-truth sampler, and the declarative SLO engine.
 
 Usage::
 
@@ -49,16 +55,19 @@ from repro.telemetry.registry import (
     HistogramFamily,
     MetricsRegistry,
 )
+from repro.telemetry.recorder import FlightRecorder, RecorderEvent
 from repro.telemetry.tracer import Span, Tracer
 
 __all__ = [
     "Counter",
     "CounterFamily",
+    "FlightRecorder",
     "Gauge",
     "GaugeFamily",
     "Histogram",
     "HistogramFamily",
     "MetricsRegistry",
+    "RecorderEvent",
     "Span",
     "Telemetry",
     "Tracer",
@@ -84,6 +93,7 @@ class Telemetry:
     def __init__(self) -> None:
         self.registry = MetricsRegistry()
         self.tracer = Tracer()
+        self.recorder = FlightRecorder()
 
     def span(self, name: str, **attrs):
         """Context manager timing one pipeline stage."""
@@ -102,6 +112,7 @@ class Telemetry:
     def reset(self) -> None:
         self.registry.reset()
         self.tracer.reset()
+        self.recorder.clear()
 
 
 def trace_span(telemetry: Telemetry | None, name: str, **attrs):

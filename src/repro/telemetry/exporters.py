@@ -3,19 +3,27 @@
 Both walk a :class:`~repro.telemetry.registry.MetricsRegistry` without
 mutating it, so exporting mid-run is safe.  The Prometheus format
 follows the text exposition conventions (``# HELP`` / ``# TYPE`` lines,
-``_bucket{le=...}`` / ``_sum`` / ``_count`` for histograms) and can be
-served from a file by any node-exporter-style sidecar.
+``_bucket{le=...}`` / ``_sum`` / ``_count`` for histograms, escaped
+label values) and can be served from a file by any node-exporter-style
+sidecar: label values are escaped (backslash, double quote, newline),
+label names validated, and ``# HELP`` / ``# TYPE`` emitted exactly once
+per family, so a scrape never chokes on adversarial label content.
 """
 
 from __future__ import annotations
 
 import json
 import math
+import re
 import sys
 from pathlib import Path
 
+from repro.common.errors import ConfigError
 from repro.telemetry.registry import Histogram, MetricsRegistry
 from repro.telemetry.tracer import Tracer
+
+#: Prometheus label-name grammar (no colons, unlike metric names).
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
 
 
 def _format_value(value: float) -> str:
@@ -26,11 +34,32 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape per the exposition grammar: ``\\`` ``"`` and newline."""
+    return (
+        value.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    """HELP text escapes backslash and newline (quotes are legal)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _format_labels(labels: dict[str, str]) -> str:
     if not labels:
         return ""
+    for key in labels:
+        if not LABEL_NAME_RE.match(key):
+            raise ConfigError(
+                f"invalid Prometheus label name {key!r}: must match "
+                f"{LABEL_NAME_RE.pattern}"
+            )
     inner = ",".join(
-        f'{key}="{str(value)}"' for key, value in sorted(labels.items())
+        f'{key}="{_escape_label_value(str(value))}"'
+        for key, value in sorted(labels.items())
     )
     return "{" + inner + "}"
 
@@ -38,10 +67,15 @@ def _format_labels(labels: dict[str, str]) -> str:
 def prometheus_text(registry: MetricsRegistry) -> str:
     """Render the registry in Prometheus text exposition format."""
     lines: list[str] = []
+    described: set[str] = set()
     for family in registry.families():
-        if family.help:
-            lines.append(f"# HELP {family.name} {family.help}")
-        lines.append(f"# TYPE {family.name} {family.kind}")
+        if family.name not in described:
+            described.add(family.name)
+            if family.help:
+                lines.append(
+                    f"# HELP {family.name} {_escape_help(family.help)}"
+                )
+            lines.append(f"# TYPE {family.name} {family.kind}")
         for labels, child in family.samples():
             if isinstance(child, Histogram):
                 cumulative = 0

@@ -16,10 +16,18 @@ exposition or JSON snapshots.
 
 from __future__ import annotations
 
+import re
 from bisect import bisect_left
 from collections.abc import Iterator, Sequence
 
 from repro.common.errors import ConfigError
+
+#: Prometheus metric-name grammar; enforced at registration so a bad
+#: name fails where it is introduced, not in the scrape endpoint.
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+#: Quantiles surfaced in snapshots and summaries.
+SUMMARY_QUANTILES: tuple[float, ...] = (0.5, 0.95, 0.99)
 
 #: Default histogram upper bounds: log-spaced from sub-millisecond to
 #: tens of units — suitable for both second-scale wall times and small
@@ -92,6 +100,44 @@ class Histogram:
         if self.count == 0:
             return 0.0
         return self.sum / self.count
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from the cumulative buckets.
+
+        Standard Prometheus-style interpolation: find the bucket the
+        rank lands in, interpolate linearly within it.  Observations in
+        the +Inf bucket clamp to the last finite bound (there is no
+        upper edge to interpolate toward), matching PromQL's
+        ``histogram_quantile``.  Returns 0.0 with no observations.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.bucket_counts):
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count > 0:
+                if index >= len(self.bounds):
+                    return float(
+                        self.bounds[-1] if self.bounds else 0.0
+                    )
+                upper = self.bounds[index]
+                lower = self.bounds[index - 1] if index > 0 else 0.0
+                fraction = (
+                    rank - (cumulative - bucket_count)
+                ) / bucket_count
+                return lower + (upper - lower) * min(
+                    max(fraction, 0.0), 1.0
+                )
+        return float(self.bounds[-1] if self.bounds else 0.0)
+
+    def quantiles(
+        self, qs: Sequence[float] = SUMMARY_QUANTILES
+    ) -> dict[str, float]:
+        """``{"p50": ..., "p95": ..., "p99": ...}`` summary dict."""
+        return {f"p{round(q * 100):d}": self.quantile(q) for q in qs}
 
 
 class MetricFamily:
@@ -186,6 +232,11 @@ class MetricsRegistry:
     def _get_or_create(self, name: str, kind: str, factory) -> MetricFamily:
         family = self._families.get(name)
         if family is None:
+            if not METRIC_NAME_RE.match(name):
+                raise ConfigError(
+                    f"invalid metric name {name!r}: must match "
+                    f"{METRIC_NAME_RE.pattern}"
+                )
             family = factory()
             self._families[name] = family
         elif family.kind != kind:
@@ -248,6 +299,7 @@ class MetricsRegistry:
                     entry.update(
                         sum=child.sum,
                         count=child.count,
+                        quantiles=child.quantiles(),
                         buckets=[
                             {"le": bound, "count": count}
                             for bound, count in zip(

@@ -1,0 +1,441 @@
+"""Accuracy observability: error bounds, shadow sampling, SLO engine."""
+
+from __future__ import annotations
+
+import json
+import math
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro import PipelineConfig, SketchVisorPipeline, Telemetry
+from repro.common.errors import ConfigError
+from repro.sketches.countmin import CountMinSketch
+from repro.sketches.countsketch import CountSketch
+from repro.sketches.mrac import MRAC
+from repro.tasks.heavy_hitter import HeavyHitterTask
+from repro.telemetry.accuracy import (
+    AccuracyObserver,
+    ShadowSampler,
+    SLOEngine,
+    SLOPolicy,
+    SLORule,
+    sketch_error_bound,
+)
+from repro.telemetry.registry import MetricsRegistry
+from repro.traffic.generator import TraceConfig, generate_trace
+from repro.traffic.groundtruth import GroundTruth
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(TraceConfig(num_flows=600, seed=11))
+
+
+@pytest.fixture(scope="module")
+def truth(trace):
+    return GroundTruth.from_trace(trace)
+
+
+# ----------------------------------------------------------------------
+class TestSketchErrorBound:
+    """The published envelopes must be *sound*: across seeded trials
+    the fraction of flows whose empirical error exceeds the bound must
+    stay within the stated failure probability (plus sampling slack)."""
+
+    def test_countmin_bound_sound_across_trials(self):
+        depth = 4
+        violations = 0
+        queries = 0
+        for seed in range(5):
+            trial = generate_trace(
+                TraceConfig(num_flows=400, seed=seed)
+            )
+            sketch = CountMinSketch(width=1024, depth=depth, seed=seed)
+            sketch.update_batch(trial.key64, trial.sizes)
+            bound, confidence = sketch_error_bound(sketch)
+            assert bound > 0
+            assert confidence == pytest.approx(1 - 0.5**depth)
+            for flow, size in GroundTruth.from_trace(
+                trial
+            ).flow_bytes.items():
+                error = sketch.estimate(flow) - size
+                assert error >= -1e-9  # CM never underestimates
+                queries += 1
+                if error > bound:
+                    violations += 1
+        delta = 0.5**depth
+        # Allow sampling slack on top of the stated delta.
+        assert violations / queries <= delta + 0.05
+
+    def test_countsketch_bound_sound_across_trials(self):
+        depth = 5
+        violations = 0
+        queries = 0
+        for seed in range(5):
+            trial = generate_trace(
+                TraceConfig(num_flows=400, seed=seed)
+            )
+            sketch = CountSketch(width=1024, depth=depth, seed=seed)
+            sketch.update_batch(trial.key64, trial.sizes)
+            bound, confidence = sketch_error_bound(sketch)
+            assert bound > 0
+            assert 0 < confidence < 1
+            for flow, size in GroundTruth.from_trace(
+                trial
+            ).flow_bytes.items():
+                queries += 1
+                if abs(sketch.estimate(flow) - size) > bound:
+                    violations += 1
+        delta = 1 - confidence
+        assert violations / queries <= delta + 0.05
+
+    def test_countmin_bound_tracks_absorbed_volume(self, trace):
+        sketch = CountMinSketch(width=2048, depth=4)
+        sketch.update_batch(trace.key64, trace.sizes)
+        bound, _ = sketch_error_bound(sketch)
+        volume = float(trace.sizes.sum())
+        assert bound == pytest.approx(math.e / 2048 * volume)
+
+    def test_sketches_without_closed_form_return_none(self):
+        assert sketch_error_bound(MRAC()) is None
+        assert sketch_error_bound(object()) is None
+
+
+# ----------------------------------------------------------------------
+class TestShadowSampler:
+    def test_sample_sizes_are_exact(self, trace, truth):
+        sampler = ShadowSampler(sample_size=10_000, seed=1)
+        sampler.observe_trace(trace)
+        # Sample covers every flow; sizes must match ground truth.
+        assert sampler.true_cardinality == truth.cardinality
+        assert len(sampler.sample) == truth.cardinality
+        for flow, size in sampler.sample.items():
+            assert size == truth.flow_bytes[flow]
+
+    def test_sampling_is_seeded_and_advances_per_epoch(self, trace):
+        first = ShadowSampler(sample_size=32, seed=7)
+        second = ShadowSampler(sample_size=32, seed=7)
+        first.observe_trace(trace)
+        second.observe_trace(trace)
+        assert set(first.sample) == set(second.sample)
+        # Epoch counter advances the stream: a re-observe resamples.
+        second.observe_trace(trace)
+        assert set(first.sample) != set(second.sample)
+
+    def test_rejects_empty_sample(self):
+        with pytest.raises(ConfigError):
+            ShadowSampler(sample_size=0)
+
+    def test_compare_exact_estimator_has_zero_error(self, trace, truth):
+        sampler = ShadowSampler(sample_size=64, seed=3)
+        sampler.observe_trace(trace)
+        exact = SimpleNamespace(
+            estimate=lambda flow: truth.flow_bytes[flow]
+        )
+        comparison = sampler.compare(
+            SimpleNamespace(sketch=exact), bound_bytes=1.0
+        )
+        assert comparison.sampled_flows == 64
+        assert comparison.flow_are == 0.0
+        assert comparison.flow_max_re == 0.0
+        assert comparison.bound_violations == 0
+
+    def test_compare_counts_bound_violations(self, trace, truth):
+        sampler = ShadowSampler(sample_size=64, seed=3)
+        sampler.observe_trace(trace)
+        off_by_ten = SimpleNamespace(
+            estimate=lambda flow: truth.flow_bytes[flow] + 10.0
+        )
+        comparison = sampler.compare(
+            SimpleNamespace(sketch=off_by_ten), bound_bytes=5.0
+        )
+        assert comparison.bound_violations == 64
+
+    def test_compare_heavy_hitter_precision_recall(self, trace, truth):
+        sampler = ShadowSampler(sample_size=10_000, seed=3)
+        sampler.observe_trace(trace)
+        threshold = 0.005 * truth.total_bytes
+        heavy = truth.heavy_hitters(int(threshold))
+        network = SimpleNamespace(sketch=SimpleNamespace())
+        perfect = sampler.compare(
+            network, answer=dict(heavy), hh_threshold=threshold
+        )
+        assert perfect.hh_recall == 1.0
+        assert perfect.hh_precision == 1.0
+        # Dropping half the heavy flows halves recall, not precision.
+        partial = dict(list(heavy.items())[: len(heavy) // 2])
+        lossy = sampler.compare(
+            network, answer=partial, hh_threshold=threshold
+        )
+        assert lossy.hh_precision == 1.0
+        assert lossy.hh_recall == pytest.approx(
+            len(partial) / len(heavy)
+        )
+
+    def test_compare_cardinality_relative_error(self, trace, truth):
+        sampler = ShadowSampler(sample_size=16, seed=3)
+        sampler.observe_trace(trace)
+        network = SimpleNamespace(sketch=SimpleNamespace())
+        comparison = sampler.compare(
+            network, answer=float(truth.cardinality) * 1.1
+        )
+        assert comparison.cardinality_re == pytest.approx(0.1)
+
+
+# ----------------------------------------------------------------------
+class TestSLOEngine:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.gauge("accuracy_are").set(0.4)
+        registry.counter("faults_total").inc(3)
+        return registry
+
+    def test_value_mode_breach(self):
+        registry = self._registry()
+        policy = SLOPolicy.from_dict(
+            {
+                "rules": [
+                    {"name": "are", "metric": "accuracy_are",
+                     "op": "<=", "threshold": 0.25},
+                    {"name": "ok", "metric": "accuracy_are",
+                     "op": "<=", "threshold": 0.5},
+                ]
+            }
+        )
+        engine = SLOEngine(policy, registry)
+        breaches = engine.evaluate(epoch=0)
+        assert [b.rule for b in breaches] == ["are"]
+        assert breaches[0].value == pytest.approx(0.4)
+        assert registry.total("sketchvisor_slo_evaluations_total") == 1
+        assert (
+            registry.value("sketchvisor_slo_breaches_total", rule="are")
+            == 1
+        )
+
+    def test_delta_mode_judges_per_epoch_increment(self):
+        registry = self._registry()
+        policy = SLOPolicy(
+            rules=[
+                SLORule(
+                    name="fault-budget",
+                    metric="faults_total",
+                    op="<=",
+                    threshold=2.0,
+                    mode="delta",
+                )
+            ]
+        )
+        engine = SLOEngine(policy, registry)
+        # First epoch sees the full running total (3 > 2): breach.
+        assert len(engine.evaluate(epoch=0)) == 1
+        # No increment since: delta is 0, within budget.
+        assert engine.evaluate(epoch=1) == []
+        registry.counter("faults_total").inc(5)
+        assert len(engine.evaluate(epoch=2)) == 1
+
+    def test_unpublished_metric_is_skipped(self):
+        registry = self._registry()
+        policy = SLOPolicy(
+            rules=[
+                SLORule(
+                    name="ghost", metric="never_published",
+                    op=">=", threshold=1.0,
+                )
+            ]
+        )
+        engine = SLOEngine(policy, registry)
+        assert engine.evaluate(epoch=0) == []
+        assert registry.total("sketchvisor_slo_breaches_total") == 0
+
+    def test_labels_select_one_child(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("per_host")
+        gauge.set(0.9, host="0")
+        gauge.set(0.1, host="1")
+        policy = SLOPolicy.from_dict(
+            {
+                "rules": [
+                    {"name": "host0", "metric": "per_host",
+                     "op": "<=", "threshold": 0.5,
+                     "labels": {"host": "0"}},
+                    {"name": "host1", "metric": "per_host",
+                     "op": "<=", "threshold": 0.5,
+                     "labels": {"host": "1"}},
+                ]
+            }
+        )
+        breaches = SLOEngine(policy, registry).evaluate(epoch=0)
+        assert [b.rule for b in breaches] == ["host0"]
+
+    def test_rule_validation(self):
+        with pytest.raises(ConfigError):
+            SLORule(name="bad", metric="x", op="~=", threshold=1.0)
+        with pytest.raises(ConfigError):
+            SLORule(
+                name="bad", metric="x", op="<=", threshold=1.0,
+                mode="rate",
+            )
+        with pytest.raises(ConfigError):
+            SLOPolicy.from_dict({"rules": []})
+        with pytest.raises(ConfigError):
+            SLORule.from_dict({"op": "<=", "threshold": 1.0})
+
+    def test_policy_json_round_trip(self, tmp_path):
+        policy = SLOPolicy.from_dict(
+            {
+                "name": "prod",
+                "rules": [
+                    {"name": "are", "metric": "accuracy_are",
+                     "op": "<=", "threshold": 0.25,
+                     "labels": {"sketch": "countmin"},
+                     "mode": "value"},
+                ],
+            }
+        )
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps(policy.to_dict()))
+        loaded = SLOPolicy.load(path)
+        assert loaded == policy
+        with pytest.raises(ConfigError):
+            SLOPolicy.load(tmp_path / "missing.json")
+
+
+# ----------------------------------------------------------------------
+class TestPipelineAccuracy:
+    """End-to-end: the pipeline publishes accuracy telemetry, the SLO
+    engine fires, and breaches reach the epoch result + recorder."""
+
+    def _config(self, telemetry, **kwargs):
+        return PipelineConfig(
+            num_hosts=2, batch=True, telemetry=telemetry, **kwargs
+        )
+
+    def test_epoch_publishes_bounds_and_shadow_gauges(
+        self, trace, truth
+    ):
+        telemetry = Telemetry()
+        task = HeavyHitterTask(
+            "univmon", threshold=0.005 * truth.total_bytes
+        )
+        pipeline = SketchVisorPipeline(
+            task, config=self._config(telemetry, shadow_samples=64)
+        )
+        result = pipeline.run_epoch(trace, truth)
+        registry = telemetry.registry
+        assert result.slo_breaches == []
+        assert (
+            registry.total("sketchvisor_accuracy_fastpath_envelope_bytes")
+            > 0
+        )
+        assert (
+            registry.value(
+                "sketchvisor_accuracy_recovered_bytes",
+                component="normal",
+            )
+            is not None
+        )
+        assert (
+            registry.total("sketchvisor_accuracy_shadow_flows") == 64
+        )
+        assert (
+            registry.total("sketchvisor_accuracy_empirical_hh_recall")
+            >= 0
+        )
+
+    def test_breach_reaches_result_recorder_and_dump(
+        self, trace, truth, tmp_path
+    ):
+        telemetry = Telemetry()
+        dump_path = tmp_path / "recorder.json"
+        policy = SLOPolicy.from_dict(
+            {
+                "rules": [
+                    {"name": "impossible-recall",
+                     "metric": "sketchvisor_accuracy_empirical_hh_recall",
+                     "op": ">=", "threshold": 1.1},
+                ]
+            }
+        )
+        task = HeavyHitterTask(
+            "univmon", threshold=0.005 * truth.total_bytes
+        )
+        pipeline = SketchVisorPipeline(
+            task,
+            config=self._config(
+                telemetry,
+                shadow_samples=64,
+                slo=policy,
+                recorder_path=dump_path,
+            ),
+        )
+        result = pipeline.run_epoch(trace, truth)
+        assert [b.rule for b in result.slo_breaches] == [
+            "impossible-recall"
+        ]
+        assert (
+            telemetry.registry.value(
+                "sketchvisor_slo_breaches_total",
+                rule="impossible-recall",
+            )
+            == 1
+        )
+        breach_events = telemetry.recorder.events("slo_breach")
+        assert len(breach_events) == 1
+        assert breach_events[0].fields["rule"] == "impossible-recall"
+        dump = json.loads(dump_path.read_text())
+        assert dump["reason"] == "slo_breach"
+        assert dump["events"][-1]["kind"] == "slo_breach"
+
+    def test_slo_policy_loadable_from_path(
+        self, trace, truth, tmp_path
+    ):
+        policy_path = tmp_path / "slo.json"
+        policy_path.write_text(
+            json.dumps(
+                {
+                    "rules": [
+                        {"name": "floor",
+                         "metric": "sketchvisor_accuracy_empirical_hh_recall",
+                         "op": ">=", "threshold": 0.0}
+                    ]
+                }
+            )
+        )
+        telemetry = Telemetry()
+        task = HeavyHitterTask(
+            "univmon", threshold=0.005 * truth.total_bytes
+        )
+        pipeline = SketchVisorPipeline(
+            task,
+            config=self._config(
+                telemetry, shadow_samples=16, slo=str(policy_path)
+            ),
+        )
+        result = pipeline.run_epoch(trace, truth)
+        assert result.slo_breaches == []
+        assert (
+            telemetry.registry.total("sketchvisor_slo_evaluations_total")
+            == 1
+        )
+
+    def test_observer_without_sampler_or_policy_is_quiet(
+        self, trace, truth
+    ):
+        telemetry = Telemetry()
+        observer = AccuracyObserver(telemetry)
+        observer.observe_trace(trace)
+        task = HeavyHitterTask(
+            "univmon", threshold=0.005 * truth.total_bytes
+        )
+        pipeline = SketchVisorPipeline(
+            task, config=self._config(None)
+        )
+        result = pipeline.run_epoch(trace, truth)
+        assert observer.observe_epoch(result, task, epoch=0) == []
+        assert (
+            telemetry.registry.value("sketchvisor_accuracy_shadow_flows")
+            is None
+        )
+        assert observer.maybe_dump("manual") is None

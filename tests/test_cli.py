@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -142,3 +144,128 @@ class TestRun:
         )
         assert code == 0
         assert "ideal" in capsys.readouterr().out
+
+
+class TestAccuracyCLI:
+    def _slo_file(self, tmp_path, threshold=1.1):
+        path = tmp_path / "slo.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "rules": [
+                        {
+                            "name": "recall-floor",
+                            "metric": (
+                                "sketchvisor_accuracy_empirical_hh_recall"
+                            ),
+                            "op": ">=",
+                            "threshold": threshold,
+                        }
+                    ]
+                }
+            )
+        )
+        return path
+
+    def test_run_with_breaching_slo(self, tmp_path, capsys):
+        dump = tmp_path / "recorder.json"
+        code = main(
+            [
+                "run",
+                "--task", "heavy_hitter",
+                "--solution", "deltoid",
+                "--flows", "600",
+                "--shadow-samples", "64",
+                "--slo", str(self._slo_file(tmp_path)),
+                "--recorder-out", str(dump),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ACCURACY_SLO_BREACH" in out
+        assert "empirical ARE" in out
+        assert "flight recorder" in out
+        loaded = json.loads(dump.read_text())
+        assert loaded["reason"] == "slo_breach"
+        assert loaded["events"][-1]["kind"] == "slo_breach"
+
+    def test_run_with_satisfied_slo(self, tmp_path, capsys):
+        code = main(
+            [
+                "run",
+                "--task", "heavy_hitter",
+                "--solution", "deltoid",
+                "--flows", "600",
+                "--shadow-samples", "64",
+                "--slo", str(self._slo_file(tmp_path, threshold=0.0)),
+            ]
+        )
+        assert code == 0
+        assert "ACCURACY_SLO_BREACH" not in capsys.readouterr().out
+
+    def test_telemetry_format_and_output(self, tmp_path, capsys):
+        prom = tmp_path / "metrics.prom"
+        code = main(
+            [
+                "telemetry",
+                "--flows", "400",
+                "--no-tree",
+                "--format", "prom",
+                "--output", str(prom),
+            ]
+        )
+        assert code == 0
+        text = prom.read_text()
+        assert "# TYPE sketchvisor_switch_packets_total counter" in text
+        capsys.readouterr()
+        code = main(
+            [
+                "telemetry",
+                "--flows", "400",
+                "--no-tree",
+                "--format", "json",
+            ]
+        )
+        assert code == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert "sketchvisor_switch_packets_total" in snapshot["metrics"]
+
+    def test_telemetry_includes_durability_counters(
+        self, tmp_path, capsys
+    ):
+        code = main(
+            [
+                "telemetry",
+                "--flows", "400",
+                "--no-tree",
+                "--checkpoint-dir", str(tmp_path / "ckpt"),
+                "--format", "prom",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sketchvisor_checkpoint_writes_total" in out
+
+    def test_dash_plain_and_html(self, tmp_path, capsys):
+        html = tmp_path / "report.html"
+        code = main(
+            [
+                "dash",
+                "--epochs", "2",
+                "--flows", "400",
+                "--shadow-samples", "32",
+                "--plain",
+                "--html", str(html),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "epoch 1" in out
+        assert "throughput_gbps" in out
+        document = html.read_text()
+        assert document.startswith("<!DOCTYPE html>")
+        assert "viz-root" in document
+        payload = json.loads(
+            document.split('id="dash-data">')[1].split("</script>")[0]
+        )
+        assert len(payload["rows"]) == 2

@@ -164,6 +164,95 @@ class TestPrometheusText:
 
 
 # ----------------------------------------------------------------------
+class TestPrometheusHardening:
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        hostile = 'a\\b"c\nd'
+        registry.counter("esc_total").inc(1, path=hostile)
+        text = prometheus_text(registry)
+        assert 'esc_total{path="a\\\\b\\"c\\nd"} 1' in text
+        # The raw newline must not split the sample across lines.
+        sample_lines = [
+            line for line in text.splitlines() if "esc_total{" in line
+        ]
+        assert len(sample_lines) == 1
+        assert sample_lines[0].endswith("} 1")
+
+    def test_help_text_is_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("weird_total", "multi\nline \\ help").inc(1)
+        text = prometheus_text(registry)
+        assert "# HELP weird_total multi\\nline \\\\ help" in text
+
+    def test_help_and_type_emitted_exactly_once(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("multi_total", "help")
+        counter.inc(1, host="0")
+        counter.inc(2, host="1")
+        registry.counter("multi_total")  # re-registration is idempotent
+        text = prometheus_text(registry)
+        assert text.count("# HELP multi_total") == 1
+        assert text.count("# TYPE multi_total") == 1
+
+    def test_invalid_metric_names_rejected_at_registration(self):
+        registry = MetricsRegistry()
+        for bad in ("2leading_digit", "has space", "dash-ed", ""):
+            with pytest.raises(ConfigError):
+                registry.counter(bad)
+        # Colons are legal in metric names (recording-rule style).
+        registry.counter("ns:sub:total").inc(1)
+
+    def test_invalid_label_names_rejected_at_export(self):
+        registry = MetricsRegistry()
+        registry.counter("ok_total").inc(1, **{"bad-name": "x"})
+        with pytest.raises(ConfigError):
+            prometheus_text(registry)
+
+
+# ----------------------------------------------------------------------
+class TestHistogramQuantiles:
+    def test_interpolated_quantiles(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "lat", buckets=(10.0, 20.0, 40.0)
+        )
+        for value in range(1, 21):  # uniform over (0, 20]
+            histogram.observe(float(value))
+        child = histogram.labels()
+        assert child.quantile(0.5) == pytest.approx(10.0)
+        # p95: rank 19 of 20 -> 9/10 into the (10, 20] bucket.
+        assert child.quantile(0.95) == pytest.approx(19.0)
+        assert child.quantile(0.0) == pytest.approx(0.0)
+        assert child.quantile(1.0) == pytest.approx(20.0)
+
+    def test_overflow_bucket_clamps_to_last_finite_bound(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", buckets=(1.0, 2.0))
+        histogram.observe(100.0)
+        assert histogram.labels().quantile(0.99) == pytest.approx(2.0)
+
+    def test_empty_histogram_and_bad_q(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", buckets=(1.0,))
+        assert histogram.labels().quantile(0.5) == 0.0
+        with pytest.raises(ConfigError):
+            histogram.labels().quantile(1.5)
+
+    def test_snapshot_carries_quantiles_for_histograms_only(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc(1)
+        registry.histogram("h", buckets=(1.0, 10.0)).observe(0.5)
+        snapshot = registry.snapshot()
+        assert set(snapshot["h"]["samples"][0]["quantiles"]) == {
+            "p50", "p95", "p99",
+        }
+        # Counter/gauge sample dicts keep their exact legacy shape.
+        assert set(snapshot["c_total"]["samples"][0]) == {
+            "labels", "value",
+        }
+
+
+# ----------------------------------------------------------------------
 class TestTracer:
     def test_nesting_depth_and_parent(self):
         tracer = Tracer()
@@ -505,3 +594,43 @@ class TestReporting:
         chart = ascii_bar_chart({"a": -1.0, "b": float("nan")}, width=5)
         assert "(< 0)" in chart and "(non-finite)" in chart
         assert not math.isnan(len(chart))
+
+
+# ----------------------------------------------------------------------
+class TestMetricsSummary:
+    def test_summary_prefers_quantiles_over_buckets(self):
+        from repro.reporting import metrics_summary
+
+        registry = MetricsRegistry()
+        registry.counter("sketchvisor_x_total", "h").inc(7)
+        histogram = registry.histogram(
+            "sketchvisor_epoch_seconds", buckets=(0.1, 1.0, 10.0)
+        )
+        for value in (0.05, 0.5, 0.5, 5.0):
+            histogram.observe(value)
+        text = metrics_summary(registry)
+        assert "sketchvisor_x_total" in text and "7" in text
+        assert "p50" in text and "n=4" in text
+        assert "le=" not in text  # no raw bucket dumps
+
+    def test_summary_prefix_filter_and_empty(self):
+        from repro.reporting import metrics_summary
+
+        registry = MetricsRegistry()
+        registry.counter("keep_total").inc(1)
+        registry.counter("drop_total").inc(1)
+        text = metrics_summary(registry, prefix="keep")
+        assert "keep_total" in text and "drop_total" not in text
+        assert metrics_summary(MetricsRegistry()) == "(no metrics)"
+
+    def test_dashboard_frame_sparklines(self):
+        from repro.reporting import dashboard_frame
+
+        rows = [
+            {"epoch": 0, "throughput_gbps": 1.0, "slo_breaches": 0},
+            {"epoch": 1, "throughput_gbps": 2.0, "slo_breaches": 1},
+        ]
+        frame = dashboard_frame(rows, width=10)
+        assert "epoch 1" in frame
+        assert "throughput_gbps" in frame
+        assert "▁" in frame and "█" in frame
