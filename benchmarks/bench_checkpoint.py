@@ -77,18 +77,21 @@ def time_supervised(trace, every: int, repeats: int) -> float:
     return best
 
 
-def git_sha() -> str | None:
+def git_sha() -> str:
+    """Short commit SHA; ``"unknown"`` when git is unavailable, so
+    every entry is provenance-stamped (loaders warn on "unknown")."""
     try:
-        return subprocess.run(
+        sha = subprocess.run(
             ["git", "rev-parse", "--short", "HEAD"],
             cwd=REPO_ROOT,
             capture_output=True,
             text=True,
             timeout=10,
             check=True,
-        ).stdout.strip() or None
+        ).stdout.strip()
+        return sha or "unknown"
     except (OSError, subprocess.SubprocessError):
-        return None
+        return "unknown"
 
 
 def append_trajectory(path: Path, entry: dict) -> None:

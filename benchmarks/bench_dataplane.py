@@ -191,19 +191,87 @@ def bench_accuracy_overhead(trace, seed: int, num_hosts: int):
     return timings
 
 
-def git_sha() -> str | None:
-    """Short commit SHA of the repo being benchmarked, if available."""
+def git_sha() -> str:
+    """Short commit SHA of the repo being benchmarked.
+
+    Always returns a string — ``"unknown"`` when git is unavailable —
+    so every trajectory entry is provenance-stamped and the loaders
+    (``check_regression.py``, ``repro perf``) can warn on unstamped
+    entries instead of crashing on missing keys.
+    """
     try:
-        return subprocess.run(
+        sha = subprocess.run(
             ["git", "rev-parse", "--short", "HEAD"],
             cwd=REPO_ROOT,
             capture_output=True,
             text=True,
             timeout=10,
             check=True,
-        ).stdout.strip() or None
+        ).stdout.strip()
+        return sha or "unknown"
     except (OSError, subprocess.SubprocessError):
-        return None
+        return "unknown"
+
+
+def bench_profiling(trace, seed: int, num_hosts: int):
+    """End-to-end epoch time with and without cycle-level profiling.
+
+    Runs the full pipeline (batched SketchVisor data plane + merge +
+    recovery + query) twice — bare, then with the full profiler on
+    (stage timers, 97 Hz stack sampler, hash instrumentation, RSS
+    tracking).  The acceptance gate requires the profiled run to stay
+    within 10% of the unprofiled run; the profiled run's per-stage
+    wall breakdown and epoch attribution ride along in the trajectory
+    entry so ``repro perf`` can chart stage deltas across commits.
+    """
+    from repro.telemetry import ProfileConfig, Telemetry
+    from repro.telemetry.profiling import epoch_attribution
+
+    truth = GroundTruth.from_trace(trace)
+    timings = {}
+    stages = None
+    attribution = None
+    for label in ("unprofiled", "profiled"):
+        best = float("inf")
+        for _ in range(3):
+            telemetry = (
+                Telemetry(profile=ProfileConfig())
+                if label == "profiled"
+                else None
+            )
+            pipeline = SketchVisorPipeline(
+                HeavyHitterTask("univmon", threshold=0.001),
+                dataplane=DataPlaneMode.SKETCHVISOR,
+                config=PipelineConfig(
+                    num_hosts=num_hosts,
+                    seed=seed,
+                    batch=True,
+                    workers=1,
+                    telemetry=telemetry,
+                ),
+            )
+            start = time.perf_counter()
+            pipeline.run_epoch(trace, truth)
+            elapsed = time.perf_counter() - start
+            if elapsed < best:
+                best = elapsed
+                if telemetry is not None:
+                    stages = telemetry.profiler.stage_table()
+                    attribution = epoch_attribution(
+                        telemetry.tracer
+                    )
+        timings[label] = {
+            "seconds": best,
+            "packets_per_sec": len(trace) / best,
+        }
+    timings["overhead_pct"] = 100.0 * (
+        timings["profiled"]["seconds"]
+        / timings["unprofiled"]["seconds"]
+        - 1.0
+    )
+    timings["stages"] = stages
+    timings["attribution"] = attribution
+    return timings
 
 
 def instrumented_snapshot(trace, sketch_name: str, seed: int) -> dict:
@@ -330,6 +398,18 @@ def main(argv=None) -> int:
         f" | overhead {accuracy_results['overhead_pct']:+.1f}%"
     )
 
+    profiling_results = bench_profiling(trace, args.seed, args.hosts)
+    attribution = profiling_results.get("attribution")
+    print(
+        f"  {'profiling':12s} off {profiling_results['unprofiled']['packets_per_sec']:>12,.0f} pps"
+        f" | on {profiling_results['profiled']['packets_per_sec']:>12,.0f} pps"
+        f" | overhead {profiling_results['overhead_pct']:+.1f}%"
+        + (
+            f" | attribution {attribution:.0%}"
+            if attribution else ""
+        )
+    )
+
     entry = {
         "timestamp": datetime.now(timezone.utc).isoformat(),
         "git_sha": git_sha(),
@@ -345,6 +425,7 @@ def main(argv=None) -> int:
         "switch": switch_results,
         "parallel": parallel_results,
         "accuracy_overhead": accuracy_results,
+        "profiling": profiling_results,
         "telemetry": instrumented_snapshot(
             trace, args.sketch, args.seed
         ),
@@ -357,6 +438,9 @@ def main(argv=None) -> int:
         return 1
     if not args.smoke and accuracy_results["overhead_pct"] > 5.0:
         print("FAIL: accuracy telemetry overhead above the 5% ceiling")
+        return 1
+    if not args.smoke and profiling_results["overhead_pct"] > 10.0:
+        print("FAIL: profiling overhead above the 10% ceiling")
         return 1
     return 0
 

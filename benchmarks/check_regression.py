@@ -43,7 +43,28 @@ def _load_runs(path: Path) -> list[dict]:
     runs = loaded.get("runs") if isinstance(loaded, dict) else None
     if not isinstance(runs, list):
         raise SystemExit(f"error: {path} has no 'runs' list")
+    _warn_unstamped(path, runs)
     return runs
+
+
+def _warn_unstamped(path: Path, runs: list[dict]) -> None:
+    """Flag entries without git provenance (git_sha missing/unknown)."""
+    unstamped = [
+        index
+        for index, entry in enumerate(runs)
+        if isinstance(entry, dict)
+        and (
+            not isinstance(entry.get("git_sha"), str)
+            or not entry.get("git_sha")
+            or entry.get("git_sha") == "unknown"
+        )
+    ]
+    if unstamped:
+        print(
+            f"warning: {path.name} has {len(unstamped)} unstamped "
+            f"run(s) (no git_sha) at index(es) "
+            f"{', '.join(map(str, unstamped))} — provenance unknown"
+        )
 
 
 def _extract(entry: dict, path: tuple[str, ...]) -> float | None:
@@ -84,6 +105,17 @@ def main(argv=None) -> int:
         "--smoke-tolerance", type=float, default=0.5,
         help="tolerance applied when the fresh run is a --smoke pass "
         "(tiny trace, one repeat: ratios are noisy; default 0.5)",
+    )
+    parser.add_argument(
+        "--checkpoint-fresh", type=Path, default=None,
+        help="trajectory file from a fresh bench_checkpoint.py run; "
+        "gates the default checkpoint overhead against the committed "
+        "BENCH_checkpoint.json baseline and the 10%% absolute budget",
+    )
+    parser.add_argument(
+        "--checkpoint-baseline", type=Path,
+        default=REPO_ROOT / "BENCH_checkpoint.json",
+        help="committed checkpoint trajectory to compare against",
     )
     args = parser.parse_args(argv)
 
@@ -144,6 +176,69 @@ def main(argv=None) -> int:
         )
         if overhead > ceiling:
             failures.append("accuracy telemetry overhead")
+
+    # Profiling overhead likewise has a fixed ceiling: stage timers +
+    # stack sampler + hash instrumentation must stay within 10% of the
+    # unprofiled pipeline (smoke traces are too noisy to gate).
+    prof_overhead = _extract(fresh, ("profiling", "overhead_pct"))
+    if prof_overhead is not None and not fresh.get("smoke"):
+        compared += 1
+        ceiling = 10.0
+        status = "OK" if prof_overhead <= ceiling else "REGRESSION"
+        print(
+            f"  profiling overhead: {prof_overhead:+.1f}% "
+            f"(ceiling {ceiling:.0f}%) -> {status}"
+        )
+        if prof_overhead > ceiling:
+            failures.append("profiling overhead")
+
+    # Checkpoint overhead gates both relative to the committed
+    # baseline (with tolerance headroom) and against the absolute 10%
+    # budget the durability docs promise.
+    if args.checkpoint_fresh is not None:
+        ck_runs = _load_runs(args.checkpoint_fresh)
+        if not ck_runs:
+            raise SystemExit(
+                f"error: {args.checkpoint_fresh} contains no runs"
+            )
+        ck_fresh = ck_runs[-1]
+        ck_value = _extract(ck_fresh, ("default_overhead",))
+        ck_tolerance = tolerance
+        if ck_fresh.get("smoke"):
+            ck_tolerance = max(args.tolerance, args.smoke_tolerance)
+        if ck_value is None:
+            print("  checkpoint overhead: skipped (no default_overhead)")
+        elif ck_fresh.get("smoke"):
+            print(
+                f"  checkpoint overhead: {ck_value:.3f} "
+                "(smoke run — advisory only)"
+            )
+        else:
+            compared += 1
+            budget = 0.10
+            ceiling = budget
+            if args.checkpoint_baseline.exists():
+                ck_base = [
+                    v for entry in _load_runs(args.checkpoint_baseline)
+                    if not entry.get("smoke")
+                    if (v := _extract(entry, ("default_overhead",)))
+                    is not None
+                ]
+                if ck_base:
+                    # Allow the committed baseline plus headroom, but
+                    # never past the absolute budget.
+                    ceiling = min(
+                        budget,
+                        max(min(ck_base) * (1.0 + ck_tolerance), 0.02),
+                    )
+            status = "OK" if ck_value <= ceiling else "REGRESSION"
+            print(
+                f"  checkpoint overhead (default interval): "
+                f"{ck_value:.3f} (ceiling {ceiling:.3f}, "
+                f"budget {budget:.2f}) -> {status}"
+            )
+            if ck_value > ceiling:
+                failures.append("checkpoint overhead")
 
     if failures:
         print(f"FAIL: {len(failures)} regression(s): {', '.join(failures)}")

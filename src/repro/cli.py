@@ -119,6 +119,46 @@ def _dump_telemetry(args: argparse.Namespace, telemetry: Telemetry) -> None:
             print(f"wrote Prometheus metrics to {args.prom}")
 
 
+def _dump_profile(args: argparse.Namespace, telemetry: Telemetry) -> None:
+    """Shared profiling tail of ``run --profile``: table + artifacts."""
+    profiler = telemetry.profiler
+    if profiler is None:
+        return
+    from repro.telemetry.profiling import epoch_attribution, write_folded
+
+    table = profiler.stage_table()
+    print()
+    print("stage profile (sorted by wall time):")
+    for name, row in list(table.items())[:14]:
+        print(
+            f"  {name:28s} {row['wall_seconds']:9.4f}s wall  "
+            f"{row['cpu_seconds']:8.4f}s cpu  x{row['count']}"
+        )
+    attribution = epoch_attribution(telemetry.tracer)
+    if attribution:
+        print(
+            f"epoch attribution : {attribution:.1%} of epoch wall "
+            "time attributed to child stages"
+        )
+    if getattr(args, "folded_out", None):
+        write_folded(profiler.folded, args.folded_out)
+        print(f"wrote folded stacks to {args.folded_out}")
+    if getattr(args, "flame_out", None):
+        from repro.dash import write_flamegraph
+
+        write_flamegraph(
+            args.flame_out,
+            profiler.folded,
+            title="SketchVisor CPU flamegraph",
+            subtitle=(
+                f"{sum(profiler.folded.values())} samples across "
+                f"{len(profiler.folded)} distinct stacks"
+            ),
+            stage_table=table,
+        )
+        print(f"wrote flamegraph to {args.flame_out}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.trace_file:
         trace = _load_any(args.trace_file)
@@ -128,11 +168,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
     truth = GroundTruth.from_trace(trace)
     # Accuracy observability (SLOs, shadow sampling, flight-recorder
-    # dumps) rides on telemetry, so any of those flags turns it on.
+    # dumps) rides on telemetry, so any of those flags turns it on —
+    # as does profiling (stage timers publish through the registry).
     wants_accuracy = bool(
         args.slo or args.shadow_samples or args.recorder_out
     )
-    telemetry = Telemetry() if (args.trace or wants_accuracy) else None
+    wants_profile = bool(
+        args.profile or args.folded_out or args.flame_out
+    )
+    telemetry = (
+        Telemetry()
+        if (args.trace or wants_accuracy or wants_profile)
+        else None
+    )
+    if wants_profile:
+        from repro.telemetry import ProfileConfig
+
+        telemetry.enable_profiling(
+            ProfileConfig(sample_hz=args.profile_hz)
+        )
 
     kwargs: dict = {}
     if args.task in ("heavy_hitter", "heavy_changer"):
@@ -195,6 +249,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
         if telemetry is not None:
             _dump_telemetry(args, telemetry)
+            _dump_profile(args, telemetry)
         return 0
 
     faults = FaultPlan.load(args.chaos) if args.chaos else None
@@ -298,6 +353,45 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
     if telemetry is not None and args.trace:
         _dump_telemetry(args, telemetry)
+    if telemetry is not None:
+        _dump_profile(args, telemetry)
+    return 0
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    """Render the committed bench trajectories (``repro perf``)."""
+    from repro.perf import (
+        SERIES_BY_FILE,
+        discover_trajectories,
+        perf_text_summary,
+        series_points,
+        write_perf_dashboard,
+    )
+
+    trajectories = discover_trajectories(args.root)
+    print(perf_text_summary(trajectories))
+    if args.html:
+        write_perf_dashboard(args.html, trajectories)
+        print(f"wrote perf dashboard to {args.html}")
+    if args.strict:
+        problems = [
+            problem
+            for trajectory in trajectories
+            for problem in trajectory.problems
+        ]
+        violations = [
+            point
+            for trajectory in trajectories
+            for spec in SERIES_BY_FILE.get(trajectory.name, ())
+            for point in series_points(trajectory.runs, spec)
+            if point.violation
+        ]
+        if problems or violations:
+            print(
+                f"STRICT: {len(problems)} schema problem(s), "
+                f"{len(violations)} gate violation(s)"
+            )
+            return 1
     return 0
 
 
@@ -620,7 +714,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="dump the flight recorder to FILE on crash, quarantine, "
         "or SLO breach; implies telemetry",
     )
+    run.add_argument(
+        "--profile",
+        action="store_true",
+        help="enable cycle-level profiling: stage wall/CPU timers, "
+        "sampling profiler, memory high-water tracking; prints the "
+        "stage table after the run (see docs/observability.md)",
+    )
+    run.add_argument(
+        "--profile-hz",
+        type=float,
+        default=97.0,
+        metavar="HZ",
+        help="sampling profiler frequency (default 97 Hz; 0 disables "
+        "stack sampling but keeps the stage timers)",
+    )
+    run.add_argument(
+        "--folded-out",
+        metavar="FILE.folded",
+        help="write collapsed stacks in Brendan-Gregg folded format; "
+        "implies --profile",
+    )
+    run.add_argument(
+        "--flame-out",
+        metavar="FILE.{svg,html}",
+        help="write a dependency-free flamegraph (.svg for bare SVG, "
+        "anything else for a standalone HTML page); implies --profile",
+    )
     run.set_defaults(func=_cmd_run)
+
+    perf = commands.add_parser(
+        "perf",
+        help="render the committed bench trajectories "
+        "(BENCH_*.json) as a regression dashboard",
+    )
+    perf.add_argument(
+        "--root",
+        default=".",
+        help="directory holding BENCH_*.json files (default: cwd)",
+    )
+    perf.add_argument(
+        "--html",
+        metavar="FILE.html",
+        help="write the self-contained HTML perf dashboard",
+    )
+    perf.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 on schema problems or gate violations",
+    )
+    perf.set_defaults(func=_cmd_perf)
 
     telemetry = commands.add_parser(
         "telemetry",

@@ -447,3 +447,275 @@ def write_html_report(
         html_report(rows, registry, title=title, subtitle=subtitle)
     )
     return destination
+
+
+# ----------------------------------------------------------------------
+# Flamegraph (profiler folded stacks → dependency-free SVG/HTML)
+# ----------------------------------------------------------------------
+#: Sequential single-hue blue ramp, light→dark, cycled by frame depth.
+#: Each step pairs the rect fill with the ink that stays readable on
+#: it; the dark-mode ramp is its own selection against the dark
+#: surface, not an automatic flip.
+_FLAME_LIGHT = (
+    ("#dce9f9", "#0b0b0b"),
+    ("#bcd5f3", "#0b0b0b"),
+    ("#9ac0ec", "#0b0b0b"),
+    ("#76a9e4", "#0b0b0b"),
+    ("#4d90dc", "#ffffff"),
+    ("#2a78d6", "#ffffff"),
+)
+_FLAME_DARK = (
+    ("#21405f", "#ffffff"),
+    ("#2a5580", "#ffffff"),
+    ("#336aa5", "#ffffff"),
+    ("#3c80c8", "#ffffff"),
+    ("#3987e5", "#ffffff"),
+    ("#79abee", "#0b0b0b"),
+)
+
+_FLAME_ROW_H = 18
+_FLAME_CHAR_W = 6.6  # approximate glyph advance at font-size 11
+
+
+def _flame_tree(folded: dict[str, int]) -> tuple[dict, int]:
+    """Merge ``"a;b;c" -> count`` folded stacks into a frame trie."""
+    root: dict = {"name": "all", "value": 0, "children": {}}
+    for stack, count in folded.items():
+        if count <= 0:
+            continue
+        root["value"] += count
+        node = root
+        for frame in stack.split(";"):
+            child = node["children"].setdefault(
+                frame, {"name": frame, "value": 0, "children": {}}
+            )
+            child["value"] += count
+            node = child
+    return root, root["value"]
+
+
+def _flame_depth(node: dict) -> int:
+    if not node["children"]:
+        return 1
+    return 1 + max(
+        _flame_depth(child) for child in node["children"].values()
+    )
+
+
+def _flame_rects(
+    node: dict,
+    x: float,
+    depth: int,
+    total: int,
+    width: float,
+    out: list[str],
+) -> None:
+    px = node["value"] / total * width
+    if px < 1.0:  # sub-pixel frames are noise, not signal
+        return
+    share = node["value"] / total * 100.0
+    y = depth * _FLAME_ROW_H
+    step = depth % len(_FLAME_LIGHT)
+    name = _html_escape(node["name"])
+    tooltip = (
+        f"{name} — {node['value']:,} samples ({share:.1f}%)"
+    )
+    out.append(
+        f'<g class="frame"><rect class="fg-d{step}" '
+        f'x="{x:.2f}" y="{y}" width="{px:.2f}" '
+        f'height="{_FLAME_ROW_H - 1}" rx="2">'
+        f"<title>{tooltip}</title></rect>"
+    )
+    budget = int((px - 6) / _FLAME_CHAR_W)
+    if budget >= 3:
+        label = node["name"]
+        if len(label) > budget:
+            label = label[: max(budget - 1, 1)] + "…"
+        out.append(
+            f'<text class="fg-t{step}" x="{x + 3:.2f}" '
+            f'y="{y + _FLAME_ROW_H - 6}">'
+            f"{_html_escape(label)}</text>"
+        )
+    out.append("</g>")
+    child_x = x
+    children = sorted(
+        node["children"].values(),
+        key=lambda c: (-c["value"], c["name"]),
+    )
+    for child in children:
+        _flame_rects(child, child_x, depth + 1, total, width, out)
+        child_x += child["value"] / total * width
+
+
+def flamegraph_svg(
+    folded: dict[str, int],
+    title: str = "CPU flamegraph",
+    width: int = 1184,
+) -> str:
+    """Render profiler folded stacks as a self-contained SVG.
+
+    ``folded`` maps ``"stage;frame;…;leaf"`` stacks to sample counts
+    (:attr:`repro.telemetry.profiling.Profiler.folded`).  Frame width
+    is the stack's share of all samples; depth cycles a sequential
+    single-hue blue ramp; every frame carries a native ``<title>``
+    hover tooltip with name, samples, and percentage.  The SVG embeds
+    its own stylesheet (dark-mode aware), so it is equally readable
+    saved standalone or inlined into an HTML page.
+    """
+    root, total = _flame_tree(folded)
+    if total == 0:
+        height = 2 * _FLAME_ROW_H
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" role="img" '
+            f'width="{width}" height="{height}" '
+            f'aria-label="{_html_escape(title)}: no samples">'
+            f"{_flame_style()}"
+            f'<text class="fg-empty" x="4" y="{_FLAME_ROW_H}">'
+            "No profile samples recorded (is profiling enabled and "
+            "the workload long enough to sample?)</text></svg>"
+        )
+    depth = _flame_depth(root)
+    height = depth * _FLAME_ROW_H + 4
+    rects: list[str] = []
+    _flame_rects(root, 0.0, 0, total, float(width), rects)
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" role="img" '
+        f'width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" '
+        f'aria-label="{_html_escape(title)}">'
+        f"{_flame_style()}" + "".join(rects) + "</svg>"
+    )
+
+
+def _flame_style() -> str:
+    rules = ["svg { font: 11px system-ui, sans-serif; }"]
+    for i, (fill, ink) in enumerate(_FLAME_LIGHT):
+        rules.append(f".fg-d{i} {{ fill: {fill}; }}")
+        rules.append(
+            f".fg-t{i} {{ fill: {ink}; pointer-events: none; }}"
+        )
+    rules.append(".fg-empty { fill: #52514e; }")
+    dark = ["@media (prefers-color-scheme: dark) {"]
+    for i, (fill, ink) in enumerate(_FLAME_DARK):
+        dark.append(f".fg-d{i} {{ fill: {fill}; }}")
+        dark.append(f".fg-t{i} {{ fill: {ink}; }}")
+    dark.append(".fg-empty { fill: #c3c2b7; }")
+    dark.append("}")
+    return "<style>" + "\n".join(rules + dark) + "</style>"
+
+
+_FLAME_HTML_TEMPLATE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>__TITLE__</title>
+<style>
+.viz-root {
+  color-scheme: light;
+  --surface-1: #fcfcfb;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --grid: #e4e3e0;
+  font: 14px/1.45 system-ui, sans-serif;
+  background: var(--surface-1);
+  color: var(--text-primary);
+  margin: 0;
+  padding: 24px;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) .viz-root {
+    color-scheme: dark;
+    --surface-1: #1a1a19;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --grid: #33332f;
+  }
+}
+h1 { font-size: 20px; margin: 0 0 4px; }
+.sub { color: var(--text-secondary); margin: 0 0 20px; }
+.flame { overflow-x: auto; }
+section { margin-top: 28px; }
+section h2 { font-size: 15px; }
+table { border-collapse: collapse; font-size: 12px;
+  font-variant-numeric: tabular-nums; }
+th, td { text-align: right; padding: 3px 10px;
+  border-bottom: 1px solid var(--grid); }
+th { color: var(--text-secondary); font-weight: 600; }
+td:first-child, th:first-child { text-align: left; }
+</style>
+</head>
+<body class="viz-root">
+<h1>__TITLE__</h1>
+<p class="sub">__SUBTITLE__</p>
+<div class="flame">__SVG__</div>
+__STAGES__
+</body>
+</html>
+"""
+
+
+def _stage_section(stage_table: dict[str, dict] | None) -> str:
+    if not stage_table:
+        return ""
+    rows = []
+    for name, row in stage_table.items():
+        rows.append(
+            f"<tr><td>{_html_escape(name)}</td>"
+            f"<td>{row['wall_seconds']:.4f}</td>"
+            f"<td>{row['cpu_seconds']:.4f}</td>"
+            f"<td>{row['count']}</td></tr>"
+        )
+    return (
+        "<section><h2>Stage totals</h2>"
+        "<table><thead><tr><th scope=\"col\">Stage</th>"
+        "<th scope=\"col\">Wall s</th><th scope=\"col\">CPU s</th>"
+        "<th scope=\"col\">Calls</th></tr></thead><tbody>"
+        + "".join(rows)
+        + "</tbody></table></section>"
+    )
+
+
+def flamegraph_html(
+    folded: dict[str, int],
+    title: str = "CPU flamegraph",
+    subtitle: str = "",
+    stage_table: dict[str, dict] | None = None,
+) -> str:
+    """Wrap :func:`flamegraph_svg` in a standalone HTML page.
+
+    ``stage_table`` (from
+    :meth:`~repro.telemetry.profiling.Profiler.stage_table`) adds a
+    wall/CPU/calls table under the graph.
+    """
+    return (
+        _FLAME_HTML_TEMPLATE.replace(
+            "__TITLE__", _html_escape(title)
+        )
+        .replace("__SUBTITLE__", _html_escape(subtitle))
+        .replace("__SVG__", flamegraph_svg(folded, title=title))
+        .replace("__STAGES__", _stage_section(stage_table))
+    )
+
+
+def write_flamegraph(
+    path: str | Path,
+    folded: dict[str, int],
+    title: str = "CPU flamegraph",
+    subtitle: str = "",
+    stage_table: dict[str, dict] | None = None,
+) -> Path:
+    """Write the flamegraph; ``.svg`` suffix → bare SVG, else HTML."""
+    destination = Path(path)
+    if destination.suffix == ".svg":
+        destination.write_text(flamegraph_svg(folded, title=title))
+    else:
+        destination.write_text(
+            flamegraph_html(
+                folded,
+                title=title,
+                subtitle=subtitle,
+                stage_table=stage_table,
+            )
+        )
+    return destination

@@ -22,6 +22,7 @@ checkpoint/replay tests all execute the *same* reference loop.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.common.errors import ConfigError
@@ -114,6 +115,13 @@ class HostEngine:
         its own buffer so ``switch.buffer.high_water`` keeps reflecting
         the last epoch.  The queue is cleared on construction; restored
         engines refill it through :meth:`BoundedFIFO.restore`.
+    profiler:
+        Optional :class:`~repro.telemetry.profiling.Profiler`.  When
+        set, each ``run`` call attributes its wall time to the
+        ``switch.sketch_update`` / ``fastpath.topk`` /
+        ``switch.dispatch`` stages (accumulated locally, credited once
+        per call — never a span per packet).  Profiling only observes;
+        results are bit-identical either way.
     """
 
     def __init__(
@@ -124,6 +132,7 @@ class HostEngine:
         buffer_packets: int = 1024,
         ideal: bool = False,
         fifo: BoundedFIFO | None = None,
+        profiler=None,
     ):
         if ideal and fastpath is not None:
             raise ConfigError("ideal mode does not use a fast path")
@@ -139,6 +148,7 @@ class HostEngine:
         self.producer = 0.0  # next cycle the producer is free
         self.consumer = 0.0  # next cycle the consumer is free
         self.report = SwitchReport()
+        self.profiler = profiler
         self._sketch_cycles = self.cost_model.sketch_cycles(sketch)
         self._dispatch = self.cost_model.dispatch_cycles
 
@@ -184,6 +194,18 @@ class HostEngine:
         consumer = self.consumer
         index = self.offset
 
+        # Profiling hooks hoist to locals: the unprofiled loop pays one
+        # `is None` branch per packet; the profiled loop accumulates
+        # nanoseconds locally and credits stages once at the end.
+        profiler = self.profiler
+        clock = time.perf_counter_ns if profiler is not None else None
+        loop_start = clock() if clock is not None else 0
+        first_index = index
+        sketch_ns = 0
+        sketch_count = 0
+        fp_ns = 0
+        fp_count = 0
+
         while index < end:
             packet = packets[index]
             arrival = 0.0 if arrivals is None else arrivals[index]
@@ -201,7 +223,13 @@ class HostEngine:
             report.total_bytes += packet.size
 
             if ideal:
-                sketch.update(packet.flow, packet.size)
+                if clock is None:
+                    sketch.update(packet.flow, packet.size)
+                else:
+                    t0 = clock()
+                    sketch.update(packet.flow, packet.size)
+                    sketch_ns += clock() - t0
+                    sketch_count += 1
                 consumer = max(consumer, producer) + sketch_cycles
                 report.normal_packets += 1
                 report.normal_bytes += packet.size
@@ -220,12 +248,24 @@ class HostEngine:
                     # epoch, so apply the sketch update now; the
                     # *cycles* are charged to the consumer when the
                     # packet is drained.
-                    sketch.update(packet.flow, packet.size)
+                    if clock is None:
+                        sketch.update(packet.flow, packet.size)
+                    else:
+                        t0 = clock()
+                        sketch.update(packet.flow, packet.size)
+                        sketch_ns += clock() - t0
+                        sketch_count += 1
                     report.normal_packets += 1
                     report.normal_bytes += packet.size
                     report.normal_flows.add(packet.flow)
                 else:
-                    kind = fastpath.update(packet.flow, packet.size)
+                    if clock is None:
+                        kind = fastpath.update(packet.flow, packet.size)
+                    else:
+                        t0 = clock()
+                        kind = fastpath.update(packet.flow, packet.size)
+                        fp_ns += clock() - t0
+                        fp_count += 1
                     producer += fastpath_cycles(kind, fastpath.capacity)
                     report.fastpath_packets += 1
                     report.fastpath_bytes += packet.size
@@ -255,6 +295,19 @@ class HostEngine:
         self.producer = producer
         self.consumer = consumer
         self.offset = index
+        if profiler is not None and index > first_index:
+            total_ns = clock() - loop_start
+            if sketch_count:
+                profiler.add(
+                    "switch.sketch_update", sketch_ns, sketch_count
+                )
+            if fp_count:
+                profiler.add("fastpath.topk", fp_ns, fp_count)
+            profiler.add(
+                "switch.dispatch",
+                max(total_ns - sketch_ns - fp_ns, 0),
+                index - first_index,
+            )
         return self
 
     # ------------------------------------------------------------------

@@ -25,6 +25,7 @@ Three operating modes cover the paper's evaluation arms:
 
 from __future__ import annotations
 
+import time
 from itertools import repeat
 
 import numpy as np
@@ -98,6 +99,13 @@ class SoftwareSwitch:
         self.batch = batch
         self.telemetry = telemetry
         self.host_label = host_label
+        #: Optional :class:`~repro.telemetry.profiling.Profiler`; the
+        #: pipeline attaches one (serially, or per worker) so both
+        #: engines attribute their epoch wall time to named stages.
+        #: Independent of ``telemetry`` — per-host metrics publish
+        #: centrally from reports, but stage timers must run where the
+        #: cycles are spent.
+        self.profiler = None
         # Fast-path operation counters are lifetime totals; remember
         # what was already published so each epoch increments by delta.
         self._published_fastpath: dict[str, float] | None = None
@@ -202,6 +210,7 @@ class SoftwareSwitch:
             cost_model=self.cost_model,
             ideal=self.ideal,
             fifo=self.buffer,
+            profiler=self.profiler,
         )
         arrivals = self._arrival_cycles_array(trace, offered_gbps)
         engine.run(
@@ -229,8 +238,11 @@ class SoftwareSwitch:
         dispatch = self.cost_model.dispatch_cycles
         arrivals = self._arrival_cycles_array(trace, offered_gbps)
         n = len(trace)
+        profiler = self.profiler
+        clock = time.perf_counter_ns if profiler is not None else None
 
         if self.ideal:
+            loop_start = clock() if clock is not None else 0
             producer = 0.0
             consumer = 0.0
             if arrivals is None:
@@ -241,7 +253,16 @@ class SoftwareSwitch:
                 for arrival in arrivals.tolist():
                     producer = max(producer, arrival) + dispatch
                     consumer = max(consumer, producer) + sketch_cycles
-            self._apply_normal_batch(trace, None)
+            if profiler is not None:
+                profiler.add(
+                    "switch.dispatch", clock() - loop_start, n
+                )
+                with profiler.stage(
+                    "switch.sketch_update", packets=n
+                ):
+                    self._apply_normal_batch(trace, None)
+            else:
+                self._apply_normal_batch(trace, None)
             report.total_packets = n
             report.total_bytes = float(trace.sizes.sum())
             report.normal_packets = n
@@ -263,6 +284,9 @@ class SoftwareSwitch:
         arrival_iter = repeat(0.0, n) if arrivals is None else iter(
             arrivals.tolist()
         )
+        loop_start = clock() if clock is not None else 0
+        fp_ns = 0
+        fp_count = 0
 
         for index, (packet, arrival) in enumerate(
             zip(trace.packets, arrival_iter)
@@ -295,7 +319,13 @@ class SoftwareSwitch:
             else:
                 # The fast path is order-dependent (top-k kick-outs), so
                 # it stays inline in the accounting pass.
-                kind = self.fastpath.update(packet.flow, packet.size)
+                if clock is None:
+                    kind = self.fastpath.update(packet.flow, packet.size)
+                else:
+                    t0 = clock()
+                    kind = self.fastpath.update(packet.flow, packet.size)
+                    fp_ns += clock() - t0
+                    fp_count += 1
                 producer += self.cost_model.fastpath_cycles(
                     kind, self.fastpath.capacity
                 )
@@ -307,10 +337,28 @@ class SoftwareSwitch:
             _packet, enqueued = fifo.pop()
             consumer = max(consumer, enqueued) + sketch_cycles
 
-        if normal_indices:
-            self._apply_normal_batch(
-                trace, np.asarray(normal_indices, dtype=np.intp)
+        if profiler is not None:
+            loop_ns = clock() - loop_start
+            if fp_count:
+                profiler.add("fastpath.topk", fp_ns, fp_count)
+            profiler.add(
+                "switch.dispatch", max(loop_ns - fp_ns, 0), n
             )
+
+        if normal_indices:
+            if profiler is not None:
+                with profiler.stage(
+                    "switch.sketch_update",
+                    packets=len(normal_indices),
+                ):
+                    self._apply_normal_batch(
+                        trace,
+                        np.asarray(normal_indices, dtype=np.intp),
+                    )
+            else:
+                self._apply_normal_batch(
+                    trace, np.asarray(normal_indices, dtype=np.intp)
+                )
 
         report.buffer_high_water = fifo.high_water
         report.producer_cycles = float(producer)

@@ -36,7 +36,13 @@ from repro.faults import FaultInjector, FaultPlan, faults_from_env
 from repro.framework.modes import DataPlaneMode
 from repro.tasks.base import MeasurementTask, TaskScore
 from repro.tasks.heavy_changer import HeavyChangerTask
-from repro.telemetry import Telemetry, telemetry_from_env, trace_span
+from repro.telemetry import (
+    ProfileConfig,
+    Telemetry,
+    profile_from_env,
+    telemetry_from_env,
+    trace_span,
+)
 from repro.telemetry.accuracy import (
     AccuracyObserver,
     SLOBreach,
@@ -125,10 +131,29 @@ class PipelineConfig:
     #: breach; ``None`` records into the ring without auto-dumping.
     #: ``REPRO_RECORDER_PATH=<file>`` injects a path here.
     recorder_path: str | None = None
+    #: Cycle-level profiling: a :class:`ProfileConfig`, ``True`` for
+    #: the defaults, or ``None``/``False`` (off).  Implies telemetry.
+    #: Every trace_span site becomes a wall+CPU stage timer, the stack
+    #: sampler aggregates collapsed stacks per stage, and per-process
+    #: RSS high-water gauges publish each epoch — with per-worker
+    #: profiles merged centrally on the process-pool path.  Setting
+    #: ``REPRO_PROFILE=1`` in the environment injects a config here.
+    #: Profiling only observes: results stay bit-identical.
+    profile: ProfileConfig | bool | None = None
 
     def __post_init__(self) -> None:
         if self.telemetry is None:
             self.telemetry = telemetry_from_env()
+        if self.profile is None or self.profile is False:
+            env_profile = profile_from_env()
+            if env_profile is not None:
+                self.profile = env_profile
+        if self.profile:
+            if not isinstance(self.profile, ProfileConfig):
+                self.profile = ProfileConfig()
+            if self.telemetry is None:
+                self.telemetry = Telemetry()
+            self.telemetry.enable_profiling(self.profile)
         if self.faults is None:
             self.faults = faults_from_env()
         if self.checkpoint_dir is None:
@@ -151,9 +176,27 @@ class PipelineConfig:
             )
 
 
-def _run_host_epoch(host, shard, offered_gbps):
-    """Top-level worker so (host, shard) round-trip through pickle."""
-    return host.run_epoch(shard, offered_gbps)
+def _run_host_epoch(host, shard, offered_gbps, profile=None):
+    """Top-level worker so (host, shard) round-trip through pickle.
+
+    With a :class:`ProfileConfig`, the worker builds its own profiler
+    (profilers hold threads and locks, so they never pickle), runs the
+    shard under a ``dataplane.host`` stage, and ships the profile back
+    as ``(report, payload)`` for the parent to merge — per-pid stage
+    totals, folded stacks, RSS, and spans stamped with the worker's
+    pid/tid.
+    """
+    if profile is None:
+        return host.run_epoch(shard, offered_gbps)
+    telemetry = Telemetry()
+    profiler = telemetry.enable_profiling(profile)
+    host.switch.profiler = profiler
+    try:
+        with profiler.stage("dataplane.host", host=host.host_id):
+            report = host.run_epoch(shard, offered_gbps)
+    finally:
+        host.switch.profiler = None
+    return report, profiler.to_payload()
 
 
 @dataclass
@@ -360,7 +403,10 @@ class SketchVisorPipeline:
         cfg = self.config
         if cfg.workers < 1:
             raise ConfigError("workers must be >= 1")
-        shards = trace.partition(cfg.num_hosts)
+        with trace_span(
+            cfg.telemetry, "trace.partition", hosts=cfg.num_hosts
+        ):
+            shards = trace.partition(cfg.num_hosts)
         # Hosts are built *without* telemetry: per-host metrics are
         # published centrally from the returned reports, so serial and
         # process-pool runs (where host-side mutations would be lost in
@@ -403,9 +449,17 @@ class SketchVisorPipeline:
         hosts = [host for host, _shard in live]
         shards = [shard for _host, shard in live]
         workers = min(cfg.workers, len(hosts)) if hosts else 0
+        profiler = (
+            cfg.telemetry.profiler if cfg.telemetry is not None else None
+        )
         if workers <= 1:
             reports = []
             for host, shard in zip(hosts, shards):
+                # Stage timers run where the cycles are spent: the
+                # serial path shares the parent's profiler (metrics
+                # still publish centrally from the reports).
+                if profiler is not None:
+                    host.switch.profiler = profiler
                 with trace_span(
                     cfg.telemetry, "dataplane.host", host=host.host_id
                 ):
@@ -420,20 +474,41 @@ class SketchVisorPipeline:
             # surfaces as BrokenProcessPool on result(); the parent's
             # host copies were never mutated, so the failed shards
             # simply rerun serially here.
+            profile = cfg.profile if profiler is not None else None
             results: dict[int, LocalReport] = {}
+            payloads: dict[int, dict] = {}
             crashed: list[int] = []
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = [
                     pool.submit(
-                        _run_host_epoch, host, shard, cfg.offered_gbps
+                        _run_host_epoch,
+                        host,
+                        shard,
+                        cfg.offered_gbps,
+                        profile,
                     )
                     for host, shard in zip(hosts, shards)
                 ]
                 for index, future in enumerate(futures):
                     try:
-                        results[index] = future.result()
+                        outcome = future.result()
                     except BrokenProcessPool:
                         crashed.append(index)
+                        continue
+                    if profile is not None:
+                        results[index], payloads[index] = outcome
+                    else:
+                        results[index] = outcome
+            if profiler is not None and payloads:
+                # Merge worker profiles centrally (same parity bar as
+                # the counters): stage totals sum, folded stacks sum,
+                # RSS stays per pid, and worker spans land under the
+                # open ``dataplane`` span with their own pid/tid lanes.
+                parent_span = cfg.telemetry.tracer.current
+                for index in sorted(payloads):
+                    profiler.merge_payload(
+                        payloads[index], parent_span=parent_span
+                    )
             if crashed:
                 logger.warning(
                     "process pool broke; rerunning %d host shard(s) "
@@ -451,6 +526,8 @@ class SketchVisorPipeline:
                         hosts=[hosts[i].host_id for i in crashed],
                     )
                 for index in crashed:
+                    if profiler is not None:
+                        hosts[index].switch.profiler = profiler
                     with trace_span(
                         cfg.telemetry,
                         "dataplane.host.serial_retry",
@@ -505,10 +582,13 @@ class SketchVisorPipeline:
         with trace_span(
             cfg.telemetry, "controlplane.collect", epoch=epoch
         ):
-            frames = {
-                report.host_id: encode_report(report, epoch)
-                for report in reports
-            }
+            with trace_span(
+                cfg.telemetry, "serialize.report", reports=len(reports)
+            ):
+                frames = {
+                    report.host_id: encode_report(report, epoch)
+                    for report in reports
+                }
             collection = self._collector.collect(frames, epoch)
         if extra_missing:
             collection.missing_hosts.extend(

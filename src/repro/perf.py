@@ -1,0 +1,602 @@
+"""The ``repro perf`` observatory: bench trajectories → HTML dashboard.
+
+The benchmarks append one entry per run to committed trajectory files
+(``BENCH_dataplane.json``, ``BENCH_checkpoint.json``).  This module
+turns that history into a regression dashboard: per-metric sparklines
+across commits, the latest run's per-stage wall-time breakdown with
+deltas against the previous run, and gate-violation annotations
+(speedup floors, overhead ceilings) rendered with an icon + label —
+never colour alone.  Everything is server-side SVG in a
+self-contained HTML page; no external dependencies.
+
+Entries are schema-validated on load; runs without a ``git_sha``
+stamp are surfaced as warnings (provenance satellite) instead of
+silently charting as anonymous points.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.dash import _html_escape
+
+#: Fixed overhead ceilings mirrored from ``check_regression.py``.
+ACCURACY_OVERHEAD_CEILING_PCT = 5.0
+PROFILING_OVERHEAD_CEILING_PCT = 10.0
+CHECKPOINT_OVERHEAD_CEILING = 0.10
+#: Allowed fractional drop below the best prior non-smoke speedup.
+SPEEDUP_DROP_TOLERANCE = 0.15
+
+
+# ----------------------------------------------------------------------
+# Loading & validation
+# ----------------------------------------------------------------------
+@dataclass
+class Trajectory:
+    """One trajectory file: validated runs plus load diagnostics."""
+
+    name: str
+    path: Path
+    runs: list[dict] = field(default_factory=list)
+    problems: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+
+def validate_entry(entry, index: int) -> tuple[list[str], list[str]]:
+    """Schema-check one trajectory entry.
+
+    Returns ``(problems, warnings)``: problems make the entry
+    unusable; warnings (missing ``git_sha`` provenance, missing
+    timestamp) keep the entry but flag it.
+    """
+    problems: list[str] = []
+    warnings: list[str] = []
+    if not isinstance(entry, dict):
+        return [f"run[{index}] is not an object"], []
+    timestamp = entry.get("timestamp")
+    if not isinstance(timestamp, str) or not timestamp:
+        warnings.append(f"run[{index}] has no timestamp")
+    sha = entry.get("git_sha")
+    if not isinstance(sha, str) or not sha or sha == "unknown":
+        warnings.append(
+            f"run[{index}] is unstamped (no git_sha) — provenance "
+            "unknown"
+        )
+    if "smoke" in entry and not isinstance(entry["smoke"], bool):
+        problems.append(f"run[{index}].smoke is not a boolean")
+    return problems, warnings
+
+
+def load_trajectory(path: str | Path) -> Trajectory:
+    """Load + validate one ``BENCH_*.json`` trajectory file."""
+    path = Path(path)
+    trajectory = Trajectory(name=path.stem, path=path)
+    try:
+        loaded = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        trajectory.problems.append(f"cannot read {path}: {exc}")
+        return trajectory
+    runs = loaded.get("runs") if isinstance(loaded, dict) else None
+    if not isinstance(runs, list):
+        trajectory.problems.append(f"{path} has no 'runs' list")
+        return trajectory
+    for index, entry in enumerate(runs):
+        problems, warnings = validate_entry(entry, index)
+        trajectory.warnings.extend(warnings)
+        if problems:
+            trajectory.problems.extend(problems)
+        else:
+            trajectory.runs.append(entry)
+    return trajectory
+
+
+def discover_trajectories(root: str | Path) -> list[Trajectory]:
+    """Load every ``BENCH_*.json`` under ``root`` (sorted by name)."""
+    root = Path(root)
+    return [
+        load_trajectory(path)
+        for path in sorted(root.glob("BENCH_*.json"))
+    ]
+
+
+# ----------------------------------------------------------------------
+# Series extraction & gating
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SeriesSpec:
+    """One charted metric: where it lives and how it is gated."""
+
+    key: str
+    label: str
+    unit: str
+    path: tuple[str, ...]
+    #: "speedup" gates a drop below the best prior non-smoke value;
+    #: "ceiling" gates values above ``limit``; None is ungated.
+    gate: str | None = None
+    limit: float | None = None
+
+
+SERIES_BY_FILE: dict[str, tuple[SeriesSpec, ...]] = {
+    "BENCH_dataplane": (
+        SeriesSpec(
+            "ideal_speedup", "Ideal batch speedup", "x",
+            ("switch", "ideal", "speedup"), gate="speedup",
+        ),
+        SeriesSpec(
+            "sketchvisor_speedup", "SketchVisor batch speedup", "x",
+            ("switch", "sketchvisor", "speedup"), gate="speedup",
+        ),
+        SeriesSpec(
+            "parallel_speedup", "Multi-host parallel speedup", "x",
+            ("parallel", "speedup"), gate="speedup",
+        ),
+        SeriesSpec(
+            "accuracy_overhead", "Accuracy telemetry overhead", "%",
+            ("accuracy_overhead", "overhead_pct"),
+            gate="ceiling", limit=ACCURACY_OVERHEAD_CEILING_PCT,
+        ),
+        SeriesSpec(
+            "profiling_overhead", "Profiling overhead", "%",
+            ("profiling", "overhead_pct"),
+            gate="ceiling", limit=PROFILING_OVERHEAD_CEILING_PCT,
+        ),
+    ),
+    "BENCH_checkpoint": (
+        SeriesSpec(
+            "checkpoint_overhead", "Checkpoint overhead (default)",
+            "frac", ("default_overhead",),
+            gate="ceiling", limit=CHECKPOINT_OVERHEAD_CEILING,
+        ),
+    ),
+}
+
+
+@dataclass
+class Point:
+    """One run's value for one series."""
+
+    run_index: int
+    value: float
+    sha: str
+    smoke: bool
+    violation: str | None = None  # human-readable gate breach
+
+
+def extract(entry: dict, path: tuple[str, ...]) -> float | None:
+    node = entry
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+def series_points(runs: list[dict], spec: SeriesSpec) -> list[Point]:
+    """Extract + gate one series across a trajectory's runs."""
+    points: list[Point] = []
+    best_prior: float | None = None
+    for index, entry in enumerate(runs):
+        value = extract(entry, spec.path)
+        if value is None:
+            continue
+        sha = entry.get("git_sha") or "unstamped"
+        smoke = bool(entry.get("smoke"))
+        violation = None
+        if spec.gate == "ceiling" and spec.limit is not None:
+            if value > spec.limit and not smoke:
+                violation = (
+                    f"{value:.3g}{spec.unit} exceeds the "
+                    f"{spec.limit:.3g}{spec.unit} ceiling"
+                )
+        elif spec.gate == "speedup" and best_prior is not None:
+            floor = best_prior * (1.0 - SPEEDUP_DROP_TOLERANCE)
+            if value < floor and not smoke:
+                violation = (
+                    f"{value:.2f}x fell below the "
+                    f"{floor:.2f}x floor "
+                    f"({SPEEDUP_DROP_TOLERANCE:.0%} under the "
+                    f"prior best {best_prior:.2f}x)"
+                )
+        if spec.gate == "speedup" and not smoke:
+            best_prior = (
+                value if best_prior is None
+                else max(best_prior, value)
+            )
+        points.append(Point(index, value, sha, smoke, violation))
+    return points
+
+
+def stage_breakdown(
+    runs: list[dict],
+) -> tuple[dict[str, dict], dict[str, float]]:
+    """Latest run's per-stage wall seconds + delta vs previous run.
+
+    Bench entries carry a ``profiling.stages`` map
+    (``stage -> {"wall_seconds": …, "cpu_seconds": …, "count": …}``).
+    Returns ``(latest_stages, delta_pct_by_stage)``; both empty when
+    no run recorded a breakdown.
+    """
+    staged = [
+        entry["profiling"]["stages"]
+        for entry in runs
+        if isinstance(entry.get("profiling"), dict)
+        and isinstance(entry["profiling"].get("stages"), dict)
+    ]
+    if not staged:
+        return {}, {}
+    latest = staged[-1]
+    deltas: dict[str, float] = {}
+    if len(staged) > 1:
+        previous = staged[-2]
+        for name, row in latest.items():
+            prev = previous.get(name)
+            if (
+                isinstance(prev, dict)
+                and prev.get("wall_seconds")
+                and row.get("wall_seconds") is not None
+            ):
+                deltas[name] = (
+                    (row["wall_seconds"] - prev["wall_seconds"])
+                    / prev["wall_seconds"] * 100.0
+                )
+    return latest, deltas
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+_SPARK_W, _SPARK_H = 320, 96
+_SPARK_PAD = 14
+
+
+def _fmt(value: float) -> str:
+    return (
+        f"{value:.0f}" if float(value).is_integer()
+        else f"{value:.3g}"
+    )
+
+
+def sparkline_svg(points: list[Point], spec: SeriesSpec) -> str:
+    """One metric's history as an inline SVG sparkline.
+
+    Points carry native ``<title>`` tooltips (run, sha, value); gate
+    violations get the serious-status colour *plus* a warning glyph,
+    and smoke runs render as hollow markers.
+    """
+    if not points:
+        return (
+            '<svg class="spark" width="320" height="40" role="img" '
+            f'aria-label="{_html_escape(spec.label)}: no data">'
+            '<text class="axis-text" x="4" y="24">no data</text>'
+            "</svg>"
+        )
+    values = [p.value for p in points]
+    lo, hi = min(values), max(values)
+    if spec.gate == "ceiling" and spec.limit is not None:
+        hi = max(hi, spec.limit)
+        lo = min(lo, 0.0)
+    span = (hi - lo) or 1.0
+    inner_w = _SPARK_W - 2 * _SPARK_PAD
+    inner_h = _SPARK_H - 2 * _SPARK_PAD
+    n = len(points)
+
+    def x(i: int) -> float:
+        return _SPARK_PAD + (
+            inner_w / 2 if n == 1 else i / (n - 1) * inner_w
+        )
+
+    def y(v: float) -> float:
+        return _SPARK_PAD + inner_h - (v - lo) / span * inner_h
+
+    parts = [
+        f'<svg class="spark" width="{_SPARK_W}" '
+        f'height="{_SPARK_H}" role="img" '
+        f'aria-label="{_html_escape(spec.label)} per bench run">'
+    ]
+    if spec.gate == "ceiling" and spec.limit is not None:
+        gy = y(spec.limit)
+        parts.append(
+            f'<line class="gate-line" x1="{_SPARK_PAD}" '
+            f'x2="{_SPARK_W - _SPARK_PAD}" y1="{gy:.1f}" '
+            f'y2="{gy:.1f}"><title>gate ceiling '
+            f"{_fmt(spec.limit)}{spec.unit}</title></line>"
+        )
+    if len(points) > 1:
+        d = "".join(
+            f"{'M' if i == 0 else 'L'}{x(i):.1f} "
+            f"{y(p.value):.1f}"
+            for i, p in enumerate(points)
+        )
+        parts.append(f'<path class="spark-line" d="{d}"/>')
+    for i, p in enumerate(points):
+        cls = "spark-dot"
+        if p.violation:
+            cls += " viol"
+        if p.smoke:
+            cls += " smoke"
+        tooltip = (
+            f"run {p.run_index} · {p.sha}"
+            f"{' · smoke' if p.smoke else ''} · "
+            f"{_fmt(p.value)}{spec.unit}"
+            + (f" · GATE: {p.violation}" if p.violation else "")
+        )
+        parts.append(
+            f'<circle class="{cls}" cx="{x(i):.1f}" '
+            f'cy="{y(p.value):.1f}" r="4">'
+            f"<title>{_html_escape(tooltip)}</title></circle>"
+        )
+        if p.violation:
+            parts.append(
+                f'<text class="viol-glyph" x="{x(i):.1f}" '
+                f'y="{y(p.value) - 7:.1f}" '
+                'text-anchor="middle">&#9888;</text>'
+            )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+_PERF_TEMPLATE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>__TITLE__</title>
+<style>
+.viz-root {
+  color-scheme: light;
+  --surface-1: #fcfcfb;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --grid: #e4e3e0;
+  --series-1: #2a78d6;
+  --status-serious: #ec835a;
+  --status-warning: #fab219;
+  font: 14px/1.45 system-ui, sans-serif;
+  background: var(--surface-1);
+  color: var(--text-primary);
+  margin: 0;
+  padding: 24px;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) .viz-root {
+    color-scheme: dark;
+    --surface-1: #1a1a19;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --grid: #33332f;
+    --series-1: #3987e5;
+    --status-serious: #f09b7b;
+    --status-warning: #fbc14a;
+  }
+}
+h1 { font-size: 20px; margin: 0 0 4px; }
+.sub { color: var(--text-secondary); margin: 0 0 20px; }
+section { margin-top: 28px; }
+section h2 { font-size: 15px; margin-bottom: 8px; }
+.charts { display: flex; flex-wrap: wrap; gap: 24px; }
+.chart { width: 320px; }
+.chart h3 { font-size: 13px; font-weight: 600; margin: 0; }
+.chart .latest { color: var(--text-secondary); font-size: 12px;
+  margin: 0 0 4px; }
+svg { display: block; overflow: visible; }
+.spark-line { stroke: var(--series-1); stroke-width: 2; fill: none;
+  stroke-linejoin: round; stroke-linecap: round; }
+.spark-dot { fill: var(--series-1); stroke: var(--surface-1);
+  stroke-width: 2; }
+.spark-dot.smoke { fill: var(--surface-1);
+  stroke: var(--series-1); }
+.spark-dot.viol { fill: var(--status-serious); }
+.viol-glyph { fill: var(--status-serious); font-size: 11px; }
+.gate-line { stroke: var(--status-serious); stroke-width: 1;
+  stroke-dasharray: 4 3; }
+.axis-text { fill: var(--text-secondary); font-size: 10px; }
+table { border-collapse: collapse; font-size: 12px;
+  font-variant-numeric: tabular-nums; }
+th, td { text-align: right; padding: 3px 10px;
+  border-bottom: 1px solid var(--grid); }
+th { color: var(--text-secondary); font-weight: 600; }
+td:first-child, th:first-child { text-align: left; }
+.badge { font-weight: 600; }
+.badge.serious { color: var(--status-serious); }
+.badge.warning { color: var(--status-warning); }
+ul.notes { color: var(--text-secondary); font-size: 13px;
+  padding-left: 20px; }
+</style>
+</head>
+<body class="viz-root">
+<h1>__TITLE__</h1>
+<p class="sub">__SUBTITLE__</p>
+__BODY__
+</body>
+</html>
+"""
+
+
+def _chart_card(spec: SeriesSpec, points: list[Point]) -> str:
+    latest = (
+        f"latest: {_fmt(points[-1].value)}{spec.unit} "
+        f"@ {_html_escape(points[-1].sha)}"
+        if points else "no data"
+    )
+    return (
+        '<div class="chart">'
+        f"<h3>{_html_escape(spec.label)}"
+        f"{f' ({spec.unit})' if spec.unit else ''}</h3>"
+        f'<p class="latest">{latest}</p>'
+        f"{sparkline_svg(points, spec)}</div>"
+    )
+
+
+def _violations_section(
+    violations: list[tuple[str, SeriesSpec, Point]],
+) -> str:
+    if not violations:
+        return (
+            "<section><h2>Gate violations</h2>"
+            '<p class="sub">&#10003; none — every non-smoke run is '
+            "within its gates.</p></section>"
+        )
+    rows = "".join(
+        "<tr>"
+        f'<td><span class="badge serious">&#9888; GATE</span></td>'
+        f"<td>{_html_escape(name)}</td>"
+        f"<td>{_html_escape(spec.label)}</td>"
+        f"<td>run {point.run_index} @ {_html_escape(point.sha)}</td>"
+        f"<td>{_html_escape(point.violation or '')}</td></tr>"
+        for name, spec, point in violations
+    )
+    return (
+        "<section><h2>Gate violations</h2><table><thead><tr>"
+        '<th scope="col">Status</th><th scope="col">File</th>'
+        '<th scope="col">Metric</th><th scope="col">Run</th>'
+        '<th scope="col">Detail</th>'
+        f"</tr></thead><tbody>{rows}</tbody></table></section>"
+    )
+
+
+def _stages_section(
+    latest: dict[str, dict], deltas: dict[str, float]
+) -> str:
+    if not latest:
+        return ""
+    total = sum(
+        row.get("wall_seconds", 0.0) for row in latest.values()
+    ) or 1.0
+    ordered = sorted(
+        latest.items(),
+        key=lambda item: -item[1].get("wall_seconds", 0.0),
+    )
+    rows = []
+    for name, row in ordered:
+        wall = row.get("wall_seconds", 0.0)
+        delta = deltas.get(name)
+        delta_cell = (
+            "–" if delta is None else f"{delta:+.1f}%"
+        )
+        rows.append(
+            f"<tr><td>{_html_escape(name)}</td>"
+            f"<td>{wall:.4f}</td>"
+            f"<td>{wall / total * 100:.1f}%</td>"
+            f"<td>{row.get('cpu_seconds', 0.0):.4f}</td>"
+            f"<td>{row.get('count', 0)}</td>"
+            f"<td>{delta_cell}</td></tr>"
+        )
+    return (
+        "<section><h2>Per-stage breakdown (latest bench run)</h2>"
+        '<table><thead><tr><th scope="col">Stage</th>'
+        '<th scope="col">Wall s</th><th scope="col">Share</th>'
+        '<th scope="col">CPU s</th><th scope="col">Calls</th>'
+        '<th scope="col">&Delta; wall vs prev run</th>'
+        f"</tr></thead><tbody>{''.join(rows)}</tbody>"
+        "</table></section>"
+    )
+
+
+def _notes_section(trajectories: list[Trajectory]) -> str:
+    notes = []
+    for trajectory in trajectories:
+        for problem in trajectory.problems:
+            notes.append(
+                f'<li><span class="badge serious">&#9888; '
+                f"schema</span> {_html_escape(trajectory.name)}: "
+                f"{_html_escape(problem)}</li>"
+            )
+        for warning in trajectory.warnings:
+            notes.append(
+                f'<li><span class="badge warning">&#9888; '
+                f"provenance</span> "
+                f"{_html_escape(trajectory.name)}: "
+                f"{_html_escape(warning)}</li>"
+            )
+    if not notes:
+        return ""
+    return (
+        "<section><h2>Load diagnostics</h2>"
+        f'<ul class="notes">{"".join(notes)}</ul></section>'
+    )
+
+
+def perf_dashboard_html(
+    trajectories: list[Trajectory],
+    title: str = "SketchVisor performance trajectory",
+) -> str:
+    """Render the committed bench history as a regression dashboard."""
+    cards: list[str] = []
+    violations: list[tuple[str, SeriesSpec, Point]] = []
+    stage_latest: dict[str, dict] = {}
+    stage_deltas: dict[str, float] = {}
+    total_runs = 0
+    for trajectory in trajectories:
+        total_runs += len(trajectory.runs)
+        for spec in SERIES_BY_FILE.get(trajectory.name, ()):
+            points = series_points(trajectory.runs, spec)
+            cards.append(_chart_card(spec, points))
+            violations.extend(
+                (trajectory.name, spec, p)
+                for p in points if p.violation
+            )
+        if trajectory.name == "BENCH_dataplane":
+            stage_latest, stage_deltas = stage_breakdown(
+                trajectory.runs
+            )
+    body = (
+        "<section><h2>Metric trajectories</h2>"
+        f'<div class="charts">{"".join(cards)}</div></section>'
+        + _violations_section(violations)
+        + _stages_section(stage_latest, stage_deltas)
+        + _notes_section(trajectories)
+    )
+    subtitle = (
+        f"{len(trajectories)} trajectory file(s), "
+        f"{total_runs} committed run(s); hollow markers are smoke "
+        "runs, &#9888; marks gate violations."
+    )
+    return (
+        _PERF_TEMPLATE.replace("__TITLE__", _html_escape(title))
+        .replace("__SUBTITLE__", subtitle)
+        .replace("__BODY__", body)
+    )
+
+
+def write_perf_dashboard(
+    path: str | Path,
+    trajectories: list[Trajectory],
+    title: str = "SketchVisor performance trajectory",
+) -> Path:
+    destination = Path(path)
+    destination.write_text(
+        perf_dashboard_html(trajectories, title=title)
+    )
+    return destination
+
+
+def perf_text_summary(trajectories: list[Trajectory]) -> str:
+    """Terminal rendering of the same dashboard (``repro perf``)."""
+    lines: list[str] = []
+    for trajectory in trajectories:
+        lines.append(
+            f"{trajectory.name} ({len(trajectory.runs)} runs)"
+        )
+        for spec in SERIES_BY_FILE.get(trajectory.name, ()):
+            points = series_points(trajectory.runs, spec)
+            if not points:
+                lines.append(f"  {spec.label}: no data")
+                continue
+            last = points[-1]
+            trail = " ".join(
+                _fmt(p.value) for p in points[-6:]
+            )
+            flag = "  [GATE VIOLATION]" if last.violation else ""
+            lines.append(
+                f"  {spec.label}: {trail} {spec.unit}"
+                f" (latest @ {last.sha}){flag}"
+            )
+        for warning in trajectory.warnings:
+            lines.append(f"  warning: {warning}")
+        for problem in trajectory.problems:
+            lines.append(f"  problem: {problem}")
+    if not trajectories:
+        lines.append("no BENCH_*.json trajectory files found")
+    return "\n".join(lines)

@@ -55,6 +55,11 @@ from repro.telemetry.registry import (
     HistogramFamily,
     MetricsRegistry,
 )
+from repro.telemetry.profiling import (
+    ProfileConfig,
+    Profiler,
+    profile_from_env,
+)
 from repro.telemetry.recorder import FlightRecorder, RecorderEvent
 from repro.telemetry.tracer import Span, Tracer
 
@@ -67,11 +72,14 @@ __all__ = [
     "Histogram",
     "HistogramFamily",
     "MetricsRegistry",
+    "ProfileConfig",
+    "Profiler",
     "RecorderEvent",
     "Span",
     "Telemetry",
     "Tracer",
     "json_snapshot",
+    "profile_from_env",
     "prometheus_text",
     "telemetry_from_env",
     "trace_span",
@@ -90,13 +98,34 @@ class Telemetry:
     and tracer.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self, profile: ProfileConfig | bool | None = None
+    ) -> None:
         self.registry = MetricsRegistry()
         self.tracer = Tracer()
         self.recorder = FlightRecorder()
+        #: Cycle-level profiler; ``None`` keeps every trace_span site a
+        #: plain tracer span with zero extra cost.
+        self.profiler: Profiler | None = None
+        if profile:
+            self.enable_profiling(
+                profile if isinstance(profile, ProfileConfig) else None
+            )
+
+    def enable_profiling(
+        self, config: ProfileConfig | None = None
+    ) -> Profiler:
+        """Attach a :class:`Profiler`: every span site becomes a
+        wall+CPU stage timer and the stack sampler arms itself for the
+        next stage window."""
+        if self.profiler is None:
+            self.profiler = Profiler(self, config)
+        return self.profiler
 
     def span(self, name: str, **attrs):
         """Context manager timing one pipeline stage."""
+        if self.profiler is not None:
+            return self.profiler.stage(name, **attrs)
         return self.tracer.span(name, **attrs)
 
     # -- export conveniences -------------------------------------------
@@ -113,6 +142,9 @@ class Telemetry:
         self.registry.reset()
         self.tracer.reset()
         self.recorder.clear()
+        if self.profiler is not None:
+            self.profiler.close()
+            self.profiler = Profiler(self, self.profiler.config)
 
 
 def trace_span(telemetry: Telemetry | None, name: str, **attrs):
@@ -120,10 +152,14 @@ def trace_span(telemetry: Telemetry | None, name: str, **attrs):
 
     The instrumented modules all call this, so running without
     telemetry costs one ``is None`` check per *stage* (never per
-    packet).
+    packet).  With a profiler attached the same call sites become
+    wall+CPU stage timers — existing instrumentation upgrades with no
+    call-site changes.
     """
     if telemetry is None:
         return nullcontext()
+    if telemetry.profiler is not None:
+        return telemetry.profiler.stage(name, **attrs)
     return telemetry.tracer.span(name, **attrs)
 
 
@@ -131,9 +167,12 @@ def telemetry_from_env() -> Telemetry | None:
     """A fresh :class:`Telemetry` when ``REPRO_TELEMETRY`` is set.
 
     Recognizes any non-empty value except ``0``; returns ``None``
-    otherwise, keeping telemetry strictly opt-in.
+    otherwise, keeping telemetry strictly opt-in.  ``REPRO_PROFILE=1``
+    implies telemetry and attaches a profiler built from the
+    ``REPRO_PROFILE_*`` knobs.
     """
+    profile = profile_from_env()
     flag = os.environ.get("REPRO_TELEMETRY", "")
-    if flag and flag != "0":
-        return Telemetry()
+    if (flag and flag != "0") or profile is not None:
+        return Telemetry(profile=profile)
     return None

@@ -309,6 +309,39 @@ def publish_recovery_residual(
     ).set(residual)
 
 
+def publish_profile_epoch(
+    registry: MetricsRegistry,
+    stage_deltas: dict[str, tuple[float, float]],
+    rss: dict[str, int],
+) -> None:
+    """Publish one profiled epoch's stage timings and memory marks.
+
+    ``stage_deltas`` maps stage name to ``(wall_seconds,
+    cpu_seconds)`` for the window just closed (the profiler computes
+    per-epoch deltas from its cumulative totals); ``rss`` maps
+    contributing pid to its resident-set high-water in bytes.
+    """
+    wall = registry.histogram(
+        "sketchvisor_stage_wall_seconds",
+        "Wall time attributed to one pipeline stage per epoch",
+        buckets=EPOCH_SECONDS_BUCKETS,
+    )
+    cpu = registry.histogram(
+        "sketchvisor_stage_cpu_seconds",
+        "CPU time attributed to one pipeline stage per epoch",
+        buckets=EPOCH_SECONDS_BUCKETS,
+    )
+    for stage, (wall_s, cpu_s) in stage_deltas.items():
+        wall.observe(wall_s, stage=stage)
+        cpu.observe(cpu_s, stage=stage)
+    gauge = registry.gauge(
+        "sketchvisor_process_rss_bytes",
+        "Resident-set high-water of each contributing process",
+    )
+    for pid, high_water in rss.items():
+        gauge.set_max(high_water, pid=pid)
+
+
 def publish_monitor_epoch(
     registry: MetricsRegistry, summary, seconds: float
 ) -> None:

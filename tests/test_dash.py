@@ -1,0 +1,186 @@
+"""``repro.dash`` rendering: HTML report, live frames, flamegraphs."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro import PipelineConfig, SketchVisorPipeline
+from repro.dash import (
+    EPOCH_FIELDS,
+    epoch_row,
+    flamegraph_html,
+    flamegraph_svg,
+    html_report,
+    paint_live_frame,
+    write_flamegraph,
+    write_html_report,
+)
+from repro.framework.modes import DataPlaneMode
+from repro.tasks.heavy_hitter import HeavyHitterTask
+from repro.telemetry import Telemetry
+from repro.traffic.generator import TraceConfig, generate_trace
+from repro.traffic.groundtruth import GroundTruth
+
+
+@pytest.fixture(scope="module")
+def result():
+    trace = generate_trace(TraceConfig(num_flows=600, seed=11))
+    truth = GroundTruth.from_trace(trace)
+    pipeline = SketchVisorPipeline(
+        HeavyHitterTask("univmon", threshold=0.001),
+        dataplane=DataPlaneMode.SKETCHVISOR,
+        config=PipelineConfig(num_hosts=2, seed=3, batch=True),
+    )
+    return pipeline.run_epoch(trace, truth)
+
+
+@pytest.fixture(scope="module")
+def rows(result):
+    return [epoch_row(result)]
+
+
+# ----------------------------------------------------------------------
+# Epoch rows + live frame
+# ----------------------------------------------------------------------
+class TestEpochRows:
+    def test_epoch_row_covers_display_fields(self, rows):
+        for key, _label, _unit in EPOCH_FIELDS:
+            assert key in rows[0]
+        assert rows[0]["throughput_gbps"] > 0
+
+    def test_paint_live_frame_plain(self, rows):
+        stream = io.StringIO()
+        paint_live_frame(rows, None, stream=stream, repaint=False)
+        output = stream.getvalue()
+        assert "throughput_gbps" in output
+        assert "\x1b[" not in output  # no cursor control when plain
+
+
+# ----------------------------------------------------------------------
+# HTML report
+# ----------------------------------------------------------------------
+class TestHtmlReport:
+    def test_report_well_formed(self, rows):
+        html = html_report(
+            rows, None, title="T<itle>", subtitle="a & b"
+        )
+        assert html.startswith("<!DOCTYPE html>")
+        assert html.rstrip().endswith("</html>")
+        # Title/subtitle are escaped, raw JSON payload is defanged.
+        assert "T&lt;itle&gt;" in html
+        assert "a &amp; b" in html
+        assert "</script>" in html  # the real closing tag survives
+        assert '"rows"' in html
+
+    def test_report_empty_metrics(self):
+        html = html_report([], None, title="empty")
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<tbody></tbody>" in html
+
+    def test_report_single_epoch(self, rows):
+        html = html_report(rows, None)
+        assert html.count("<tr><td>0</td>") == 1
+
+    def test_report_includes_registry_summary(self, rows):
+        telemetry = Telemetry()
+        telemetry.registry.counter(
+            "sketchvisor_test_total", "help text"
+        ).inc(3)
+        html = html_report(rows, telemetry.registry)
+        assert "sketchvisor_test_total" in html
+
+    def test_write_html_report(self, tmp_path, rows):
+        destination = write_html_report(
+            tmp_path / "report.html", rows
+        )
+        assert destination.exists()
+        assert destination.read_text().startswith("<!DOCTYPE html>")
+
+    def test_none_values_render_as_dashes(self):
+        row = {key: None for key, _l, _u in EPOCH_FIELDS}
+        row["throughput_gbps"] = 1.5
+        html = html_report([row], None)
+        assert html.startswith("<!DOCTYPE html>")
+
+
+# ----------------------------------------------------------------------
+# Flamegraph
+# ----------------------------------------------------------------------
+FOLDED = {
+    "epoch;dataplane;switch.sketch_update": 40,
+    "epoch;dataplane;fastpath.topk": 55,
+    "epoch;controlplane.merge": 5,
+}
+
+
+class TestFlamegraph:
+    def test_svg_structure_and_tooltips(self):
+        svg = flamegraph_svg(FOLDED)
+        assert svg.startswith("<svg") and svg.endswith("</svg>")
+        assert "<style>" in svg  # self-contained, dark-mode aware
+        assert "prefers-color-scheme: dark" in svg
+        # Native hover tooltips carry name, samples, share.
+        assert svg.count("<title>") >= 4
+        assert "fastpath.topk" in svg and "55" in svg
+
+    def test_widths_proportional_to_samples(self):
+        svg = flamegraph_svg(
+            {"root;a": 75, "root;b": 25}, width=1000
+        )
+        # 'root' spans the full width; a and b split it 3:1.
+        assert 'width="1000.00"' in svg
+        assert 'width="750.00"' in svg
+        assert 'width="250.00"' in svg
+
+    def test_children_sorted_widest_first(self):
+        svg = flamegraph_svg({"root;tiny": 1, "root;huge": 99})
+        assert svg.index("huge") < svg.index("tiny")
+
+    def test_empty_folded_renders_notice(self):
+        svg = flamegraph_svg({})
+        assert svg.startswith("<svg")
+        assert "No profile samples" in svg
+
+    def test_frame_names_escaped(self):
+        svg = flamegraph_svg({"<stage>;a": 10})
+        assert "<stage>" not in svg
+        assert "&lt;stage&gt;" in svg
+
+    def test_html_wrapper_and_stage_table(self):
+        html = flamegraph_html(
+            FOLDED,
+            title="Flame",
+            subtitle="sub",
+            stage_table={
+                "epoch": {
+                    "wall_seconds": 1.25,
+                    "cpu_seconds": 1.0,
+                    "count": 3,
+                }
+            },
+        )
+        assert html.startswith("<!DOCTYPE html>")
+        assert "Stage totals" in html
+        assert "1.2500" in html
+
+    def test_write_flamegraph_by_suffix(self, tmp_path):
+        svg_path = write_flamegraph(tmp_path / "f.svg", FOLDED)
+        html_path = write_flamegraph(tmp_path / "f.html", FOLDED)
+        assert svg_path.read_text().startswith("<svg")
+        assert html_path.read_text().startswith("<!DOCTYPE html>")
+
+    def test_profiler_folded_round_trip(self):
+        """A real profiler's folded stacks render without error."""
+        from repro.telemetry import ProfileConfig
+
+        telemetry = Telemetry(
+            profile=ProfileConfig(sample_hz=400.0)
+        )
+        with telemetry.profiler.stage("busy"):
+            total = 0
+            for _ in range(100):
+                total += sum(range(10_000))
+        svg = flamegraph_svg(telemetry.profiler.folded)
+        assert svg.startswith("<svg")

@@ -1,0 +1,328 @@
+"""``repro.perf``: trajectory loading, gating, and the dashboard."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.perf import (
+    SERIES_BY_FILE,
+    SeriesSpec,
+    discover_trajectories,
+    load_trajectory,
+    perf_dashboard_html,
+    perf_text_summary,
+    series_points,
+    stage_breakdown,
+    validate_entry,
+    write_perf_dashboard,
+)
+
+
+def _dataplane_entry(
+    sha="abc1234", smoke=False, ideal=10.0, accuracy=2.0, **extra
+):
+    entry = {
+        "timestamp": "2026-08-06T00:00:00+00:00",
+        "git_sha": sha,
+        "smoke": smoke,
+        "switch": {
+            "ideal": {"speedup": ideal},
+            "sketchvisor": {"speedup": 2.5},
+        },
+        "accuracy_overhead": {"overhead_pct": accuracy},
+    }
+    entry.update(extra)
+    return entry
+
+
+def _write_trajectory(path, runs):
+    path.write_text(json.dumps({"runs": runs}))
+    return path
+
+
+# ----------------------------------------------------------------------
+# Loading + schema validation
+# ----------------------------------------------------------------------
+class TestLoading:
+    def test_validate_entry_flags_unstamped(self):
+        problems, warnings = validate_entry(
+            {"timestamp": "t"}, index=2
+        )
+        assert not problems
+        assert any("unstamped" in w for w in warnings)
+        # "unknown" (the bench fallback) also counts as unstamped.
+        _p, warnings = validate_entry(
+            {"timestamp": "t", "git_sha": "unknown"}, 0
+        )
+        assert any("unstamped" in w for w in warnings)
+
+    def test_validate_entry_rejects_non_object(self):
+        problems, _w = validate_entry("not-a-dict", 0)
+        assert problems
+
+    def test_validate_entry_clean(self):
+        problems, warnings = validate_entry(_dataplane_entry(), 0)
+        assert not problems and not warnings
+
+    def test_load_trajectory_malformed_json(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text("{nope")
+        trajectory = load_trajectory(path)
+        assert trajectory.problems
+        assert trajectory.runs == []
+
+    def test_load_trajectory_missing_runs_list(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text('{"not_runs": []}')
+        assert load_trajectory(path).problems
+
+    def test_load_keeps_good_entries_drops_bad(self, tmp_path):
+        path = _write_trajectory(
+            tmp_path / "BENCH_mixed.json",
+            [_dataplane_entry(), "garbage", _dataplane_entry()],
+        )
+        trajectory = load_trajectory(path)
+        assert len(trajectory.runs) == 2
+        assert trajectory.problems
+
+    def test_discover_finds_bench_files(self, tmp_path):
+        _write_trajectory(
+            tmp_path / "BENCH_dataplane.json", [_dataplane_entry()]
+        )
+        _write_trajectory(tmp_path / "BENCH_checkpoint.json", [])
+        (tmp_path / "other.json").write_text("{}")
+        names = [
+            t.name for t in discover_trajectories(tmp_path)
+        ]
+        assert names == ["BENCH_checkpoint", "BENCH_dataplane"]
+
+
+# ----------------------------------------------------------------------
+# Gating
+# ----------------------------------------------------------------------
+class TestGating:
+    def test_ceiling_gate_flags_overhead(self):
+        runs = [
+            _dataplane_entry(accuracy=2.0),
+            _dataplane_entry(accuracy=7.5),
+        ]
+        spec = next(
+            s
+            for s in SERIES_BY_FILE["BENCH_dataplane"]
+            if s.key == "accuracy_overhead"
+        )
+        points = series_points(runs, spec)
+        assert points[0].violation is None
+        assert points[1].violation is not None
+        assert "ceiling" in points[1].violation
+
+    def test_smoke_runs_exempt_from_gates(self):
+        runs = [_dataplane_entry(accuracy=50.0, smoke=True)]
+        spec = next(
+            s
+            for s in SERIES_BY_FILE["BENCH_dataplane"]
+            if s.key == "accuracy_overhead"
+        )
+        assert series_points(runs, spec)[0].violation is None
+
+    def test_speedup_floor_gate(self):
+        runs = [
+            _dataplane_entry(ideal=10.0),
+            _dataplane_entry(ideal=11.0),
+            _dataplane_entry(ideal=5.0),  # > 15% below best=11
+        ]
+        spec = next(
+            s
+            for s in SERIES_BY_FILE["BENCH_dataplane"]
+            if s.key == "ideal_speedup"
+        )
+        points = series_points(runs, spec)
+        assert [p.violation is None for p in points] == [
+            True,
+            True,
+            False,
+        ]
+
+    def test_profiling_overhead_series_exists(self):
+        spec = next(
+            s
+            for s in SERIES_BY_FILE["BENCH_dataplane"]
+            if s.key == "profiling_overhead"
+        )
+        assert spec.limit == 10.0
+        runs = [
+            _dataplane_entry(
+                profiling={"overhead_pct": 12.0}
+            )
+        ]
+        assert series_points(runs, spec)[0].violation is not None
+
+    def test_checkpoint_overhead_series(self):
+        (spec,) = SERIES_BY_FILE["BENCH_checkpoint"]
+        runs = [
+            {"git_sha": "a", "default_overhead": 0.04},
+            {"git_sha": "b", "default_overhead": 0.2},
+        ]
+        points = series_points(runs, spec)
+        assert points[0].violation is None
+        assert points[1].violation is not None
+
+
+# ----------------------------------------------------------------------
+# Stage breakdown
+# ----------------------------------------------------------------------
+class TestStageBreakdown:
+    def test_latest_and_deltas(self):
+        runs = [
+            _dataplane_entry(
+                profiling={
+                    "stages": {
+                        "dataplane": {
+                            "wall_seconds": 1.0,
+                            "cpu_seconds": 1.0,
+                            "count": 1,
+                        }
+                    }
+                }
+            ),
+            _dataplane_entry(
+                profiling={
+                    "stages": {
+                        "dataplane": {
+                            "wall_seconds": 1.5,
+                            "cpu_seconds": 1.4,
+                            "count": 1,
+                        }
+                    }
+                }
+            ),
+        ]
+        latest, deltas = stage_breakdown(runs)
+        assert latest["dataplane"]["wall_seconds"] == 1.5
+        assert deltas["dataplane"] == pytest.approx(50.0)
+
+    def test_no_profiled_runs(self):
+        latest, deltas = stage_breakdown([_dataplane_entry()])
+        assert latest == {} and deltas == {}
+
+
+# ----------------------------------------------------------------------
+# Dashboard rendering
+# ----------------------------------------------------------------------
+class TestDashboard:
+    def test_dashboard_html_well_formed(self, tmp_path):
+        _write_trajectory(
+            tmp_path / "BENCH_dataplane.json",
+            [_dataplane_entry(), _dataplane_entry(ideal=11.0)],
+        )
+        trajectories = discover_trajectories(tmp_path)
+        html = perf_dashboard_html(trajectories)
+        assert html.startswith("<!DOCTYPE html>")
+        assert "Metric trajectories" in html
+        assert "Ideal batch speedup" in html
+        assert "<title>" in html  # sparkline point tooltips
+
+    def test_violations_render_with_icon_and_label(self, tmp_path):
+        _write_trajectory(
+            tmp_path / "BENCH_dataplane.json",
+            [_dataplane_entry(accuracy=9.0)],
+        )
+        html = perf_dashboard_html(discover_trajectories(tmp_path))
+        # Status is never colour-alone: the glyph + GATE label appear.
+        assert "&#9888; GATE" in html or "⚠" in html
+        assert "ceiling" in html
+
+    def test_unstamped_warning_surfaces(self, tmp_path):
+        _write_trajectory(
+            tmp_path / "BENCH_dataplane.json",
+            [_dataplane_entry(sha=None)],
+        )
+        trajectories = discover_trajectories(tmp_path)
+        html = perf_dashboard_html(trajectories)
+        assert "provenance" in html
+        assert "unstamped" in perf_text_summary(trajectories)
+
+    def test_empty_root(self, tmp_path):
+        assert (
+            "no BENCH_"
+            in perf_text_summary(discover_trajectories(tmp_path))
+        )
+
+    def test_write_perf_dashboard(self, tmp_path):
+        _write_trajectory(
+            tmp_path / "BENCH_dataplane.json", [_dataplane_entry()]
+        )
+        destination = write_perf_dashboard(
+            tmp_path / "perf.html",
+            discover_trajectories(tmp_path),
+        )
+        assert destination.read_text().startswith("<!DOCTYPE html>")
+
+    def test_committed_trajectories_render(self):
+        """The repo's own BENCH_*.json files load and chart."""
+        trajectories = discover_trajectories(".")
+        assert any(
+            t.name == "BENCH_dataplane" for t in trajectories
+        )
+        html = perf_dashboard_html(trajectories)
+        assert "SketchVisor batch speedup" in html
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_repro_perf_prints_and_writes(self, tmp_path, capsys):
+        _write_trajectory(
+            tmp_path / "BENCH_dataplane.json", [_dataplane_entry()]
+        )
+        out = tmp_path / "perf.html"
+        code = cli_main(
+            ["perf", "--root", str(tmp_path), "--html", str(out)]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "Ideal batch speedup" in captured
+        assert out.exists()
+
+    def test_repro_perf_strict_fails_on_violation(
+        self, tmp_path, capsys
+    ):
+        _write_trajectory(
+            tmp_path / "BENCH_dataplane.json",
+            [_dataplane_entry(accuracy=9.0)],
+        )
+        code = cli_main(["perf", "--root", str(tmp_path), "--strict"])
+        assert code == 1
+        assert "STRICT" in capsys.readouterr().out
+
+    def test_repro_run_profile_artifacts(self, tmp_path, capsys):
+        flame = tmp_path / "flame.html"
+        folded = tmp_path / "stacks.folded"
+        code = cli_main(
+            [
+                "run",
+                "--task",
+                "heavy_hitter",
+                "--solution",
+                "univmon",
+                "--flows",
+                "400",
+                "--profile",
+                "--profile-hz",
+                "200",
+                "--flame-out",
+                str(flame),
+                "--folded-out",
+                str(folded),
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "stage profile" in captured
+        assert "epoch attribution" in captured
+        assert flame.read_text().startswith("<!DOCTYPE html>")
+        assert folded.exists()

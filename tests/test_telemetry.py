@@ -425,9 +425,12 @@ class TestSwitchIntegration:
 class TestPipelineIntegration:
     def test_default_config_has_no_telemetry(self, monkeypatch):
         monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+        # REPRO_PROFILE implies telemetry, so it must be cleared too.
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
         assert PipelineConfig().telemetry is None
 
     def test_env_var_injects_telemetry(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
         monkeypatch.setenv("REPRO_TELEMETRY", "1")
         assert isinstance(PipelineConfig().telemetry, Telemetry)
         assert isinstance(telemetry_from_env(), Telemetry)
