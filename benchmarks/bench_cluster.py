@@ -1,0 +1,262 @@
+#!/usr/bin/env python
+"""Cluster-scale harness: flat vs hierarchical controller memory.
+
+Drives the real-socket control plane (``repro.cluster``) at growing
+host counts and records, per mode, the epoch wall-clock and the peak
+heap the collect+merge path allocates (tracemalloc).  The point being
+gated: the **flat** controller keeps all N decoded reports resident
+until the root merge (peak grows ~linearly with hosts), while the
+**hierarchical** aggregator tier folds reports pairwise on arrival, so
+its peak tracks the aggregator count (~sqrt(N)) — a 500-host epoch
+completes in bounded memory.
+
+Acceptance gates (full run; smoke records but does not gate):
+
+- ``rss_ratio`` — hierarchical peak / flat peak at the largest host
+  count — must stay **<= 0.8**;
+- ``rss_growth_exponent`` — the log-log slope of hierarchical peak vs
+  host count — must stay **<= 0.75** (sublinear; flat sits near 1.0).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py           # full run
+    PYTHONPATH=src python benchmarks/bench_cluster.py --smoke   # CI quick pass
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import platform
+import subprocess
+import sys
+import time
+import tracemalloc
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.cluster import ClusterCollector, ClusterConfig  # noqa: E402
+from repro.controlplane.controller import Controller  # noqa: E402
+from repro.controlplane.recovery import RecoveryMode  # noqa: E402
+from repro.dataplane.engine import HostEngine  # noqa: E402
+from repro.dataplane.host import Host, LocalReport  # noqa: E402
+from repro.sketches.countmin import CountMinSketch  # noqa: E402
+from repro.traffic.generator import (  # noqa: E402
+    TraceConfig,
+    generate_trace,
+)
+
+RSS_RATIO_CEILING = 0.8
+RSS_EXPONENT_CEILING = 0.75
+
+
+def build_reports(num_hosts: int, flows: int) -> list[LocalReport]:
+    """Synthetic per-host epoch reports.
+
+    One real data-plane epoch supplies the template; the remaining
+    hosts clone its sketch so report *size* (what the memory gate
+    measures) is realistic while setup stays O(1) in host count.
+    """
+    trace = generate_trace(TraceConfig(num_flows=flows, seed=9))
+    template = Host(
+        0,
+        CountMinSketch(width=2048, depth=4, seed=2),
+        fastpath_bytes=4096,
+    ).run_epoch(trace)
+    reports = [template]
+    for host_id in range(1, num_hosts):
+        clone = template.sketch.clone_empty()
+        clone.merge(template.sketch)
+        reports.append(
+            LocalReport(
+                host_id=host_id,
+                sketch=clone,
+                fastpath=template.fastpath,
+                switch=template.switch,
+            )
+        )
+    return reports
+
+
+def run_mode(
+    reports: list[LocalReport], hierarchical: bool
+) -> dict:
+    """One epoch over sockets + root merge; returns time and peak."""
+    collector = ClusterCollector(
+        ClusterConfig(
+            hierarchical=hierarchical,
+            epoch_deadline=120.0,
+            max_inflight=64,
+        )
+    )
+    controller = Controller(RecoveryMode.SKETCHVISOR)
+    tracemalloc.start()
+    started = time.perf_counter()
+    collection = collector.collect(reports, epoch=0)
+    network = controller.aggregate(
+        collection.reports,
+        expected_hosts=len(reports),
+        epoch=0,
+        reported_hosts=collection.hosts_reported,
+    )
+    elapsed = time.perf_counter() - started
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert network.num_hosts == len(reports)
+    assert collection.missing_hosts == []
+    return {
+        "seconds": elapsed,
+        "peak_bytes": peak,
+        "aggregators": collector.last_aggregators,
+        "peak_resident": collector.last_peak_resident,
+    }
+
+
+def growth_exponent(host_counts, peaks) -> float:
+    """Least-squares slope of log(peak) vs log(hosts)."""
+    xs = [math.log(n) for n in host_counts]
+    ys = [math.log(max(1, p)) for p in peaks]
+    mean_x = sum(xs) / len(xs)
+    mean_y = sum(ys) / len(ys)
+    num = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    den = sum((x - mean_x) ** 2 for x in xs)
+    return num / den if den else 0.0
+
+
+def git_sha() -> str:
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+        return sha or "unknown"
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def append_trajectory(path: Path, entry: dict) -> None:
+    trajectory = {"runs": []}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+            if isinstance(loaded, dict) and isinstance(
+                loaded.get("runs"), list
+            ):
+                trajectory = loaded
+        except json.JSONDecodeError:
+            pass
+    trajectory["runs"].append(entry)
+    path.write_text(json.dumps(trajectory, indent=2) + "\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--hosts",
+        type=int,
+        nargs="+",
+        default=[64, 128, 256, 500],
+        help="host counts to sweep (ascending)",
+    )
+    parser.add_argument("--flows", type=int, default=800)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sweep, no gating (CI quick pass)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_cluster.json",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.hosts = [16, 32]
+        args.flows = 300
+    host_counts = sorted(args.hosts)
+
+    sweep: dict[str, dict] = {"flat": {}, "hier": {}}
+    for num_hosts in host_counts:
+        reports = build_reports(num_hosts, args.flows)
+        for mode, hierarchical in (("flat", False), ("hier", True)):
+            outcome = run_mode(reports, hierarchical)
+            sweep[mode][str(num_hosts)] = outcome
+            print(
+                f"{mode:>4} n={num_hosts:>4}: "
+                f"{outcome['seconds']:6.2f}s, "
+                f"peak {outcome['peak_bytes'] / 1e6:7.1f} MB, "
+                f"{outcome['aggregators']} aggregator(s), "
+                f"peak resident {outcome['peak_resident']}"
+            )
+        del reports
+
+    largest = str(host_counts[-1])
+    rss_ratio = (
+        sweep["hier"][largest]["peak_bytes"]
+        / sweep["flat"][largest]["peak_bytes"]
+    )
+    exponent = growth_exponent(
+        host_counts,
+        [sweep["hier"][str(n)]["peak_bytes"] for n in host_counts],
+    )
+    flat_exponent = growth_exponent(
+        host_counts,
+        [sweep["flat"][str(n)]["peak_bytes"] for n in host_counts],
+    )
+    sublinear = (
+        rss_ratio <= RSS_RATIO_CEILING
+        and exponent <= RSS_EXPONENT_CEILING
+    )
+    print(
+        f"hier/flat peak @ n={largest}: {rss_ratio:.2f} "
+        f"(ceiling {RSS_RATIO_CEILING})"
+    )
+    print(
+        f"hier peak growth exponent: {exponent:.2f} "
+        f"(ceiling {RSS_EXPONENT_CEILING}; flat {flat_exponent:.2f})"
+    )
+    print(
+        "hierarchical memory is "
+        f"{'SUBLINEAR' if sublinear else 'NOT sublinear'} in hosts"
+    )
+
+    append_trajectory(
+        args.output,
+        {
+            "timestamp": datetime.now(timezone.utc).isoformat(),
+            "git_sha": git_sha(),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "smoke": args.smoke,
+            "host_counts": host_counts,
+            "flows": args.flows,
+            "sweep": sweep,
+            "summary": {
+                "rss_ratio": rss_ratio,
+                "rss_growth_exponent": exponent,
+                "flat_growth_exponent": flat_exponent,
+                "sublinear": sublinear,
+            },
+        },
+    )
+    print(f"appended to {args.output}")
+    if args.smoke:
+        # Two tiny host counts cannot fit a stable exponent; the full
+        # sweep gates.
+        return 0
+    return 0 if sublinear else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -117,6 +117,18 @@ def main(argv=None) -> int:
         default=REPO_ROOT / "BENCH_checkpoint.json",
         help="committed checkpoint trajectory to compare against",
     )
+    parser.add_argument(
+        "--cluster-fresh", type=Path, default=None,
+        help="trajectory file from a fresh bench_cluster.py run; "
+        "gates the hierarchical controller's memory scaling "
+        "(hier/flat peak ratio and log-log growth exponent) against "
+        "fixed ceilings",
+    )
+    parser.add_argument(
+        "--cluster-baseline", type=Path,
+        default=REPO_ROOT / "BENCH_cluster.json",
+        help="committed cluster trajectory to compare against",
+    )
     args = parser.parse_args(argv)
 
     if not 0.0 <= args.tolerance < 1.0:
@@ -239,6 +251,66 @@ def main(argv=None) -> int:
             )
             if ck_value > ceiling:
                 failures.append("checkpoint overhead")
+
+    # Cluster memory scaling gates against fixed ceilings: the
+    # hierarchical tier must stay under 80% of the flat controller's
+    # peak at the largest host count, and its peak must grow
+    # sublinearly (log-log exponent <= 0.75).  Smoke sweeps (two tiny
+    # host counts, all frames concurrently in flight) cannot fit a
+    # stable exponent, so they report advisory-only.
+    if args.cluster_fresh is not None:
+        cl_runs = _load_runs(args.cluster_fresh)
+        if not cl_runs:
+            raise SystemExit(
+                f"error: {args.cluster_fresh} contains no runs"
+            )
+        cl_fresh = cl_runs[-1]
+        cluster_gates = (
+            ("cluster hier/flat RSS ratio",
+             ("summary", "rss_ratio"), 0.8),
+            ("cluster RSS growth exponent",
+             ("summary", "rss_growth_exponent"), 0.75),
+        )
+        for label, path, ceiling in cluster_gates:
+            value = _extract(cl_fresh, path)
+            if value is None:
+                print(f"  {label}: skipped (no data)")
+                continue
+            if cl_fresh.get("smoke"):
+                print(
+                    f"  {label}: {value:.2f} "
+                    "(smoke run — advisory only)"
+                )
+                continue
+            compared += 1
+            status = "OK" if value <= ceiling else "REGRESSION"
+            print(
+                f"  {label}: {value:.2f} "
+                f"(ceiling {ceiling:.2f}) -> {status}"
+            )
+            if value > ceiling:
+                failures.append(label)
+        if args.cluster_baseline.exists():
+            base_ratio = [
+                v for entry in _load_runs(args.cluster_baseline)
+                if not entry.get("smoke")
+                if (v := _extract(entry, ("summary", "rss_ratio")))
+                is not None
+            ]
+            fresh_ratio = _extract(cl_fresh, ("summary", "rss_ratio"))
+            if (
+                base_ratio
+                and fresh_ratio is not None
+                and not cl_fresh.get("smoke")
+            ):
+                # Advisory drift note only — the fixed ceiling above
+                # is the gate; machine variance makes the ratio too
+                # noisy for a hard trajectory floor.
+                best = min(base_ratio)
+                print(
+                    f"  cluster ratio vs best committed: fresh "
+                    f"{fresh_ratio:.2f} vs {best:.2f} (advisory)"
+                )
 
     if failures:
         print(f"FAIL: {len(failures)} regression(s): {', '.join(failures)}")

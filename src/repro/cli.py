@@ -254,6 +254,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     faults = FaultPlan.load(args.chaos) if args.chaos else None
     config_kwargs: dict = {}
+    num_hosts = args.hosts
+    if args.cluster:
+        from repro.cluster import ClusterConfig
+
+        num_hosts = args.cluster
+        listen_host, _, listen_port = args.listen.partition(":")
+        config_kwargs["cluster"] = ClusterConfig(
+            aggregators=args.aggregators,
+            hierarchical=not args.flat_cluster,
+            listen_host=listen_host or "127.0.0.1",
+            listen_port=int(listen_port or 0),
+        )
     if args.checkpoint_dir:
         config_kwargs["checkpoint_dir"] = args.checkpoint_dir
     if args.checkpoint_every is not None:
@@ -269,7 +281,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         dataplane=DataPlaneMode(args.dataplane),
         recovery=RecoveryMode(args.recovery),
         config=PipelineConfig(
-            num_hosts=args.hosts,
+            num_hosts=num_hosts,
             fastpath_bytes=args.fastpath_bytes,
             telemetry=telemetry,
             faults=faults,
@@ -287,7 +299,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
     score = result.score
     print(f"task            : {args.task} / {args.solution}")
     print(f"dataplane       : {args.dataplane}   recovery: {args.recovery}")
-    print(f"hosts           : {args.hosts}")
+    print(f"hosts           : {num_hosts}")
+    if args.cluster:
+        collector = pipeline._cluster
+        stats = result.collection.stats
+        print(
+            f"cluster         : {num_hosts} host(s) -> "
+            f"{collector.last_aggregators} aggregator(s) "
+            f"({'flat' if args.flat_cluster else 'hierarchical'}), "
+            f"{stats.connection_faults} connection fault(s), "
+            f"{stats.backpressure_waits} backpressure wait(s), "
+            f"{stats.quarantined_hosts} quarantined"
+        )
     if score.recall is not None:
         print(f"recall          : {score.recall:.1%}")
         print(f"precision       : {score.precision:.1%}")
@@ -678,6 +701,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject faults from a FaultPlan JSON file into the "
         "host->controller report path (see docs/robustness.md); "
         "ignored by --cores mode",
+    )
+    run.add_argument(
+        "--cluster",
+        type=int,
+        default=0,
+        metavar="N",
+        help="simulate N hosts and ship their epoch reports over real "
+        "TCP sockets through the hierarchical aggregator tier "
+        "(overrides --hosts; composes with --chaos, whose plan then "
+        "also drives connection-level faults at the socket layer; "
+        "see docs/robustness.md); ignored by --cores mode",
+    )
+    run.add_argument(
+        "--aggregators",
+        type=int,
+        default=0,
+        metavar="A",
+        help="aggregator-tier size for --cluster (default 0 = "
+        "ceil(sqrt(N)))",
+    )
+    run.add_argument(
+        "--flat-cluster",
+        action="store_true",
+        help="with --cluster, keep every host report resident until "
+        "the root merge instead of hierarchical pairwise merging "
+        "(the O(N)-memory baseline the bench compares against)",
+    )
+    run.add_argument(
+        "--listen",
+        default="127.0.0.1:0",
+        metavar="HOST[:PORT]",
+        help="bind address for the aggregator listeners (default "
+        "127.0.0.1:0 = ephemeral ports)",
     )
     run.add_argument(
         "--checkpoint-dir",

@@ -1,0 +1,47 @@
+"""Real-socket control plane: hosts → aggregators → controller.
+
+The in-process pipeline hands each epoch's reports straight to the
+controller; this package ships them over actual TCP connections
+instead — same v2 wire frames, same defensive decode, same collection
+stats — and inserts a hierarchical aggregator tier that merges the
+(linear) sketches pairwise on arrival, so 500–1000 simulated hosts
+complete an epoch in bounded controller memory with a single LENS
+recovery at the root.
+
+Opt in per run with ``repro run --cluster`` or per process with
+``REPRO_CLUSTER=1``; see ``docs/robustness.md`` ("Cluster transport").
+"""
+
+from repro.cluster.aggregator import (
+    Aggregator,
+    PartialAggregate,
+    assign_aggregator,
+)
+from repro.cluster.config import ClusterConfig, cluster_from_env
+from repro.cluster.framing import DEFAULT_MAX_FRAME_BYTES, FrameAssembler
+from repro.cluster.runner import ClusterCollector
+from repro.cluster.transport import (
+    ACK,
+    ACK_DUP,
+    NAK_CORRUPT,
+    NAK_STALE,
+    AggregatorListener,
+    HostChannel,
+)
+
+__all__ = [
+    "ACK",
+    "ACK_DUP",
+    "NAK_CORRUPT",
+    "NAK_STALE",
+    "Aggregator",
+    "AggregatorListener",
+    "ClusterCollector",
+    "ClusterConfig",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "FrameAssembler",
+    "HostChannel",
+    "PartialAggregate",
+    "assign_aggregator",
+    "cluster_from_env",
+]

@@ -1,0 +1,129 @@
+"""The hierarchical aggregator tier: pairwise merge before recovery.
+
+Sketches are *linear* — counter matrices that merge by addition — so
+per-host reports need not all reach the controller before merging can
+start.  Each :class:`Aggregator` owns a group of hosts and folds their
+reports into one running partial the moment they arrive (eager
+pairwise merge), holding at most the accumulator plus the report in
+flight.  The controller then merges the A partial aggregates and runs
+LENS recovery *once*, exactly as it would over raw reports.
+
+This is what makes a 500–1000-host epoch complete in bounded memory:
+the flat path keeps all N decoded reports resident until the merge
+(O(N) sketches), the hierarchical path keeps O(A + 1) — the "recovery-
+aware hierarchical merging" shape of Distributed Recoverable Sketches
+(see PAPERS.md), with SketchVisor's single network-wide recovery at
+the root.
+
+Merging is exact: sketch counters and fast-path ``(e, r, d)`` entries
+are integer-valued, so pairwise-then-root addition is bit-identical to
+the flat all-at-once merge regardless of arrival order.  Fast-path
+entries are canonicalized (sorted by flow key) in :meth:`finish` so a
+partial's downstream iteration order is independent of socket timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.controlplane.merge import merge_fastpath_snapshots
+from repro.dataplane.host import LocalReport
+from repro.fastpath.topk import FastPathSnapshot
+from repro.sketches.base import Sketch
+
+
+@dataclass
+class PartialAggregate:
+    """One aggregator group's merged epoch state.
+
+    Duck-compatible with :class:`~repro.dataplane.host.LocalReport`
+    where the controller cares (``sketch`` / ``fastpath``), so the
+    root merge treats partials exactly like reports; ``host_ids``
+    carries the provenance the flat path would have had one report per
+    entry for.
+    """
+
+    aggregator_id: int
+    sketch: Sketch
+    fastpath: FastPathSnapshot | None
+    host_ids: tuple[int, ...]
+
+    @property
+    def host_id(self) -> int:
+        """Aggregator id, in the report slot (labels, debugging)."""
+        return self.aggregator_id
+
+    @property
+    def num_hosts(self) -> int:
+        return len(self.host_ids)
+
+
+class Aggregator:
+    """Eagerly merge one group's reports into a single partial."""
+
+    def __init__(self, aggregator_id: int):
+        self.aggregator_id = aggregator_id
+        self._sketch: Sketch | None = None
+        self._fastpath: FastPathSnapshot | None = None
+        self._any_fastpath = False
+        self._host_ids: list[int] = []
+        #: Most sketch-carrying objects resident at once (accumulator
+        #: plus the in-flight report) — the bounded-memory invariant
+        #: the cluster bench gates on.
+        self.peak_resident = 0
+
+    @property
+    def num_hosts(self) -> int:
+        return len(self._host_ids)
+
+    def add(self, report: LocalReport) -> None:
+        """Fold one host report into the running partial and drop it."""
+        self.peak_resident = max(
+            self.peak_resident, (1 if self._sketch is not None else 0) + 1
+        )
+        if self._sketch is None:
+            self._sketch = report.sketch.clone_empty()
+        self._sketch.merge(report.sketch)
+        if report.fastpath is not None:
+            self._any_fastpath = True
+            self._fastpath = merge_fastpath_snapshots(
+                [self._fastpath, report.fastpath]
+            )
+        self._host_ids.append(report.host_id)
+
+    def finish(self) -> PartialAggregate | None:
+        """The group's partial, or ``None`` when no report arrived."""
+        if self._sketch is None:
+            return None
+        fastpath = self._fastpath if self._any_fastpath else None
+        if fastpath is not None and fastpath.entries:
+            # Canonical entry order: socket arrival order must not
+            # leak into downstream float-summation order.
+            entries = dict(
+                sorted(
+                    fastpath.entries.items(),
+                    key=lambda item: item[0].key64,
+                )
+            )
+            fastpath = FastPathSnapshot(
+                entries=entries,
+                total_bytes=fastpath.total_bytes,
+                total_decremented=fastpath.total_decremented,
+                insert_count=fastpath.insert_count,
+                evict_count=fastpath.evict_count,
+                update_count=fastpath.update_count,
+                hit_count=fastpath.hit_count,
+                kickout_count=fastpath.kickout_count,
+                reject_count=fastpath.reject_count,
+            )
+        return PartialAggregate(
+            aggregator_id=self.aggregator_id,
+            sketch=self._sketch,
+            fastpath=fastpath,
+            host_ids=tuple(sorted(self._host_ids)),
+        )
+
+
+def assign_aggregator(host_id: int, num_aggregators: int) -> int:
+    """Deterministic host → aggregator placement (round-robin by id)."""
+    return host_id % max(1, num_aggregators)

@@ -1,0 +1,105 @@
+"""Incremental frame extraction from a TCP byte stream.
+
+The v2 wire format (``repro.controlplane.transport``) is already
+length-prefixed — ``MAGIC | version | host | epoch | length | crc |
+payload`` — so a socket receiver only needs to reassemble frames from
+an arbitrarily chunked byte stream.  :class:`FrameAssembler` is the
+sans-IO core of that: feed it whatever ``recv`` returned, get back
+every *complete* frame, keep the partial tail buffered.  It validates
+only what a stream parser must (magic, version, declared length) and
+leaves payload validation (CRC, restricted unpickling, host
+cross-check) to :func:`~repro.controlplane.transport.decode_report`,
+so a corrupted length field can never make the receiver buffer
+gigabytes or mis-split every subsequent frame: the connection is
+declared poisoned and dropped.
+
+Used by the aggregator servers in ``repro.cluster.transport`` and
+directly by the socket-corruption property tests.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.common.errors import CorruptFrameError
+
+_MAGIC = b"SKVR"
+_PROBE = struct.Struct(">4sB")
+_HEADER_V1 = struct.Struct(">4sBI")
+_HEADER_V2 = struct.Struct(">4sBIIII")
+
+#: Hard ceiling on a single frame's declared payload size.  A bit-flip
+#: in the length field must not convince the receiver to wait for (or
+#: allocate) an absurd buffer.
+DEFAULT_MAX_FRAME_BYTES = 64 << 20
+
+
+class FrameAssembler:
+    """Reassemble v2 wire frames from a chunked byte stream.
+
+    ``feed`` returns complete frames in arrival order and buffers any
+    trailing partial frame for the next call.  Malformed stream state
+    (bad magic, unknown version, oversized declared length) raises
+    :class:`CorruptFrameError` — once a stream mis-frames there is no
+    way to resynchronize, so the caller must drop the connection.
+    """
+
+    def __init__(self, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES):
+        self.max_frame_bytes = max_frame_bytes
+        self._buffer = bytearray()
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered toward a not-yet-complete frame."""
+        return len(self._buffer)
+
+    @property
+    def mid_frame(self) -> bool:
+        """Whether the stream ended inside a frame (truncated tail)."""
+        return bool(self._buffer)
+
+    def feed(self, data: bytes) -> list[bytes]:
+        """Absorb ``data``; return every frame completed by it."""
+        self._buffer.extend(data)
+        frames: list[bytes] = []
+        while True:
+            frame = self._pop_frame()
+            if frame is None:
+                return frames
+            frames.append(frame)
+
+    def _pop_frame(self) -> bytes | None:
+        buffer = self._buffer
+        if len(buffer) < _PROBE.size:
+            return None
+        magic, version = _PROBE.unpack_from(buffer, 0)
+        if magic != _MAGIC:
+            raise CorruptFrameError(
+                f"stream desynchronized: bad frame magic {magic!r}"
+            )
+        if version == 1:
+            header_size = _HEADER_V1.size
+            if len(buffer) < header_size:
+                return None
+            _, _, length = _HEADER_V1.unpack_from(buffer, 0)
+        elif version == 2:
+            header_size = _HEADER_V2.size
+            if len(buffer) < header_size:
+                return None
+            _, _, _, _, length, _ = _HEADER_V2.unpack_from(buffer, 0)
+        else:
+            raise CorruptFrameError(
+                f"stream carries unsupported frame version {version}"
+            )
+        if length > self.max_frame_bytes:
+            raise CorruptFrameError(
+                f"frame declares {length} payload bytes, above the "
+                f"{self.max_frame_bytes}-byte stream ceiling "
+                "(corrupt length field?)"
+            )
+        total = header_size + length
+        if len(buffer) < total:
+            return None
+        frame = bytes(buffer[:total])
+        del buffer[:total]
+        return frame

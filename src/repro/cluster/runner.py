@@ -1,0 +1,230 @@
+"""One cluster epoch, end to end: listeners up, hosts in, partials out.
+
+:class:`ClusterCollector` is the socket-transport drop-in for the
+in-process :class:`~repro.controlplane.transport.ReportCollector`: it
+takes the epoch's per-host :class:`LocalReport` objects, ships each as
+a v2 wire frame over a real TCP connection to its aggregator, and
+returns the same :class:`CollectionResult` shape the pipeline already
+feeds to quorum-gated aggregation, telemetry, and the flight recorder.
+
+Per epoch it:
+
+1. skips hosts the transport circuit breaker has **quarantined**
+   (consecutive failed epochs — same
+   :class:`~repro.durability.supervisor.CircuitBreaker` policy the
+   supervisor applies to crash-looping data planes);
+2. starts one :class:`AggregatorListener` per aggregator-tier member
+   (``ceil(sqrt(hosts))`` by default) on an ephemeral localhost port;
+3. runs every live host's :class:`HostChannel` delivery loop
+   concurrently — bounded by the in-flight semaphore, retried on the
+   seeded jittered backoff schedule, cut off by ``epoch_deadline``;
+4. drains and closes the listeners, folds each aggregator's partial
+   (hierarchical mode) or collects the decoded reports (flat mode),
+   and books every host that did not get acked as missing.
+
+Everything downstream — quorum, degraded-merge rescale, recorder —
+is reused, not reimplemented: the result's ``hosts_reported`` lets
+:meth:`Controller.aggregate` key its quorum math on hosts even when
+``reports`` holds A partial aggregates instead of N raw reports.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.cluster.aggregator import Aggregator, assign_aggregator
+from repro.cluster.config import ClusterConfig
+from repro.cluster.transport import AggregatorListener, HostChannel
+from repro.controlplane.transport import (
+    CollectionResult,
+    encode_report,
+)
+from repro.durability.supervisor import CircuitBreaker
+
+
+class ClusterCollector:
+    """Collect epoch reports over real sockets.
+
+    Parameters
+    ----------
+    config:
+        The :class:`ClusterConfig` deployment knobs.
+    injector:
+        Optional :class:`~repro.faults.FaultInjector`.  Its plan's
+        report-path *and* connection-level schedules both apply — the
+        report-path kinds produce byte-identical stats to the
+        in-process collector under the same plan, the socket kinds
+        (conn_refused, conn_reset, partial_write, slow_peer,
+        partition) only exist here.
+    """
+
+    def __init__(self, config: ClusterConfig, injector=None):
+        self.config = config
+        self.injector = injector
+        self._breakers: dict[int, CircuitBreaker] = {}
+        #: Shape of the most recent epoch, for telemetry: aggregator
+        #: count, peak sketch-objects resident per aggregator, mode.
+        self.last_aggregators = 0
+        self.last_peak_resident = 0
+
+    # ------------------------------------------------------------------
+    def collect(self, reports, epoch: int) -> CollectionResult:
+        """Deliver one epoch's reports over TCP; block until done."""
+        return asyncio.run(self.collect_async(reports, epoch))
+
+    # ------------------------------------------------------------------
+    async def collect_async(self, reports, epoch: int) -> CollectionResult:
+        cfg = self.config
+        result = CollectionResult(epoch=epoch)
+        stats = result.stats
+
+        by_host = {report.host_id: report for report in reports}
+        quarantined: list[int] = []
+        active: list[int] = []
+        for host_id in sorted(by_host):
+            breaker = self._breakers.setdefault(
+                host_id, CircuitBreaker()
+            )
+            if breaker.is_open(epoch):
+                quarantined.append(host_id)
+            else:
+                active.append(host_id)
+        stats.quarantined_hosts = len(quarantined)
+
+        num_aggregators = cfg.resolve_aggregators(len(by_host))
+        self.last_aggregators = num_aggregators
+
+        aggregators: list[Aggregator] = []
+        collected: list = []
+        sinks: list = []
+        if cfg.hierarchical:
+            for agg_id in range(num_aggregators):
+                aggregator = Aggregator(agg_id)
+                aggregators.append(aggregator)
+                sinks.append(aggregator.add)
+        else:
+            # Flat baseline: every decoded report stays resident until
+            # the root merge, regardless of which listener took it.
+            sinks = [collected.append] * num_aggregators
+
+        seen: set[tuple[int, int]] = set()
+        delivered: set[int] = set()
+        listeners = [
+            AggregatorListener(
+                agg_id,
+                epoch,
+                sinks[agg_id],
+                stats,
+                seen,
+                delivered,
+                idle_timeout=cfg.idle_timeout,
+                max_frame_bytes=cfg.max_frame_bytes,
+            )
+            for agg_id in range(num_aggregators)
+        ]
+        addresses = []
+        for index, listener in enumerate(listeners):
+            port = (
+                0 if cfg.listen_port == 0 else cfg.listen_port + index
+            )
+            addresses.append(
+                await listener.start(cfg.listen_host, port)
+            )
+
+        inflight = asyncio.Semaphore(cfg.max_inflight)
+        injector = self.injector
+        try:
+            tasks = []
+            for host_id in active:
+                report = by_host[host_id]
+                faults = []
+                if injector is not None:
+                    faults = list(injector.schedule(epoch, host_id))
+                    faults += list(
+                        injector.socket_schedule(epoch, host_id)
+                    )
+                agg_id = assign_aggregator(host_id, num_aggregators)
+                channel = HostChannel(
+                    host_id,
+                    epoch,
+                    # Late-bound encode: the frame exists only while
+                    # this host holds an in-flight slot.
+                    lambda r=report: encode_report(r, epoch),
+                    addresses[agg_id],
+                    cfg,
+                    stats,
+                    injector=injector,
+                    faults=faults,
+                    inflight=inflight,
+                )
+                tasks.append(
+                    asyncio.ensure_future(channel.deliver())
+                )
+            frames = await self._gather_with_deadline(tasks)
+            if injector is not None:
+                for host_id, frame in zip(active, frames):
+                    if frame is not None:
+                        injector.remember(host_id, frame)
+        finally:
+            for listener in listeners:
+                await listener.close(cfg.drain_timeout)
+
+        # Every host not acked-and-decoded is missing: quarantined
+        # hosts, exhausted retriers, and deadline stragglers alike.
+        result.missing_hosts = [
+            host_id
+            for host_id in sorted(by_host)
+            if host_id not in delivered
+        ]
+        for host_id in active:
+            breaker = self._breakers[host_id]
+            if host_id in delivered:
+                breaker.record_success()
+            else:
+                breaker.record_failure(
+                    epoch,
+                    cfg.quarantine_threshold,
+                    cfg.quarantine_epochs,
+                )
+
+        if cfg.hierarchical:
+            partials = [
+                partial
+                for partial in (agg.finish() for agg in aggregators)
+                if partial is not None
+            ]
+            result.reports = partials
+            result.aggregated_from = len(delivered)
+            self.last_peak_resident = max(
+                (agg.peak_resident for agg in aggregators), default=0
+            )
+        else:
+            result.reports = sorted(
+                collected, key=lambda report: report.host_id
+            )
+            self.last_peak_resident = len(collected)
+        return result
+
+    # ------------------------------------------------------------------
+    async def _gather_with_deadline(self, tasks):
+        """Gather channel tasks under the epoch deadline; stragglers
+        are cancelled and land in the missing set."""
+        if not tasks:
+            return []
+        done, pending = await asyncio.wait(
+            tasks, timeout=self.config.epoch_deadline
+        )
+        for task in pending:
+            task.cancel()
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        frames = []
+        for task in tasks:
+            if task.cancelled():
+                frames.append(None)
+            else:
+                # Network failure modes are handled inside the
+                # channel; anything escaping it is a real bug and
+                # must surface, not masquerade as a missing host.
+                frames.append(task.result())
+        return frames

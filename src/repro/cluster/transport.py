@@ -1,0 +1,441 @@
+"""Asyncio host → aggregator socket transport.
+
+The client half (:class:`HostChannel`) delivers one host's encoded v2
+frame to its aggregator over a real TCP connection: connect with a
+deadline, write under kernel backpressure (bounded write buffer +
+``drain()``), wait for the aggregator's one-byte ack, and retry failed
+attempts on the same seeded, jittered exponential-backoff schedule the
+in-process :class:`~repro.controlplane.transport.ReportCollector`
+uses.  A process-wide in-flight semaphore bounds how many hosts hold
+open sockets and encoded frames at once, so a 1000-host epoch runs in
+bounded transport memory.
+
+The server half (:class:`AggregatorListener`) accepts connections for
+one aggregator, reassembles frames with the sans-IO
+:class:`~repro.cluster.framing.FrameAssembler` under an idle deadline,
+and routes every frame through the same defensive checks as the
+in-process collector — stale-epoch rejection from the in-the-clear
+header, CRC + restricted-unpickle decode, dedup by ``(host, epoch)``
+— acking ``ACK``/``ACK_DUP`` or nacking ``NAK_STALE``/``NAK_CORRUPT``
+so the client knows whether to retry.
+
+Fault injection happens where each fault lives in a real deployment:
+connection-level kinds (refused, reset, partial write, slow peer,
+partition) at the socket operations, frame-level kinds (truncation,
+bit-flips, stale replays, duplicates) on the bytes written — all drawn
+from the same seeded :class:`~repro.faults.FaultPlan` schedules, so a
+chaos run is reproducible byte for byte.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+
+from repro.cluster.framing import FrameAssembler
+from repro.common.errors import CorruptFrameError, StaleEpochError
+from repro.controlplane.transport import (
+    CollectionStats,
+    decode_report,
+    jittered_backoff,
+    peek_header,
+)
+from repro.faults.plan import FaultKind
+
+#: One-byte control responses from aggregator to host.
+ACK = b"\x06"
+ACK_DUP = b"\x07"
+NAK_STALE = b"\x15"
+NAK_CORRUPT = b"\x16"
+
+#: Acks that mean "your report is accounted for; stop retrying".
+_SUCCESS_ACKS = (ACK, ACK_DUP)
+
+#: Fault kinds that abort the whole epoch for a host before any
+#: connection is attempted.
+_EPOCH_FATAL = {FaultKind.CRASH, FaultKind.PARTITION}
+
+
+class AggregatorListener:
+    """One aggregator's listening socket.
+
+    Frames that decode cleanly are handed to ``sink`` (an
+    :class:`~repro.cluster.aggregator.Aggregator` or a plain report
+    list's ``append``-style callable); every defensive outcome is
+    counted into the shared :class:`CollectionStats`.  All handler
+    state runs on one event loop, so no locking is needed.
+    """
+
+    def __init__(
+        self,
+        aggregator_id: int,
+        epoch: int,
+        sink,
+        stats: CollectionStats,
+        seen: set[tuple[int, int]],
+        delivered: set[int],
+        *,
+        idle_timeout: float,
+        max_frame_bytes: int,
+        on_accept=None,
+    ):
+        self.aggregator_id = aggregator_id
+        self.epoch = epoch
+        self.sink = sink
+        self.stats = stats
+        self.seen = seen
+        self.delivered = delivered
+        self.idle_timeout = idle_timeout
+        self.max_frame_bytes = max_frame_bytes
+        self.on_accept = on_accept
+        self.server: asyncio.AbstractServer | None = None
+        self.address: tuple[str, int] | None = None
+        self._handlers: set[asyncio.Task] = set()
+
+    async def start(self, host: str, port: int) -> tuple[str, int]:
+        self.server = await asyncio.start_server(
+            self._handle, host=host, port=port
+        )
+        sockname = self.server.sockets[0].getsockname()
+        self.address = (sockname[0], sockname[1])
+        return self.address
+
+    async def close(self, drain_timeout: float) -> None:
+        """Stop accepting, give in-flight handlers a drain window."""
+        if self.server is not None:
+            self.server.close()
+            await self.server.wait_closed()
+        if self._handlers:
+            done, pending = await asyncio.wait(
+                self._handlers, timeout=drain_timeout
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+
+    async def _handle(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._handlers.add(task)
+        try:
+            await self._serve_connection(reader, writer)
+        finally:
+            self._handlers.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _serve_connection(self, reader, writer) -> None:
+        assembler = FrameAssembler(self.max_frame_bytes)
+        while True:
+            try:
+                chunk = await asyncio.wait_for(
+                    reader.read(64 * 1024), timeout=self.idle_timeout
+                )
+            except asyncio.TimeoutError:
+                # Slow peer: mid-frame silence past the idle deadline.
+                # Hang up; the client's fault bookkeeping (or its ack
+                # timeout) classifies the loss.
+                return
+            except (ConnectionError, OSError):
+                return
+            if not chunk:
+                # Clean EOF.  A buffered partial frame is a short
+                # write (injected partial_write/truncate or a genuine
+                # killed sender); the tail is discarded and the
+                # *sender* attributes the loss — the server cannot
+                # distinguish why the stream ended early.
+                return
+            try:
+                frames = assembler.feed(chunk)
+            except CorruptFrameError:
+                # Mis-framed stream: unrecoverable for the connection.
+                self.stats.corrupt_frames += 1
+                await self._respond(writer, NAK_CORRUPT)
+                return
+            for frame in frames:
+                if not await self._process_frame(writer, frame):
+                    return
+
+    async def _process_frame(self, writer, frame: bytes) -> bool:
+        """Decode + account one frame; False drops the connection."""
+        try:
+            header = peek_header(frame)
+            if header.epoch is not None and header.epoch != (
+                self.epoch & 0xFFFF_FFFF
+            ):
+                raise StaleEpochError(
+                    f"frame for epoch {header.epoch} during epoch "
+                    f"{self.epoch}"
+                )
+            report = decode_report(frame)
+        except StaleEpochError:
+            self.stats.stale_frames += 1
+            return await self._respond(writer, NAK_STALE)
+        except CorruptFrameError:
+            self.stats.corrupt_frames += 1
+            return await self._respond(writer, NAK_CORRUPT)
+        key = (report.host_id, self.epoch)
+        if key in self.seen:
+            self.stats.duplicates += 1
+            return await self._respond(writer, ACK_DUP)
+        self.seen.add(key)
+        self.delivered.add(report.host_id)
+        self.sink(report)
+        if self.on_accept is not None:
+            self.on_accept(report.host_id, frame)
+        return await self._respond(writer, ACK)
+
+    async def _respond(self, writer, code: bytes) -> bool:
+        try:
+            writer.write(code)
+            await writer.drain()
+            return True
+        except (ConnectionError, OSError):
+            return False
+
+
+class HostChannel:
+    """One host's delivery loop for one epoch.
+
+    The encoded frame is materialized lazily, per attempt, *inside*
+    the in-flight semaphore window (``frame_factory``), so an epoch
+    never holds more than ``max_inflight`` encoded frames at once no
+    matter how many hosts it spans.
+    """
+
+    def __init__(
+        self,
+        host_id: int,
+        epoch: int,
+        frame_factory,
+        address: tuple[str, int],
+        config,
+        stats: CollectionStats,
+        injector=None,
+        faults: list[FaultKind] | None = None,
+        inflight: asyncio.Semaphore | None = None,
+    ):
+        self.host_id = host_id
+        self.epoch = epoch
+        self.frame_factory = frame_factory
+        self.address = address
+        self.config = config
+        self.stats = stats
+        self.injector = injector
+        self.faults = deque(faults or ())
+        self.inflight = inflight
+
+    # ------------------------------------------------------------------
+    async def deliver(self) -> bytes | None:
+        """Run the attempt/retry loop.
+
+        Returns the acked frame bytes on success (replay fuel for the
+        injector), ``None`` when every attempt failed.
+        """
+        cfg = self.config
+        fatal = next(
+            (f for f in self.faults if f in _EPOCH_FATAL), None
+        )
+        if fatal is not None:
+            # The host is down (crash) or unreachable (partition) for
+            # the whole epoch: burn the retry budget without a socket.
+            self._record(fatal)
+            if fatal is FaultKind.CRASH:
+                self.stats.crashes += 1
+            else:
+                self.stats.partitions += 1
+            self.stats.retries += cfg.max_retries
+            self.stats.backoff_seconds += sum(
+                self._backoff(a) for a in range(1, cfg.max_retries + 1)
+            )
+            return None
+        for attempt in range(cfg.max_retries + 1):
+            if attempt > 0:
+                self.stats.retries += 1
+                backoff = self._backoff(attempt)
+                self.stats.backoff_seconds += backoff
+                await asyncio.sleep(backoff)
+            fault = self.faults.popleft() if self.faults else None
+            frame = await self._attempt(fault, attempt)
+            if frame is not None:
+                return frame
+        return None
+
+    def _backoff(self, attempt: int) -> float:
+        """Seeded jittered backoff (same construction as the
+        in-process collector's, keyed by (epoch, host, attempt))."""
+        cfg = self.config
+        return jittered_backoff(
+            cfg.backoff_base,
+            cfg.backoff_factor,
+            cfg.backoff_jitter,
+            cfg.jitter_seed,
+            self.epoch,
+            self.host_id,
+            attempt,
+        )
+
+    def _record(self, fault: FaultKind | None) -> None:
+        if fault is not None and self.injector is not None:
+            self.injector.record(fault)
+
+    # ------------------------------------------------------------------
+    async def _attempt(
+        self, fault: FaultKind | None, attempt: int
+    ) -> bytes | None:
+        """One delivery attempt under an optional injected fault.
+
+        Returns the frame bytes when the aggregator acked them,
+        ``None`` on any failure.
+        """
+        self._record(fault)
+        # Faults that never touch the wire.
+        if fault is FaultKind.DROP:
+            self.stats.drops += 1
+            return None
+        if fault is FaultKind.DELAY:
+            self.stats.timeouts += 1
+            return None
+        if fault is FaultKind.CONN_REFUSED:
+            self.stats.conn_refused += 1
+            return None
+        if self.inflight is not None and self.inflight.locked():
+            # The bounded in-flight pool is full: this send waits for
+            # a slot — the transport's backpressure signal.
+            self.stats.backpressure_waits += 1
+        async with self.inflight or _null_context():
+            frame = self.frame_factory()
+            # What goes on the wire this attempt.
+            payloads = [frame]
+            if fault is FaultKind.TRUNCATE:
+                payloads = [
+                    self.injector.truncate(
+                        frame, self.epoch, self.host_id, attempt
+                    )
+                ]
+            elif fault is FaultKind.BITFLIP:
+                payloads = [
+                    self.injector.bitflip(
+                        frame, self.epoch, self.host_id, attempt
+                    )
+                ]
+            elif fault is FaultKind.DUPLICATE:
+                payloads = [frame, frame]
+            elif fault is FaultKind.REPLAY:
+                stale = self.injector.stale_frame(self.host_id)
+                if stale is None:
+                    # Nothing to replay: degrades to a drop.
+                    self.stats.drops += 1
+                    return None
+                payloads = [stale]
+            elif fault is FaultKind.PARTIAL_WRITE:
+                payloads = [frame[: max(1, len(frame) // 2)]]
+            ok = await self._attempt_connected(fault, frame, payloads)
+            return frame if ok else None
+
+    async def _attempt_connected(
+        self,
+        fault: FaultKind | None,
+        frame: bytes,
+        payloads: list[bytes],
+    ) -> bool:
+        cfg = self.config
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(*self.address),
+                timeout=cfg.connect_timeout,
+            )
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            self.stats.conn_refused += 1
+            return False
+        transport = writer.transport
+        transport.set_write_buffer_limits(
+            high=cfg.write_buffer_bytes
+        )
+        try:
+            if fault is FaultKind.CONN_RESET:
+                # Write a prefix, then abort (RST): the receiver's
+                # stream dies mid-frame with no clean EOF.
+                writer.write(frame[: max(1, len(frame) // 3)])
+                with _suppress_conn_errors():
+                    await writer.drain()
+                transport.abort()
+                self.stats.conn_resets += 1
+                return False
+            if fault is FaultKind.SLOW_PEER:
+                # Send a sliver, then stall past the aggregator's
+                # idle deadline; it hangs up on us.
+                writer.write(frame[:8])
+                with _suppress_conn_errors():
+                    await writer.drain()
+                with _suppress_conn_errors():
+                    await asyncio.wait_for(
+                        reader.read(1),
+                        timeout=max(
+                            cfg.idle_timeout * 4, cfg.idle_timeout + 0.2
+                        ),
+                    )
+                self.stats.slow_peers += 1
+                return False
+
+            for payload in payloads:
+                if (
+                    transport.get_write_buffer_size()
+                    >= cfg.write_buffer_bytes
+                ):
+                    self.stats.backpressure_waits += 1
+                writer.write(payload)
+                await asyncio.wait_for(
+                    writer.drain(), timeout=cfg.ack_timeout
+                )
+            if fault in (FaultKind.TRUNCATE, FaultKind.PARTIAL_WRITE):
+                # The receiver is left waiting for bytes that will
+                # never come; close cleanly and classify the loss.
+                if transport.can_write_eof():
+                    writer.write_eof()
+                if fault is FaultKind.TRUNCATE:
+                    self.stats.corrupt_frames += 1
+                else:
+                    self.stats.partial_writes += 1
+                return False
+
+            ok = True
+            for _ in payloads:
+                ack = await asyncio.wait_for(
+                    reader.readexactly(1), timeout=cfg.ack_timeout
+                )
+                ok = ok and ack in _SUCCESS_ACKS
+            return ok
+        except (
+            ConnectionError,
+            OSError,
+            asyncio.TimeoutError,
+            asyncio.IncompleteReadError,
+        ):
+            self.stats.conn_resets += 1
+            return False
+        finally:
+            with _suppress_conn_errors():
+                writer.close()
+
+
+class _null_context:
+    async def __aenter__(self):
+        return self
+
+    async def __aexit__(self, *exc):
+        return False
+
+
+class _suppress_conn_errors:
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return exc_type is not None and issubclass(
+            exc_type,
+            (ConnectionError, OSError, asyncio.TimeoutError),
+        )

@@ -110,6 +110,7 @@ class Controller:
         expected_hosts: int | None = None,
         missing_hosts: Sequence[int] = (),
         epoch: int | None = None,
+        reported_hosts: int | None = None,
     ) -> NetworkResult:
         """Merge per-host reports and run network-wide recovery.
 
@@ -127,16 +128,26 @@ class Controller:
             collector); recorded in the :class:`DegradedEpoch`.
         epoch:
             Epoch number, recorded in the :class:`DegradedEpoch`.
+        reported_hosts:
+            How many *hosts* the ``reports`` sequence represents.
+            Defaults to ``len(reports)``; the hierarchical cluster
+            controller passes the underlying host count when each
+            entry is a partial aggregate already merged from a whole
+            aggregator group, so quorum and degraded rescale stay
+            keyed to hosts rather than aggregators.
         """
+        reported = (
+            len(reports) if reported_hosts is None else reported_hosts
+        )
         expected = (
-            len(reports) if expected_hosts is None else expected_hosts
+            reported if expected_hosts is None else expected_hosts
         )
         if expected_hosts is not None:
             needed = max(1, math.ceil(self.quorum * expected))
-            if len(reports) < needed:
+            if reported < needed:
                 raise QuorumError(
                     f"epoch{'' if epoch is None else f' {epoch}'} has "
-                    f"{len(reports)} of {expected} host reports; "
+                    f"{reported} of {expected} host reports; "
                     f"quorum requires {needed} "
                     f"(missing: {sorted(missing_hosts) or 'unknown'})"
                 )
@@ -145,13 +156,13 @@ class Controller:
 
         degraded: DegradedEpoch | None = None
         scale = 1.0
-        if len(reports) < expected:
+        if reported < expected:
             scale = (
-                expected / len(reports) if self.degraded_rescale else 1.0
+                expected / reported if self.degraded_rescale else 1.0
             )
             degraded = DegradedEpoch(
                 expected_hosts=expected,
-                reported_hosts=len(reports),
+                reported_hosts=reported,
                 missing_hosts=tuple(sorted(missing_hosts)),
                 scale=scale,
                 epoch=epoch,
@@ -186,7 +197,7 @@ class Controller:
             sketch=state.sketch,
             flow_estimates=state.flow_estimates,
             snapshot=merged_snapshot,
-            num_hosts=len(reports),
+            num_hosts=reported,
             lens_iterations=state.lens_iterations,
             lens_converged=state.lens_converged,
             tracked_bytes=state.tracked_bytes,

@@ -15,8 +15,12 @@ Two frame versions are understood:
   at rest — is detected before the unpickler ever runs; host id and
   epoch ride in the clear so the collector can dedup and reject stale
   replays without deserializing.
-* **v1** (decoded for compatibility) — ``MAGIC | version | length |
-  payload``, the pre-CRC format.
+* **v1** (rejected by default) — ``MAGIC | version | length |
+  payload``, the pre-CRC format.  v1 carries no integrity check, so
+  decoding it is refused with :class:`CorruptFrameError` unless the
+  ``REPRO_ALLOW_V1_FRAMES=1`` escape hatch is set, in which case the
+  historical ``DeprecationWarning`` behavior applies (see
+  ``docs/robustness.md`` for the removal schedule).
 
 On top of the codec sits :class:`ReportCollector`: per-host delivery
 with timeout, exponential-backoff retry, duplicate suppression by
@@ -27,7 +31,9 @@ of the fault model in ``docs/robustness.md``.
 from __future__ import annotations
 
 import io
+import os
 import pickle
+import random
 import struct
 import warnings
 import zlib
@@ -102,6 +108,50 @@ def v1_frames_decoded() -> int:
     ``sketchvisor_transport_v1_frames_total`` counter.
     """
     return _v1_frames_decoded
+
+
+def allow_v1_frames() -> bool:
+    """Whether the ``REPRO_ALLOW_V1_FRAMES=1`` escape hatch is set.
+
+    Checked at decode time (not import time) so tests and operators
+    can flip it without re-importing the module.
+    """
+    flag = os.environ.get("REPRO_ALLOW_V1_FRAMES", "")
+    return bool(flag) and flag != "0"
+
+
+def jittered_backoff(
+    base: float,
+    factor: float,
+    jitter: float,
+    seed: int,
+    epoch: int,
+    host: int,
+    attempt: int,
+) -> float:
+    """Exponential backoff with seeded decorrelating jitter.
+
+    The sleep before retry ``attempt`` (1-based) is
+    ``base * factor**(attempt-1) * (1 + jitter * u)`` with ``u`` drawn
+    uniformly from ``[-1, 1)`` by an RNG keyed on
+    ``(seed, epoch, host, attempt)`` — a pure function, so the same
+    cell always backs off identically across runs, while distinct
+    hosts failing in the same epoch retry on *different* schedules
+    (no thundering herd).  Shared by the in-process
+    :class:`ReportCollector` and the socket transport's
+    :class:`~repro.cluster.transport.HostChannel` so both paths
+    account identical backoff for identical fault schedules.
+    """
+    sleep = base * (factor ** (attempt - 1))
+    if jitter == 0.0:
+        return sleep
+    rng = random.Random(
+        (seed & 0xFFFF_FFFF) << 40
+        ^ (epoch & 0xFFFF) << 24
+        ^ (host & 0xFFFF) << 8
+        ^ (attempt & 0xFF)
+    )
+    return sleep * (1.0 + jitter * (2.0 * rng.random() - 1.0))
 
 
 @dataclass(frozen=True)
@@ -195,6 +245,14 @@ def decode_report(message: bytes) -> LocalReport:
     """
     header = peek_header(message)
     if header.version == _VERSION_V1:
+        if not allow_v1_frames():
+            raise CorruptFrameError(
+                "v1 report frames are no longer accepted: v1 carries "
+                "no CRC32, so payload corruption is undetectable. "
+                "Re-encode with encode_report (v2), or set "
+                "REPRO_ALLOW_V1_FRAMES=1 to decode legacy frames "
+                "during migration."
+            )
         global _v1_frames_decoded
         _v1_frames_decoded += 1
         warnings.warn(
@@ -301,6 +359,37 @@ class CollectionStats:
     v1_frames: int = 0
     #: Total *simulated* backoff the retry loop would have slept.
     backoff_seconds: float = 0.0
+    # ------------------------------------------------------------------
+    # Connection-level faults, filled only by the cluster transport
+    # (``repro.cluster``) — the in-process collector never sees them.
+    #: TCP connection attempts refused by the aggregator.
+    conn_refused: int = 0
+    #: Connections reset (RST) mid-transfer.
+    conn_resets: int = 0
+    #: Clean closes after only a prefix of the frame was written.
+    partial_writes: int = 0
+    #: Transfers abandoned because the peer stalled past the idle
+    #: deadline.
+    slow_peers: int = 0
+    #: Hosts network-partitioned from the controller for the epoch.
+    partitions: int = 0
+    #: Sends that had to wait on a full queue / saturated socket
+    #: buffer (the transport's backpressure signal, not a fault).
+    backpressure_waits: int = 0
+    #: Hosts skipped this epoch because their transport circuit
+    #: breaker was open (consecutive failed epochs).
+    quarantined_hosts: int = 0
+
+    @property
+    def connection_faults(self) -> int:
+        """Socket-layer faults only (cluster transport)."""
+        return (
+            self.conn_refused
+            + self.conn_resets
+            + self.partial_writes
+            + self.slow_peers
+            + self.partitions
+        )
 
     @property
     def faults_seen(self) -> int:
@@ -311,6 +400,7 @@ class CollectionStats:
             + self.duplicates
             + self.stale_frames
             + self.crashes
+            + self.connection_faults
         )
 
 
@@ -322,6 +412,20 @@ class CollectionResult:
     reports: list[LocalReport] = field(default_factory=list)
     missing_hosts: list[int] = field(default_factory=list)
     stats: CollectionStats = field(default_factory=CollectionStats)
+    #: When a hierarchical aggregator tier folded host reports into
+    #: partial aggregates, how many *hosts* the ``reports`` list
+    #: actually represents (``None`` on the flat path where one entry
+    #: is one host).
+    aggregated_from: int | None = None
+
+    @property
+    def hosts_reported(self) -> int:
+        """How many hosts' reports this collection represents."""
+        return (
+            len(self.reports)
+            if self.aggregated_from is None
+            else self.aggregated_from
+        )
 
     @property
     def complete(self) -> bool:
@@ -351,6 +455,18 @@ class ReportCollector:
         Retries after the first failed attempt, per host.
     backoff_base, backoff_factor:
         Retry ``i`` (simulated-)sleeps ``backoff_base * factor**i``.
+    backoff_jitter:
+        Fractional jitter applied to every backoff sleep: retry ``i``
+        sleeps ``backoff_base * factor**i * (1 + jitter * u)`` with
+        ``u`` drawn uniformly from ``[-1, 1)`` by a *seeded* RNG keyed
+        on ``(jitter_seed, epoch, host, attempt)``.  Without it, every
+        host that fails in the same epoch retries on the exact same
+        schedule — a thundering herd against the controller.  Jitter
+        is fully deterministic: the same cell always draws the same
+        perturbation.  Set to ``0.0`` for the historical fixed
+        schedule.
+    jitter_seed:
+        Root seed of the jitter draw stream.
     injector:
         Optional :class:`~repro.faults.injector.FaultInjector`; when
         absent every frame is delivered cleanly on the first attempt
@@ -363,17 +479,43 @@ class ReportCollector:
         max_retries: int = 3,
         backoff_base: float = 0.05,
         backoff_factor: float = 2.0,
+        backoff_jitter: float = 0.1,
+        jitter_seed: int = 0,
         injector=None,
     ):
         if max_retries < 0:
             raise ConfigError("max_retries must be >= 0")
         if timeout <= 0:
             raise ConfigError("timeout must be positive")
+        if not 0.0 <= backoff_jitter < 1.0:
+            raise ConfigError(
+                f"backoff_jitter must be in [0, 1), got {backoff_jitter}"
+            )
         self.timeout = timeout
         self.max_retries = max_retries
         self.backoff_base = backoff_base
         self.backoff_factor = backoff_factor
+        self.backoff_jitter = backoff_jitter
+        self.jitter_seed = jitter_seed
         self.injector = injector
+
+    # ------------------------------------------------------------------
+    def backoff_for(self, epoch: int, host: int, attempt: int) -> float:
+        """The (simulated) sleep before retry ``attempt`` (1-based).
+
+        A pure function of ``(jitter_seed, epoch, host, attempt)`` —
+        deterministic across runs, but *decorrelated* across hosts so
+        simultaneous failures do not retry in lockstep.
+        """
+        return jittered_backoff(
+            self.backoff_base,
+            self.backoff_factor,
+            self.backoff_jitter,
+            self.jitter_seed,
+            epoch,
+            host,
+            attempt,
+        )
 
     # ------------------------------------------------------------------
     def collect(
@@ -423,13 +565,13 @@ class ReportCollector:
             injector.record(FaultKind.CRASH)
             stats.crashes += 1
             stats.retries += self.max_retries
-            stats.backoff_seconds += self._total_backoff()
+            stats.backoff_seconds += self._total_backoff(epoch, host)
             return "missing", None
         for attempt in range(self.max_retries + 1):
             if attempt > 0:
                 stats.retries += 1
-                stats.backoff_seconds += self.backoff_base * (
-                    self.backoff_factor ** (attempt - 1)
+                stats.backoff_seconds += self.backoff_for(
+                    epoch, host, attempt
                 )
             fault = faults.popleft() if faults else None
             try:
@@ -512,8 +654,8 @@ class ReportCollector:
             return stale, 1
         raise ConfigError(f"unhandled fault kind {fault}")
 
-    def _total_backoff(self) -> float:
+    def _total_backoff(self, epoch: int, host: int) -> float:
         return sum(
-            self.backoff_base * self.backoff_factor**i
-            for i in range(self.max_retries)
+            self.backoff_for(epoch, host, attempt)
+            for attempt in range(1, self.max_retries + 1)
         )

@@ -31,12 +31,17 @@ from repro.durability.checkpoint import (
     checkpoint_from_env,
 )
 from repro.durability.codec import StateCodec
-from repro.durability.supervisor import HostOutcome, Supervisor
+from repro.durability.supervisor import (
+    CircuitBreaker,
+    HostOutcome,
+    Supervisor,
+)
 
 __all__ = [
     "Checkpointer",
     "CheckpointStats",
     "DEFAULT_CHECKPOINT_EVERY",
+    "CircuitBreaker",
     "HostOutcome",
     "StateCodec",
     "Supervisor",

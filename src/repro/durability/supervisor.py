@@ -72,11 +72,42 @@ class HostOutcome:
 
 
 @dataclass
-class _Breaker:
-    """Per-host circuit-breaker state."""
+class CircuitBreaker:
+    """Per-peer circuit-breaker state, keyed by epoch.
+
+    ``threshold`` consecutive failed epochs open the breaker for
+    ``quarantine_epochs`` epochs, during which the peer is skipped
+    outright.  Shared by the supervisor (hosts whose data plane keeps
+    giving up) and the cluster transport (hosts whose report channel
+    keeps failing) so both layers quarantine flapping peers with the
+    same policy.
+    """
 
     streak: int = 0
-    open_until: int = 0  # first epoch the host may run again
+    open_until: int = 0  # first epoch the peer may run again
+
+    def is_open(self, epoch: int) -> bool:
+        """Whether the peer is quarantined for ``epoch``."""
+        return epoch < self.open_until
+
+    def record_failure(
+        self, epoch: int, threshold: int, quarantine_epochs: int
+    ) -> bool:
+        """Count one failed epoch; returns True when this failure
+        trips the breaker (the peer enters quarantine)."""
+        self.streak += 1
+        if self.streak >= threshold:
+            self.open_until = epoch + 1 + quarantine_epochs
+            self.streak = 0
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self.streak = 0
+
+
+#: Backward-compatible alias (pre-cluster internal name).
+_Breaker = CircuitBreaker
 
 
 class Supervisor:
@@ -140,7 +171,7 @@ class Supervisor:
         #: heartbeat; the watchdog's liveness table.
         self.heartbeats: dict[int, tuple[int, int, float]] = {}
         self._checkpointers: dict[int, Checkpointer] = {}
-        self._breakers: dict[int, _Breaker] = {}
+        self._breakers: dict[int, CircuitBreaker] = {}
 
     # ------------------------------------------------------------------
     def checkpointer_for(self, host_id: int) -> Checkpointer:
@@ -179,8 +210,10 @@ class Supervisor:
 
     def _run_host(self, host, shard, offered_gbps, epoch) -> HostOutcome:
         outcome = HostOutcome(host_id=host.host_id)
-        breaker = self._breakers.setdefault(host.host_id, _Breaker())
-        if epoch < breaker.open_until:
+        breaker = self._breakers.setdefault(
+            host.host_id, CircuitBreaker()
+        )
+        if breaker.is_open(epoch):
             outcome.quarantined = True
             return outcome
 
@@ -273,13 +306,14 @@ class Supervisor:
         )
 
         if outcome.gave_up:
-            breaker.streak += 1
-            if breaker.streak >= self.quarantine_threshold:
-                breaker.open_until = epoch + 1 + self.quarantine_epochs
-                breaker.streak = 0
+            breaker.record_failure(
+                epoch,
+                self.quarantine_threshold,
+                self.quarantine_epochs,
+            )
             return outcome
 
-        breaker.streak = 0
+        breaker.record_success()
         snapshot = (
             engine.fastpath.snapshot()
             if isinstance(engine.fastpath, FastPath)

@@ -25,12 +25,14 @@ from repro.faults.injector import FaultInjector
 from repro.faults.plan import (
     DATAPLANE_KINDS,
     RETRIABLE_KINDS,
+    SOCKET_KINDS,
     DataPlaneFault,
     FaultKind,
     FaultPlan,
     FaultSpec,
     faults_from_env,
     moderate_plan,
+    socket_plan,
 )
 
 __all__ = [
@@ -41,6 +43,8 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "RETRIABLE_KINDS",
+    "SOCKET_KINDS",
     "faults_from_env",
     "moderate_plan",
+    "socket_plan",
 ]

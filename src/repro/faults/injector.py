@@ -39,6 +39,12 @@ class FaultInjector:
         """The plan's fault list for one ``(epoch, host)`` cell."""
         return self.plan.schedule_for(epoch, host)
 
+    def socket_schedule(self, epoch: int, host: int) -> list[FaultKind]:
+        """The plan's connection-level fault list for one cell (empty
+        for pre-cluster plans; see
+        :meth:`~repro.faults.plan.FaultPlan.socket_schedule_for`)."""
+        return self.plan.socket_schedule_for(epoch, host)
+
     def record(self, kind: FaultKind) -> None:
         """Count one injected fault (called by the collector as each
         fault actually fires)."""

@@ -52,6 +52,21 @@ class FaultKind(Enum):
     #: (hung syscall, livelock): heartbeats cease and the supervisor's
     #: watchdog must detect it before a restart can happen.
     HANG = "hang"
+    #: The controller/aggregator refuses the host's TCP connection
+    #: (listener down, backlog full); the connect attempt fails fast.
+    CONN_REFUSED = "conn_refused"
+    #: The connection is torn down abruptly (RST) mid-transfer; any
+    #: partially sent frame is discarded by the receiver.
+    CONN_RESET = "conn_reset"
+    #: The sender's socket closes cleanly after writing only a prefix
+    #: of the frame (short write at the OS boundary).
+    PARTIAL_WRITE = "partial_write"
+    #: The peer stalls mid-frame longer than the receiver's idle
+    #: deadline; the receiver hangs up and the attempt is lost.
+    SLOW_PEER = "slow_peer"
+    #: The host is network-partitioned from the controller for the
+    #: whole epoch: every connection attempt fails (socket CRASH).
+    PARTITION = "partition"
 
 
 #: Fixed sampling order so rate draws are reproducible.  New kinds are
@@ -67,6 +82,11 @@ _KIND_ORDER = (
     FaultKind.REPLAY,
     FaultKind.DATAPLANE_CRASH,
     FaultKind.HANG,
+    FaultKind.PARTITION,
+    FaultKind.CONN_REFUSED,
+    FaultKind.CONN_RESET,
+    FaultKind.PARTIAL_WRITE,
+    FaultKind.SLOW_PEER,
 )
 
 #: Kinds that strike the data plane mid-epoch rather than the report
@@ -74,6 +94,22 @@ _KIND_ORDER = (
 #: with a packet offset and never appear in :meth:`schedule_for`.
 DATAPLANE_KINDS = frozenset(
     {FaultKind.DATAPLANE_CRASH, FaultKind.HANG}
+)
+
+#: Kinds that strike the *socket layer* of the cluster transport
+#: (``repro.cluster``): connection establishment and stream transfer
+#: rather than frame contents.  They are scheduled by
+#: :meth:`FaultPlan.socket_schedule_for` and never appear in
+#: :meth:`schedule_for`, so an existing in-process plan is untouched
+#: by socket rates and vice versa.
+SOCKET_KINDS = frozenset(
+    {
+        FaultKind.CONN_REFUSED,
+        FaultKind.CONN_RESET,
+        FaultKind.PARTIAL_WRITE,
+        FaultKind.SLOW_PEER,
+        FaultKind.PARTITION,
+    }
 )
 
 #: Kinds a :class:`FaultSpec.packet_offset` may be attached to.  A
@@ -96,6 +132,10 @@ RETRIABLE_KINDS = frozenset(
         FaultKind.TRUNCATE,
         FaultKind.BITFLIP,
         FaultKind.REPLAY,
+        FaultKind.CONN_REFUSED,
+        FaultKind.CONN_RESET,
+        FaultKind.PARTIAL_WRITE,
+        FaultKind.SLOW_PEER,
     }
 )
 
@@ -209,6 +249,7 @@ class FaultPlan:
             kind
             for kind in self._rate_draws(epoch, host)
             if kind not in DATAPLANE_KINDS
+            and kind not in SOCKET_KINDS
         ]
         # Pinned specs stack: each matching spec consumes one delivery
         # attempt, so listing the same spec n times injects it n times
@@ -217,12 +258,38 @@ class FaultPlan:
             if (
                 spec.matches(epoch, host)
                 and spec.kind not in DATAPLANE_KINDS
+                and spec.kind not in SOCKET_KINDS
                 and spec.packet_offset is None
             ):
                 faults.append(spec.kind)
         # A crashed host never answers: every other fault is moot.
         if FaultKind.CRASH in faults:
             return [FaultKind.CRASH]
+        return faults
+
+    def socket_schedule_for(
+        self, epoch: int, host: int
+    ) -> list[FaultKind]:
+        """The socket-layer faults hitting ``(epoch, host)``, in
+        connection-attempt order.
+
+        Same determinism contract as :meth:`schedule_for` — a pure
+        function of ``(seed, epoch, host)``.  Only consulted by the
+        cluster transport (``repro.cluster``); the in-process report
+        path never sees these kinds.
+        """
+        faults = [
+            kind
+            for kind in self._rate_draws(epoch, host)
+            if kind in SOCKET_KINDS
+        ]
+        for spec in self.specs:
+            if spec.matches(epoch, host) and spec.kind in SOCKET_KINDS:
+                faults.append(spec.kind)
+        # A partitioned host cannot reach the controller at all this
+        # epoch: every other socket fault is moot.
+        if FaultKind.PARTITION in faults:
+            return [FaultKind.PARTITION]
         return faults
 
     def dataplane_schedule_for(
@@ -376,6 +443,30 @@ def moderate_plan(seed: int = 0) -> FaultPlan:
             FaultKind.BITFLIP: 0.01,
             FaultKind.DUPLICATE: 0.01,
             FaultKind.REPLAY: 0.01,
+        },
+    )
+
+
+def socket_plan(seed: int = 0) -> FaultPlan:
+    """The default *socket* chaos mix for cluster runs: ~10% per-host
+    connection-level pressure (refusals, resets, short writes, stalls)
+    plus a thin partition rate, layered on a light frame-level mix.
+
+    Partitions are the only non-recoverable kind here, so most epochs
+    still reach full quorum and the rest land a ``DegradedEpoch`` —
+    exactly the envelope the CI cluster leg asserts.
+    """
+    return FaultPlan(
+        seed=seed,
+        rates={
+            FaultKind.CONN_REFUSED: 0.03,
+            FaultKind.CONN_RESET: 0.03,
+            FaultKind.PARTIAL_WRITE: 0.02,
+            FaultKind.SLOW_PEER: 0.01,
+            FaultKind.PARTITION: 0.02,
+            FaultKind.DROP: 0.02,
+            FaultKind.BITFLIP: 0.01,
+            FaultKind.DUPLICATE: 0.01,
         },
     )
 

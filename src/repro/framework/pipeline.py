@@ -15,6 +15,11 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
+from repro.cluster import (
+    ClusterCollector,
+    ClusterConfig,
+    cluster_from_env,
+)
 from repro.common.errors import ConfigError
 from repro.controlplane.controller import Controller, NetworkResult
 from repro.controlplane.lens import LensConfig
@@ -50,6 +55,7 @@ from repro.telemetry.accuracy import (
 )
 from repro.telemetry.publish import (
     fastpath_stats,
+    publish_cluster_epoch,
     publish_collection_epoch,
     publish_durability_epoch,
     publish_fastpath_epoch,
@@ -131,6 +137,16 @@ class PipelineConfig:
     #: breach; ``None`` records into the ring without auto-dumping.
     #: ``REPRO_RECORDER_PATH=<file>`` injects a path here.
     recorder_path: str | None = None
+    #: Real-socket control plane: a
+    #: :class:`~repro.cluster.ClusterConfig` routes every epoch's
+    #: reports over actual TCP connections through the hierarchical
+    #: aggregator tier instead of the in-process handoff.  ``None``
+    #: (the default) keeps the historical paths bit for bit; setting
+    #: ``REPRO_CLUSTER=1`` in the environment injects a default
+    #: config here instead.  Composes with ``faults``: the plan's
+    #: report-path *and* connection-level schedules are injected at
+    #: the socket layer.
+    cluster: "ClusterConfig | None" = None
     #: Cycle-level profiling: a :class:`ProfileConfig`, ``True`` for
     #: the defaults, or ``None``/``False`` (off).  Implies telemetry.
     #: Every trace_span site becomes a wall+CPU stage timer, the stack
@@ -156,6 +172,8 @@ class PipelineConfig:
             self.telemetry.enable_profiling(self.profile)
         if self.faults is None:
             self.faults = faults_from_env()
+        if self.cluster is None:
+            self.cluster = cluster_from_env()
         if self.checkpoint_dir is None:
             env_dir, env_every = checkpoint_from_env()
             if env_dir is not None:
@@ -285,6 +303,15 @@ class SketchVisorPipeline:
         else:
             self._injector = None
             self._collector = None
+        # The socket transport composes with chaos: the same injector
+        # (when present) drives both report-path and connection-level
+        # fault schedules at the socket layer.
+        if self.config.cluster is not None:
+            self._cluster = ClusterCollector(
+                self.config.cluster, injector=self._injector
+            )
+        else:
+            self._cluster = None
         # Durable host state is likewise opt-in: with no checkpoint
         # directory the supervisor never exists and the data plane runs
         # the historical (unsupervised) paths bit for bit.
@@ -334,6 +361,8 @@ class SketchVisorPipeline:
             f"fastpath={cfg.fastpath_bytes}B, "
             f"telemetry={'on' if cfg.telemetry is not None else 'off'}, "
             f"chaos={'on' if cfg.faults is not None else 'off'}, "
+            f"cluster="
+            f"{('hier' if cfg.cluster.hierarchical else 'flat') if cfg.cluster is not None else 'off'}, "
             f"durability="
             f"{'on' if cfg.checkpoint_dir is not None else 'off'})"
         )
@@ -565,6 +594,10 @@ class SketchVisorPipeline:
         cfg = self.config
         extra_missing = extra_missing or []
         epoch = self._next_epoch()
+        if self._cluster is not None:
+            return self._aggregate_cluster(
+                reports, extra_missing, epoch
+            )
         if self._collector is None:
             if extra_missing:
                 # No report channel to blame, but hosts are still
@@ -605,6 +638,43 @@ class SketchVisorPipeline:
             expected_hosts=cfg.num_hosts,
             missing_hosts=collection.missing_hosts,
             epoch=epoch,
+        )
+        return network, collection
+
+    def _aggregate_cluster(
+        self,
+        reports: list[LocalReport],
+        extra_missing: list[int],
+        epoch: int,
+    ) -> tuple[NetworkResult, CollectionResult]:
+        """The real-socket epoch: reports cross TCP connections to the
+        aggregator tier, and the controller merges whatever arrived —
+        partial aggregates in hierarchical mode, decoded reports in
+        flat mode — with quorum still keyed on *hosts*."""
+        cfg = self.config
+        with trace_span(
+            cfg.telemetry, "controlplane.cluster", epoch=epoch
+        ):
+            collection = self._cluster.collect(reports, epoch)
+        if extra_missing:
+            collection.missing_hosts.extend(
+                host_id
+                for host_id in sorted(extra_missing)
+                if host_id not in collection.missing_hosts
+            )
+        if cfg.telemetry is not None:
+            publish_collection_epoch(
+                cfg.telemetry.registry, collection
+            )
+            publish_cluster_epoch(
+                cfg.telemetry.registry, self._cluster, collection
+            )
+        network = self.controller.aggregate(
+            collection.reports,
+            expected_hosts=cfg.num_hosts,
+            missing_hosts=collection.missing_hosts,
+            epoch=epoch,
+            reported_hosts=collection.hosts_reported,
         )
         return network, collection
 
@@ -656,9 +726,24 @@ class SketchVisorPipeline:
                 result, self.task, epoch
             )
         outcomes = result.durability or []
+        collection = result.collection
+        transport_quarantined = collection is not None and getattr(
+            collection.stats, "quarantined_hosts", 0
+        )
+        transport_missing = (
+            collection is not None and collection.missing_hosts
+        )
         if any(o.quarantined for o in outcomes):
             observer.maybe_dump("quarantine")
         elif dp_missing or any(o.gave_up for o in outcomes):
+            observer.maybe_dump("crash")
+        elif result.slo_breaches:
+            # An SLO breach already dumped with its own reason; don't
+            # overwrite it with the transport-trigger dump below.
+            pass
+        elif transport_quarantined:
+            observer.maybe_dump("quarantine")
+        elif transport_missing:
             observer.maybe_dump("crash")
         return result
 

@@ -1,7 +1,8 @@
 """The ``repro perf`` observatory: bench trajectories → HTML dashboard.
 
 The benchmarks append one entry per run to committed trajectory files
-(``BENCH_dataplane.json``, ``BENCH_checkpoint.json``).  This module
+(``BENCH_dataplane.json``, ``BENCH_checkpoint.json``,
+``BENCH_cluster.json``).  This module
 turns that history into a regression dashboard: per-metric sparklines
 across commits, the latest run's per-stage wall-time breakdown with
 deltas against the previous run, and gate-violation annotations
@@ -26,6 +27,8 @@ from repro.dash import _html_escape
 ACCURACY_OVERHEAD_CEILING_PCT = 5.0
 PROFILING_OVERHEAD_CEILING_PCT = 10.0
 CHECKPOINT_OVERHEAD_CEILING = 0.10
+CLUSTER_RSS_RATIO_CEILING = 0.8
+CLUSTER_RSS_EXPONENT_CEILING = 0.75
 #: Allowed fractional drop below the best prior non-smoke speedup.
 SPEEDUP_DROP_TOLERANCE = 0.15
 
@@ -148,6 +151,18 @@ SERIES_BY_FILE: dict[str, tuple[SeriesSpec, ...]] = {
             "checkpoint_overhead", "Checkpoint overhead (default)",
             "frac", ("default_overhead",),
             gate="ceiling", limit=CHECKPOINT_OVERHEAD_CEILING,
+        ),
+    ),
+    "BENCH_cluster": (
+        SeriesSpec(
+            "cluster_rss_ratio", "Cluster hier/flat peak RSS ratio",
+            "frac", ("summary", "rss_ratio"),
+            gate="ceiling", limit=CLUSTER_RSS_RATIO_CEILING,
+        ),
+        SeriesSpec(
+            "cluster_rss_exponent", "Cluster RSS growth exponent",
+            "", ("summary", "rss_growth_exponent"),
+            gate="ceiling", limit=CLUSTER_RSS_EXPONENT_CEILING,
         ),
     ),
 }

@@ -160,6 +160,15 @@ def publish_collection_epoch(
     events.inc(stats.duplicates, kind="duplicate")
     events.inc(stats.stale_frames, kind="stale_frame")
     events.inc(stats.crashes, kind="host_crash")
+    # Connection-level kinds exist only on the socket transport; the
+    # getattr default keeps older CollectionStats shapes publishable.
+    events.inc(getattr(stats, "conn_refused", 0), kind="conn_refused")
+    events.inc(getattr(stats, "conn_resets", 0), kind="conn_reset")
+    events.inc(
+        getattr(stats, "partial_writes", 0), kind="partial_write"
+    )
+    events.inc(getattr(stats, "slow_peers", 0), kind="slow_peer")
+    events.inc(getattr(stats, "partitions", 0), kind="partition")
     registry.counter(
         "sketchvisor_transport_retries_total",
         "Report delivery retries (attempts beyond each host's first)",
@@ -176,6 +185,37 @@ def publish_collection_epoch(
         "sketchvisor_transport_v1_frames_total",
         "Deprecated v1 (un-CRC'd) report frames decoded",
     ).inc(getattr(stats, "v1_frames", 0))
+
+
+def publish_cluster_epoch(
+    registry: MetricsRegistry, collector, collection
+) -> None:
+    """Publish one socket-transport epoch's cluster-only shape.
+
+    ``collector`` is the :class:`~repro.cluster.ClusterCollector`
+    (aggregator-tier geometry), ``collection`` its result; the fault
+    counters themselves go through :func:`publish_collection_epoch`
+    like every other transport.
+    """
+    stats = collection.stats
+    registry.counter(
+        "sketchvisor_cluster_backpressure_waits_total",
+        "Sends that waited on the bounded in-flight pool or a full "
+        "socket write buffer",
+    ).inc(getattr(stats, "backpressure_waits", 0))
+    registry.counter(
+        "sketchvisor_cluster_quarantined_host_epochs_total",
+        "Host-epochs skipped by the transport circuit breaker",
+    ).inc(getattr(stats, "quarantined_hosts", 0))
+    registry.gauge(
+        "sketchvisor_cluster_aggregators",
+        "Aggregator-tier size used by the latest cluster epoch",
+    ).set(collector.last_aggregators)
+    registry.gauge(
+        "sketchvisor_cluster_peak_resident_reports",
+        "Peak sketch-carrying objects resident in one aggregator "
+        "(hierarchical) or the controller (flat) in the latest epoch",
+    ).set(collector.last_peak_resident)
 
 
 def publish_worker_crashes(

@@ -174,11 +174,32 @@ class FlightRecorder:
                     ("duplicates", stats.duplicates),
                     ("stale_frames", stats.stale_frames),
                     ("crashes", stats.crashes),
+                    (
+                        "conn_refused",
+                        getattr(stats, "conn_refused", 0),
+                    ),
+                    (
+                        "conn_resets",
+                        getattr(stats, "conn_resets", 0),
+                    ),
+                    (
+                        "partial_writes",
+                        getattr(stats, "partial_writes", 0),
+                    ),
+                    ("slow_peers", getattr(stats, "slow_peers", 0)),
+                    ("partitions", getattr(stats, "partitions", 0)),
                 )
                 if value
             }
             if faults:
                 self.record("transport_fault", epoch=epoch, **faults)
+            quarantined = getattr(stats, "quarantined_hosts", 0)
+            if quarantined:
+                self.record(
+                    "transport_quarantine",
+                    epoch=epoch,
+                    hosts=quarantined,
+                )
             if stats.retries:
                 self.record(
                     "collector_retry",

@@ -1,0 +1,528 @@
+"""Real-socket control plane: transport, aggregators, chaos over TCP."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    Aggregator,
+    ClusterCollector,
+    ClusterConfig,
+    PartialAggregate,
+    assign_aggregator,
+    cluster_from_env,
+)
+from repro.common.errors import ConfigError
+from repro.controlplane.controller import Controller
+from repro.controlplane.recovery import RecoveryMode
+from repro.controlplane.transport import (
+    ReportCollector,
+    encode_report,
+)
+from repro.dataplane.host import Host
+from repro.faults import (
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    socket_plan,
+)
+from repro.framework.pipeline import PipelineConfig, SketchVisorPipeline
+from repro.sketches.deltoid import Deltoid
+from repro.tasks.heavy_hitter import HeavyHitterTask
+from repro.telemetry import Telemetry
+from repro.traffic.generator import TraceConfig, generate_trace
+from repro.traffic.groundtruth import GroundTruth
+
+NUM_HOSTS = 8
+
+#: Tight deadlines so injected connection faults resolve fast; the
+#: margins stay far above localhost latency, keeping outcomes
+#: deterministic.
+FAST = dict(
+    connect_timeout=1.0,
+    ack_timeout=1.0,
+    idle_timeout=0.15,
+    epoch_deadline=20.0,
+    backoff_base=0.002,
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(TraceConfig(num_flows=300, seed=13))
+
+
+@pytest.fixture(scope="module")
+def reports(trace):
+    built = []
+    for host_id in range(NUM_HOSTS):
+        host = Host(
+            host_id,
+            Deltoid(width=128, depth=2, seed=5),
+            fastpath_bytes=4096,
+        )
+        built.append(host.run_epoch(trace))
+    return built
+
+
+def stats_dict(stats):
+    """Deterministic stats fields (backpressure waits are timing-
+    dependent and excluded on purpose)."""
+    fields = dict(vars(stats))
+    fields.pop("backpressure_waits", None)
+    return fields
+
+
+# ---------------------------------------------------------------------------
+# Zero faults: the wire must be invisible.
+# ---------------------------------------------------------------------------
+class TestZeroFaultBitIdentity:
+    def test_flat_matches_in_process_collector(self, reports):
+        frames = {r.host_id: encode_report(r, 2) for r in reports}
+        base = ReportCollector().collect(frames, 2)
+        over_wire = ClusterCollector(
+            ClusterConfig(hierarchical=False, **FAST)
+        ).collect(reports, 2)
+        assert over_wire.missing_hosts == []
+        assert over_wire.hosts_reported == NUM_HOSTS
+        assert len(over_wire.reports) == len(base.reports)
+        for a, b in zip(base.reports, over_wire.reports):
+            assert a.host_id == b.host_id
+            assert np.array_equal(
+                a.sketch.to_matrix(), b.sketch.to_matrix()
+            )
+            assert a.fastpath.entries == b.fastpath.entries
+            assert a.fastpath.total_bytes == b.fastpath.total_bytes
+
+    def test_hierarchical_merge_is_exact(self, reports):
+        collection = ClusterCollector(
+            ClusterConfig(hierarchical=True, **FAST)
+        ).collect(reports, 0)
+        assert collection.hosts_reported == NUM_HOSTS
+        assert 1 < len(collection.reports) < NUM_HOSTS
+        assert all(
+            isinstance(r, PartialAggregate) for r in collection.reports
+        )
+        covered = sorted(
+            h for r in collection.reports for h in r.host_ids
+        )
+        assert covered == list(range(NUM_HOSTS))
+
+        direct = Controller(RecoveryMode.SKETCHVISOR).aggregate(
+            reports, expected_hosts=NUM_HOSTS, epoch=0
+        )
+        hier = Controller(RecoveryMode.SKETCHVISOR).aggregate(
+            collection.reports,
+            expected_hosts=NUM_HOSTS,
+            epoch=0,
+            reported_hosts=collection.hosts_reported,
+        )
+        assert np.array_equal(
+            direct.sketch.to_matrix(), hier.sketch.to_matrix()
+        )
+        assert hier.num_hosts == NUM_HOSTS
+        assert hier.degraded is None
+
+    def test_pipeline_over_sockets_matches_in_process(self, trace):
+        truth = GroundTruth.from_trace(trace)
+        task = HeavyHitterTask(
+            "univmon", threshold=0.002 * truth.total_bytes
+        )
+
+        def run(cluster):
+            pipe = SketchVisorPipeline(
+                HeavyHitterTask(
+                    "univmon", threshold=0.002 * truth.total_bytes
+                ),
+                config=PipelineConfig(
+                    num_hosts=5,
+                    seed=3,
+                    telemetry=Telemetry(),
+                    cluster=cluster,
+                ),
+            )
+            return pipe, pipe.run_epoch(trace, truth)
+
+        _, base = run(None)
+        _, flat = run(ClusterConfig(hierarchical=False, **FAST))
+        pipe_h, hier = run(ClusterConfig(hierarchical=True, **FAST))
+
+        for other in (flat, hier):
+            assert np.array_equal(
+                base.network.sketch.to_matrix(),
+                other.network.sketch.to_matrix(),
+            )
+            assert vars(base.score) == vars(other.score)
+        assert hier.collection.hosts_reported == 5
+
+        # Same per-host telemetry counter totals: the wire changed,
+        # the measurement did not.
+        def dataplane_counters(result_pipe):
+            snap = result_pipe.config.telemetry.registry.snapshot()
+            return {
+                name: fam
+                for name, fam in snap.items()
+                if name.startswith(
+                    ("sketchvisor_switch", "sketchvisor_fastpath")
+                )
+            }
+
+        base_pipe, base2 = run(None)
+        hier_pipe, hier2 = run(ClusterConfig(hierarchical=True, **FAST))
+        assert dataplane_counters(base_pipe) == dataplane_counters(
+            hier_pipe
+        )
+
+    def test_clean_epoch_has_no_fault_stats(self, reports):
+        collection = ClusterCollector(
+            ClusterConfig(**FAST)
+        ).collect(reports, 1)
+        stats = collection.stats
+        assert stats.faults_seen == 0
+        assert stats.connection_faults == 0
+        assert stats.retries == 0
+
+
+# ---------------------------------------------------------------------------
+# Chaos over real sockets.
+# ---------------------------------------------------------------------------
+class TestSocketChaos:
+    def _run(self, reports, seed, epochs=4, **cfg_kwargs):
+        injector = FaultInjector(socket_plan(seed=seed))
+        collector = ClusterCollector(
+            ClusterConfig(**FAST, **cfg_kwargs), injector=injector
+        )
+        outcomes = []
+        for epoch in range(epochs):
+            result = collector.collect(reports, epoch)
+            outcomes.append(
+                (
+                    stats_dict(result.stats),
+                    tuple(result.missing_hosts),
+                    result.hosts_reported,
+                )
+            )
+        return outcomes, dict(injector.injected)
+
+    def test_fault_stats_are_deterministic(self, reports):
+        first = self._run(reports, seed=7)
+        second = self._run(reports, seed=7)
+        assert first == second
+
+    def test_faults_actually_fire(self, reports):
+        outcomes, injected = self._run(reports, seed=3, epochs=6)
+        assert sum(injected.values()) > 0
+        total_faults = sum(
+            sum(
+                v
+                for k, v in stats.items()
+                if k not in ("retries", "backoff_seconds", "v1_frames")
+            )
+            for stats, _, _ in outcomes
+        )
+        assert total_faults > 0
+
+    def test_report_path_kinds_match_in_process_collector(
+        self, reports
+    ):
+        """A plan with only report-path kinds must produce *identical*
+        delivery outcomes over the wire and in process — stats,
+        missing hosts, and reports alike."""
+        rates = {
+            FaultKind.DROP: 0.1,
+            FaultKind.DELAY: 0.05,
+            FaultKind.BITFLIP: 0.05,
+            FaultKind.TRUNCATE: 0.05,
+            FaultKind.DUPLICATE: 0.05,
+            FaultKind.REPLAY: 0.05,
+            FaultKind.CRASH: 0.05,
+        }
+        in_process = ReportCollector(
+            injector=FaultInjector(FaultPlan(seed=11, rates=rates)),
+            backoff_base=0.002,
+        )
+        over_wire = ClusterCollector(
+            ClusterConfig(hierarchical=False, **FAST),
+            injector=FaultInjector(FaultPlan(seed=11, rates=rates)),
+        )
+        for epoch in range(3):
+            frames = {
+                r.host_id: encode_report(r, epoch) for r in reports
+            }
+            a = in_process.collect(frames, epoch)
+            b = over_wire.collect(reports, epoch)
+            assert stats_dict(a.stats) == stats_dict(b.stats)
+            assert a.missing_hosts == b.missing_hosts
+            assert [r.host_id for r in a.reports] == [
+                r.host_id for r in b.reports
+            ]
+
+    def test_every_epoch_meets_quorum_or_degrades(self, reports):
+        """Under sustained socket chaos no epoch hangs or leaks an
+        exception: each one either meets quorum or produces a
+        DegradedEpoch whose rescale matches the loss."""
+        injector = FaultInjector(socket_plan(seed=5))
+        collector = ClusterCollector(
+            ClusterConfig(**FAST), injector=injector
+        )
+        controller = Controller(RecoveryMode.SKETCHVISOR, quorum=0.25)
+        for epoch in range(6):
+            collection = collector.collect(reports, epoch)
+            network = controller.aggregate(
+                collection.reports,
+                expected_hosts=NUM_HOSTS,
+                missing_hosts=collection.missing_hosts,
+                epoch=epoch,
+                reported_hosts=collection.hosts_reported,
+            )
+            reported = collection.hosts_reported
+            assert (
+                reported + len(collection.missing_hosts) == NUM_HOSTS
+            )
+            if reported < NUM_HOSTS:
+                degraded = network.degraded
+                assert degraded is not None
+                assert degraded.reported_hosts == reported
+                assert degraded.scale == pytest.approx(
+                    NUM_HOSTS / reported
+                )
+            else:
+                assert network.degraded is None
+
+    def test_partitioned_host_quarantined_by_circuit_breaker(
+        self, reports
+    ):
+        victim = 2
+        specs = [
+            FaultSpec(FaultKind.PARTITION, epoch=e, host=victim)
+            for e in range(3)
+        ]
+        injector = FaultInjector(FaultPlan(seed=1, specs=specs))
+        collector = ClusterCollector(
+            ClusterConfig(
+                quarantine_threshold=3, quarantine_epochs=2, **FAST
+            ),
+            injector=injector,
+        )
+        # Epochs 0-2: partition fires, host missing, breaker charging.
+        for epoch in range(3):
+            result = collector.collect(reports, epoch)
+            assert result.missing_hosts == [victim]
+            assert result.stats.partitions == 1
+            assert result.stats.quarantined_hosts == 0
+        # Epochs 3-4: quarantined — no fault fires (the plan is
+        # exhausted), the host is skipped outright.
+        for epoch in (3, 4):
+            result = collector.collect(reports, epoch)
+            assert result.missing_hosts == [victim]
+            assert result.stats.quarantined_hosts == 1
+            assert result.stats.partitions == 0
+        # Epoch 5: breaker closes, the healthy host delivers again.
+        result = collector.collect(reports, 5)
+        assert result.missing_hosts == []
+        assert result.stats.quarantined_hosts == 0
+
+    def test_recorder_captures_connection_faults(self, reports):
+        telemetry = Telemetry()
+        injector = FaultInjector(
+            FaultPlan(
+                seed=1,
+                specs=[
+                    FaultSpec(FaultKind.CONN_RESET, epoch=0, host=1),
+                    FaultSpec(FaultKind.SLOW_PEER, epoch=0, host=4),
+                ],
+            )
+        )
+        collector = ClusterCollector(
+            ClusterConfig(**FAST), injector=injector
+        )
+        collection = collector.collect(reports, 0)
+        telemetry.recorder.record_epoch_events(
+            0, collection=collection
+        )
+        faults = [
+            e
+            for e in telemetry.recorder.events()
+            if e.kind == "transport_fault"
+        ]
+        assert len(faults) == 1
+        assert faults[0].fields["conn_resets"] == 1
+        assert faults[0].fields["slow_peers"] == 1
+
+    def test_chaos_pipeline_end_to_end(self, trace):
+        """Full pipeline over sockets with a socket chaos plan:
+        degraded epochs annotate, the flight recorder sees the
+        transport faults, and nothing escapes."""
+        truth = GroundTruth.from_trace(trace)
+        telemetry = Telemetry()
+        pipe = SketchVisorPipeline(
+            HeavyHitterTask(
+                "univmon", threshold=0.002 * truth.total_bytes
+            ),
+            config=PipelineConfig(
+                num_hosts=6,
+                seed=3,
+                telemetry=telemetry,
+                faults=socket_plan(seed=12),
+                cluster=ClusterConfig(**FAST),
+                quorum=0.25,
+            ),
+        )
+        for _ in range(4):
+            result = pipe.run_epoch(trace, truth)
+            assert result.collection is not None
+            missing = len(result.collection.missing_hosts)
+            if missing:
+                assert result.degraded is not None
+                assert (
+                    result.degraded.reported_hosts == 6 - missing
+                )
+        # Connection-level kinds flow into the shared fault counter.
+        snap = telemetry.registry.snapshot()
+        fam = snap["sketchvisor_transport_faults_total"]
+        kinds = {
+            entry["labels"]["kind"] for entry in fam["samples"]
+        }
+        assert {"conn_refused", "conn_reset", "partition"} <= kinds
+
+
+# ---------------------------------------------------------------------------
+# Aggregator tier mechanics.
+# ---------------------------------------------------------------------------
+class TestAggregatorTier:
+    def test_eager_merge_keeps_two_resident(self, reports):
+        aggregator = Aggregator(0)
+        for report in reports:
+            aggregator.add(report)
+        assert aggregator.peak_resident == 2
+        partial = aggregator.finish()
+        assert partial.num_hosts == NUM_HOSTS
+        assert partial.host_ids == tuple(range(NUM_HOSTS))
+
+    def test_pairwise_merge_equals_flat_merge(self, reports):
+        aggregator = Aggregator(3)
+        for report in reports:
+            aggregator.add(report)
+        partial = aggregator.finish()
+        flat = reports[0].sketch.clone_empty()
+        for report in reports:
+            flat.merge(report.sketch)
+        assert np.array_equal(
+            partial.sketch.to_matrix(), flat.to_matrix()
+        )
+        assert partial.host_id == 3  # duck-compat report slot
+
+    def test_fastpath_entries_canonicalized(self, reports):
+        forward = Aggregator(0)
+        backward = Aggregator(0)
+        for report in reports:
+            forward.add(report)
+        for report in reversed(reports):
+            backward.add(report)
+        fwd = forward.finish().fastpath
+        bwd = backward.finish().fastpath
+        assert list(fwd.entries) == list(bwd.entries)
+        assert fwd.entries == bwd.entries
+
+    def test_empty_aggregator_finishes_none(self):
+        assert Aggregator(0).finish() is None
+
+    def test_assignment_is_total_and_stable(self):
+        for num_aggregators in (1, 3, 8):
+            groups = {
+                assign_aggregator(h, num_aggregators)
+                for h in range(64)
+            }
+            assert groups == set(range(num_aggregators))
+        assert assign_aggregator(5, 0) == 0  # degenerate tier
+
+
+# ---------------------------------------------------------------------------
+# Config plumbing.
+# ---------------------------------------------------------------------------
+class TestClusterConfig:
+    def test_auto_aggregators_scale_sublinearly(self):
+        cfg = ClusterConfig()
+        assert cfg.resolve_aggregators(1) == 1
+        assert cfg.resolve_aggregators(64) == 8
+        assert cfg.resolve_aggregators(500) == 23
+        assert cfg.resolve_aggregators(1000) == 32
+
+    def test_fixed_aggregators_capped_by_hosts(self):
+        cfg = ClusterConfig(aggregators=16)
+        assert cfg.resolve_aggregators(500) == 16
+        assert cfg.resolve_aggregators(4) == 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ClusterConfig(max_inflight=0)
+        with pytest.raises(ConfigError):
+            ClusterConfig(backoff_jitter=1.5)
+        with pytest.raises(ConfigError):
+            ClusterConfig(idle_timeout=0)
+
+    def test_env_gate(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CLUSTER", raising=False)
+        assert cluster_from_env() is None
+        monkeypatch.setenv("REPRO_CLUSTER", "0")
+        assert cluster_from_env() is None
+        monkeypatch.setenv("REPRO_CLUSTER", "1")
+        cfg = cluster_from_env()
+        assert cfg is not None and cfg.aggregators == 0
+        monkeypatch.setenv("REPRO_CLUSTER", "6")
+        assert cluster_from_env().aggregators == 6
+
+
+# ---------------------------------------------------------------------------
+# Fault plan: socket kinds are additive and isolated.
+# ---------------------------------------------------------------------------
+class TestSocketSchedules:
+    def test_socket_kinds_do_not_perturb_report_draws(self, reports):
+        base = FaultPlan(seed=4, rates={FaultKind.DROP: 0.2})
+        extended = FaultPlan(
+            seed=4,
+            rates={
+                FaultKind.DROP: 0.2,
+                FaultKind.CONN_RESET: 0.3,
+                FaultKind.SLOW_PEER: 0.2,
+            },
+        )
+        for epoch in range(4):
+            for host in range(8):
+                assert base.schedule_for(
+                    epoch, host
+                ) == extended.schedule_for(epoch, host)
+
+    def test_socket_schedule_is_deterministic(self):
+        plan_a = socket_plan(seed=9)
+        plan_b = socket_plan(seed=9)
+        for epoch in range(4):
+            for host in range(16):
+                assert plan_a.socket_schedule_for(
+                    epoch, host
+                ) == plan_b.socket_schedule_for(epoch, host)
+
+    def test_partition_dominates_socket_schedule(self):
+        plan = FaultPlan(
+            seed=0,
+            specs=[
+                FaultSpec(FaultKind.PARTITION, epoch=0, host=1),
+                FaultSpec(FaultKind.CONN_RESET, epoch=0, host=1),
+            ],
+        )
+        assert plan.socket_schedule_for(0, 1) == [
+            FaultKind.PARTITION
+        ]
+
+    def test_report_schedule_never_contains_socket_kinds(self):
+        plan = socket_plan(seed=2)
+        for epoch in range(6):
+            for host in range(16):
+                for kind in plan.schedule_for(epoch, host):
+                    assert kind in (
+                        FaultKind.DROP,
+                        FaultKind.BITFLIP,
+                        FaultKind.DUPLICATE,
+                    )

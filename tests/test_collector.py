@@ -99,10 +99,61 @@ class TestRetriableFaults:
             [FaultSpec(FaultKind.DROP, epoch=0, host=0)] * 2,
             backoff_base=0.1,
             backoff_factor=2.0,
+            backoff_jitter=0.0,
         )
         result = collector.collect(frames_for(reports, 0), epoch=0)
-        # Two retries: 0.1 + 0.2.
+        # Two retries: 0.1 + 0.2 (jitter disabled for exactness).
         assert result.stats.backoff_seconds == pytest.approx(0.3)
+
+    def test_backoff_jitter_is_deterministic(self):
+        a = ReportCollector(backoff_jitter=0.2, jitter_seed=9)
+        b = ReportCollector(backoff_jitter=0.2, jitter_seed=9)
+        draws_a = [
+            a.backoff_for(epoch, host, attempt)
+            for epoch in range(3)
+            for host in range(5)
+            for attempt in (1, 2, 3)
+        ]
+        draws_b = [
+            b.backoff_for(epoch, host, attempt)
+            for epoch in range(3)
+            for host in range(5)
+            for attempt in (1, 2, 3)
+        ]
+        assert draws_a == draws_b
+
+    def test_backoff_jitter_decorrelates_hosts(self):
+        # Same epoch, same attempt, different hosts: the whole point
+        # is that simultaneous failures do NOT retry in lockstep.
+        collector = ReportCollector(backoff_jitter=0.2, jitter_seed=0)
+        sleeps = {
+            collector.backoff_for(0, host, 1) for host in range(16)
+        }
+        assert len(sleeps) > 1
+        base = collector.backoff_base
+        for sleep in sleeps:
+            assert base * 0.8 <= sleep <= base * 1.2
+
+    def test_backoff_jitter_bounded_by_fraction(self):
+        collector = ReportCollector(
+            backoff_base=1.0,
+            backoff_factor=2.0,
+            backoff_jitter=0.5,
+            jitter_seed=3,
+        )
+        for attempt in (1, 2, 3):
+            nominal = 2.0 ** (attempt - 1)
+            for host in range(8):
+                sleep = collector.backoff_for(1, host, attempt)
+                assert nominal * 0.5 <= sleep <= nominal * 1.5
+
+    def test_invalid_jitter_rejected(self):
+        from repro.common.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            ReportCollector(backoff_jitter=1.0)
+        with pytest.raises(ConfigError):
+            ReportCollector(backoff_jitter=-0.1)
 
 
 class TestCrash:

@@ -160,20 +160,40 @@ class TestFrameV2:
         assert header.epoch == 17
         assert header.length == len(frame) - header.size
 
-    def test_v1_frames_still_decode(self, report):
+    def test_v1_frames_rejected_by_default(self, report, monkeypatch):
+        monkeypatch.delenv("REPRO_ALLOW_V1_FRAMES", raising=False)
         payload = pickle.dumps(report, protocol=pickle.HIGHEST_PROTOCOL)
         v1 = struct.pack(">4sBI", b"SKVR", 1, len(payload)) + payload
-        restored = decode_report(v1)
+        with pytest.raises(CorruptFrameError, match="no longer"):
+            decode_report(v1)
+
+    def test_v1_escape_hatch_still_decodes(self, report, monkeypatch):
+        monkeypatch.setenv("REPRO_ALLOW_V1_FRAMES", "1")
+        payload = pickle.dumps(report, protocol=pickle.HIGHEST_PROTOCOL)
+        v1 = struct.pack(">4sBI", b"SKVR", 1, len(payload)) + payload
+        with pytest.deprecated_call():
+            restored = decode_report(v1)
         assert restored.host_id == report.host_id
         assert np.array_equal(
             restored.sketch.to_matrix(), report.sketch.to_matrix()
         )
 
-    def test_v1_and_v2_mix_in_stream(self, report):
+    def test_v1_escape_hatch_zero_means_off(self, report, monkeypatch):
+        monkeypatch.setenv("REPRO_ALLOW_V1_FRAMES", "0")
+        payload = pickle.dumps(report, protocol=pickle.HIGHEST_PROTOCOL)
+        v1 = struct.pack(">4sBI", b"SKVR", 1, len(payload)) + payload
+        with pytest.raises(CorruptFrameError, match="no longer"):
+            decode_report(v1)
+
+    def test_v1_and_v2_mix_in_stream_under_escape_hatch(
+        self, report, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_ALLOW_V1_FRAMES", "1")
         payload = pickle.dumps(report, protocol=pickle.HIGHEST_PROTOCOL)
         v1 = struct.pack(">4sBI", b"SKVR", 1, len(payload)) + payload
         stream = encode_report(report, epoch=3) + v1
-        assert len(decode_stream(stream)) == 2
+        with pytest.deprecated_call():
+            assert len(decode_stream(stream)) == 2
 
     def test_oversized_payload_rejected(self, report):
         frame = encode_report(report)
@@ -283,8 +303,20 @@ class TestCorruptionProperty:
 class TestRestrictedUnpickler:
     def _frame(self, payload: bytes) -> bytes:
         import struct
+        import zlib
 
-        return struct.pack(">4sBI", b"SKVR", 1, len(payload)) + payload
+        return (
+            struct.pack(
+                ">4sBIIII",
+                b"SKVR",
+                2,
+                0,
+                0,
+                len(payload),
+                zlib.crc32(payload),
+            )
+            + payload
+        )
 
     def test_rejects_arbitrary_classes(self):
         payload = pickle.dumps(object())  # builtins.object is allowed...
