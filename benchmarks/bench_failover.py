@@ -1,0 +1,319 @@
+#!/usr/bin/env python
+"""Fail-over soak harness: sustained aggregator chaos at scale.
+
+Drives the real-socket control plane for a multi-epoch soak — 256
+hosts by default, 20 epochs — under the ``failover_plan`` chaos mix
+(seeded ``agg_crash`` / ``agg_hang`` strikes on the aggregator tier
+plus ``conn_reset`` noise on the host connections) and records, per
+epoch, the fail-over outcomes: detection and recovery latencies,
+redelivery volume, and — the conservation invariant — that every host
+report is accounted for (delivered or booked missing, never dropped
+on the floor).
+
+Acceptance gates (full run; smoke records but does not gate):
+
+- ``unaccounted_host_epochs`` must be **0** — every epoch satisfies
+  ``hosts_reported + missing == hosts``;
+- ``redelivery_overhead`` — redelivered copies per delivered
+  host-epoch — must stay **<= 0.5** (fail-over re-ships dead shards,
+  it does not drown the tier in duplicates);
+- at least one aggregator fail-over actually fired (the soak is
+  vacuous otherwise).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_failover.py          # full soak
+    PYTHONPATH=src python benchmarks/bench_failover.py --smoke  # CI quick pass
+"""
+
+from __future__ import annotations
+
+import argparse
+import platform
+import statistics
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from bench_cluster import (  # noqa: E402
+    append_trajectory,
+    build_reports,
+    git_sha,
+)
+from repro.cluster import ClusterCollector, ClusterConfig  # noqa: E402
+from repro.common.errors import QuorumError  # noqa: E402
+from repro.controlplane.controller import Controller  # noqa: E402
+from repro.controlplane.recovery import RecoveryMode  # noqa: E402
+from repro.faults import FaultInjector, failover_plan  # noqa: E402
+from repro.telemetry.recorder import FlightRecorder  # noqa: E402
+
+REDELIVERY_OVERHEAD_CEILING = 0.5
+
+
+def percentile(values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile; 0.0 for an empty sample."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(
+        0, min(len(ordered) - 1, round(fraction * (len(ordered) - 1)))
+    )
+    return ordered[rank]
+
+
+def run_soak(
+    num_hosts: int,
+    epochs: int,
+    flows: int,
+    seed: int,
+    recorder: FlightRecorder | None = None,
+) -> dict:
+    """The soak loop: one collector, ``epochs`` chaotic epochs."""
+    reports = build_reports(num_hosts, flows)
+    injector = FaultInjector(failover_plan(seed=seed))
+    collector = ClusterCollector(
+        ClusterConfig(
+            epoch_deadline=120.0,
+            max_inflight=64,
+            backoff_base=0.002,
+            connect_timeout=2.0,
+            ack_timeout=2.0,
+        ),
+        injector=injector,
+    )
+    controller = Controller(RecoveryMode.SKETCHVISOR, quorum=0.25)
+
+    per_epoch = []
+    detect_latencies: list[float] = []
+    recovery_latencies: list[float] = []
+    totals = {
+        "failovers": 0,
+        "redeliveries": 0,
+        "redelivery_dups": 0,
+        "unrecovered_host_epochs": 0,
+        "missing_host_epochs": 0,
+        "delivered_host_epochs": 0,
+        "unaccounted_host_epochs": 0,
+        "quorum_failures": 0,
+    }
+    started = time.perf_counter()
+    for epoch in range(epochs):
+        collection = collector.collect(reports, epoch)
+        stats = collection.stats
+        records = list(collection.failovers)
+        unaccounted = num_hosts - (
+            collection.hosts_reported + len(collection.missing_hosts)
+        )
+        network = None
+        try:
+            network = controller.aggregate(
+                collection.reports,
+                expected_hosts=num_hosts,
+                missing_hosts=collection.missing_hosts,
+                epoch=epoch,
+                reported_hosts=collection.hosts_reported,
+            )
+        except QuorumError:
+            totals["quorum_failures"] += 1
+        if recorder is not None:
+            recorder.record_epoch_events(
+                epoch, collection=collection, network=network
+            )
+        totals["failovers"] += len(records)
+        totals["redeliveries"] += stats.redeliveries
+        totals["redelivery_dups"] += stats.redelivery_dups
+        totals["unrecovered_host_epochs"] += sum(
+            len(record.unrecovered_hosts) for record in records
+        )
+        totals["missing_host_epochs"] += len(collection.missing_hosts)
+        totals["delivered_host_epochs"] += collection.hosts_reported
+        totals["unaccounted_host_epochs"] += abs(unaccounted)
+        detect_latencies.extend(
+            record.detect_seconds for record in records
+        )
+        recovery_latencies.extend(
+            record.recovery_seconds
+            for record in records
+            if record.recovery_seconds is not None
+        )
+        per_epoch.append(
+            {
+                "epoch": epoch,
+                "delivered": collection.hosts_reported,
+                "missing": len(collection.missing_hosts),
+                "unaccounted": unaccounted,
+                "failovers": len(records),
+                "failover_kinds": sorted(
+                    record.kind for record in records
+                ),
+                "redeliveries": stats.redeliveries,
+                "redelivery_dups": stats.redelivery_dups,
+                "agg_crashes": stats.agg_crashes,
+                "agg_hangs": stats.agg_hangs,
+                "conn_resets": stats.conn_resets,
+                "degraded": bool(
+                    network is not None
+                    and network.degraded is not None
+                ),
+            }
+        )
+        print(
+            f"epoch {epoch:3d}: {collection.hosts_reported:3d}/"
+            f"{num_hosts} delivered, {len(records)} failover(s), "
+            f"{stats.redeliveries} redelivered, "
+            f"{len(collection.missing_hosts)} missing"
+        )
+    elapsed = time.perf_counter() - started
+
+    delivered = totals["delivered_host_epochs"]
+    summary = {
+        "seconds": elapsed,
+        "failovers": totals["failovers"],
+        "redeliveries": totals["redeliveries"],
+        "redelivery_dups": totals["redelivery_dups"],
+        "unrecovered_host_epochs": totals["unrecovered_host_epochs"],
+        "missing_host_epochs": totals["missing_host_epochs"],
+        "unaccounted_host_epochs": totals["unaccounted_host_epochs"],
+        "quorum_failures": totals["quorum_failures"],
+        "redelivery_overhead": (
+            totals["redeliveries"] / delivered if delivered else 0.0
+        ),
+        "detect_p50_seconds": percentile(detect_latencies, 0.50),
+        "detect_p95_seconds": percentile(detect_latencies, 0.95),
+        "detect_max_seconds": (
+            max(detect_latencies) if detect_latencies else 0.0
+        ),
+        "recovery_p50_seconds": percentile(recovery_latencies, 0.50),
+        "recovery_p95_seconds": percentile(recovery_latencies, 0.95),
+        "recovery_max_seconds": (
+            max(recovery_latencies) if recovery_latencies else 0.0
+        ),
+        "recovery_mean_seconds": (
+            statistics.fmean(recovery_latencies)
+            if recovery_latencies
+            else 0.0
+        ),
+    }
+    return {"per_epoch": per_epoch, "summary": summary}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--hosts", type=int, default=256)
+    parser.add_argument("--epochs", type=int, default=20)
+    parser.add_argument("--flows", type=int, default=800)
+    parser.add_argument("--seed", type=int, default=31)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny soak, no gating (CI quick pass)",
+    )
+    parser.add_argument(
+        "--recorder-out",
+        type=Path,
+        default=None,
+        metavar="FILE.json",
+        help="dump a flight-recorder artifact of the soak's failover/"
+        "fault events to FILE",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_failover.json",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.hosts = 32
+        args.epochs = 4
+        args.flows = 300
+
+    recorder = (
+        FlightRecorder(capacity=4096)
+        if args.recorder_out is not None
+        else None
+    )
+    outcome = run_soak(
+        args.hosts, args.epochs, args.flows, args.seed, recorder
+    )
+    summary = outcome["summary"]
+
+    print(
+        f"soak: {args.epochs} epoch(s) x {args.hosts} host(s) in "
+        f"{summary['seconds']:.1f}s"
+    )
+    print(
+        f"  failovers         : {summary['failovers']} "
+        f"({summary['unrecovered_host_epochs']} unrecovered "
+        f"host-epoch(s), {summary['quorum_failures']} quorum "
+        f"failure(s))"
+    )
+    print(
+        f"  detection latency : p50 {summary['detect_p50_seconds']:.2f}s "
+        f"p95 {summary['detect_p95_seconds']:.2f}s "
+        f"max {summary['detect_max_seconds']:.2f}s"
+    )
+    print(
+        f"  recovery latency  : p50 {summary['recovery_p50_seconds']:.2f}s "
+        f"p95 {summary['recovery_p95_seconds']:.2f}s "
+        f"max {summary['recovery_max_seconds']:.2f}s"
+    )
+    print(
+        f"  redelivery        : {summary['redeliveries']} "
+        f"({summary['redelivery_dups']} dup), overhead "
+        f"{summary['redelivery_overhead']:.3f} per delivered "
+        f"host-epoch (ceiling {REDELIVERY_OVERHEAD_CEILING})"
+    )
+    print(
+        f"  unaccounted       : "
+        f"{summary['unaccounted_host_epochs']} host-epoch(s) "
+        f"(must be 0)"
+    )
+
+    if recorder is not None:
+        recorder.dump(args.recorder_out, reason="failover_soak")
+        print(
+            f"dumped {len(recorder.events())} recorder event(s) to "
+            f"{args.recorder_out}"
+        )
+
+    append_trajectory(
+        args.output,
+        {
+            "timestamp": datetime.now(timezone.utc).isoformat(),
+            "git_sha": git_sha(),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "smoke": args.smoke,
+            "hosts": args.hosts,
+            "epochs": args.epochs,
+            "flows": args.flows,
+            "seed": args.seed,
+            "per_epoch": outcome["per_epoch"],
+            "summary": summary,
+        },
+    )
+    print(f"appended to {args.output}")
+
+    if args.smoke:
+        # A 4-epoch, 32-host smoke may not fire a single strike;
+        # conservation and overhead gate only on the full soak.
+        return 0
+    ok = (
+        summary["unaccounted_host_epochs"] == 0
+        and summary["failovers"] >= 1
+        and summary["redelivery_overhead"]
+        <= REDELIVERY_OVERHEAD_CEILING
+    )
+    print("soak " + ("PASSED" if ok else "FAILED"))
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -129,6 +129,18 @@ def main(argv=None) -> int:
         default=REPO_ROOT / "BENCH_cluster.json",
         help="committed cluster trajectory to compare against",
     )
+    parser.add_argument(
+        "--failover-fresh", type=Path, default=None,
+        help="trajectory file from a fresh bench_failover.py soak; "
+        "gates report conservation (zero unaccounted host-epochs) "
+        "and the redelivery overhead of aggregator fail-over against "
+        "fixed ceilings",
+    )
+    parser.add_argument(
+        "--failover-baseline", type=Path,
+        default=REPO_ROOT / "BENCH_failover.json",
+        help="committed failover trajectory to compare against",
+    )
     args = parser.parse_args(argv)
 
     if not 0.0 <= args.tolerance < 1.0:
@@ -310,6 +322,79 @@ def main(argv=None) -> int:
                 print(
                     f"  cluster ratio vs best committed: fresh "
                     f"{fresh_ratio:.2f} vs {best:.2f} (advisory)"
+                )
+
+    # Fail-over soak gates against fixed ceilings: conservation must
+    # be exact (no host report ever unaccounted for) and redelivery
+    # must stay a bounded fraction of delivered host-epochs.  Smoke
+    # soaks (a few epochs, few hosts) may not fire a single strike,
+    # so they report advisory-only.
+    if args.failover_fresh is not None:
+        fo_runs = _load_runs(args.failover_fresh)
+        if not fo_runs:
+            raise SystemExit(
+                f"error: {args.failover_fresh} contains no runs"
+            )
+        fo_fresh = fo_runs[-1]
+        failover_gates = (
+            ("failover unaccounted host-epochs",
+             ("summary", "unaccounted_host_epochs"), 0.0),
+            ("failover redelivery overhead",
+             ("summary", "redelivery_overhead"), 0.5),
+        )
+        for label, path, ceiling in failover_gates:
+            value = _extract(fo_fresh, path)
+            if value is None:
+                print(f"  {label}: skipped (no data)")
+                continue
+            if fo_fresh.get("smoke"):
+                print(
+                    f"  {label}: {value:.3f} "
+                    "(smoke run — advisory only)"
+                )
+                continue
+            compared += 1
+            status = "OK" if value <= ceiling else "REGRESSION"
+            print(
+                f"  {label}: {value:.3f} "
+                f"(ceiling {ceiling:.3f}) -> {status}"
+            )
+            if value > ceiling:
+                failures.append(label)
+        fired = _extract(fo_fresh, ("summary", "failovers"))
+        if fired is not None and not fo_fresh.get("smoke"):
+            compared += 1
+            status = "OK" if fired >= 1 else "REGRESSION"
+            print(
+                f"  failover strikes fired: {fired:.0f} "
+                f"(must be >= 1) -> {status}"
+            )
+            if fired < 1:
+                failures.append("failover strikes fired")
+        if args.failover_baseline.exists():
+            base_recovery = [
+                v for entry in _load_runs(args.failover_baseline)
+                if not entry.get("smoke")
+                if (v := _extract(
+                    entry, ("summary", "recovery_p95_seconds")
+                )) is not None
+            ]
+            fresh_recovery = _extract(
+                fo_fresh, ("summary", "recovery_p95_seconds")
+            )
+            if (
+                base_recovery
+                and fresh_recovery is not None
+                and not fo_fresh.get("smoke")
+            ):
+                # Advisory drift note only — recovery latency is
+                # wall-clock-bound (watchdog interval dominates) and
+                # too machine-sensitive for a hard floor.
+                best = min(base_recovery)
+                print(
+                    f"  failover recovery p95 vs best committed: "
+                    f"fresh {fresh_recovery:.2f}s vs {best:.2f}s "
+                    "(advisory)"
                 )
 
     if failures:

@@ -29,6 +29,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.common.errors import QuorumError
 from repro.controlplane.recovery import RecoveryMode
 from repro.faults import FaultPlan
 from repro.framework.modes import DataPlaneMode
@@ -288,13 +289,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
             **config_kwargs,
         ),
     )
-    if args.task == "heavy_changer":
-        half = len(trace) // 2
-        epoch_a = Trace(trace.packets[:half])
-        epoch_b = Trace(trace.packets[half:])
-        result = pipeline.run_epoch_pair(epoch_a, epoch_b)
-    else:
-        result = pipeline.run_epoch(trace, truth)
+    if args.soak:
+        return _run_soak(args, pipeline, trace, truth)
+    try:
+        if args.task == "heavy_changer":
+            half = len(trace) // 2
+            epoch_a = Trace(trace.packets[:half])
+            epoch_b = Trace(trace.packets[half:])
+            result = pipeline.run_epoch_pair(epoch_a, epoch_b)
+        else:
+            result = pipeline.run_epoch(trace, truth)
+    except QuorumError as exc:
+        print(f"QUORUM FAILED: {exc}", file=sys.stderr)
+        return 1
 
     score = result.score
     print(f"task            : {args.task} / {args.solution}")
@@ -309,7 +316,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"({'flat' if args.flat_cluster else 'hierarchical'}), "
             f"{stats.connection_faults} connection fault(s), "
             f"{stats.backpressure_waits} backpressure wait(s), "
-            f"{stats.quarantined_hosts} quarantined"
+            f"{stats.quarantined_hosts} quarantined, "
+            f"{getattr(stats, 'failovers', 0)} failover(s)"
         )
     if score.recall is not None:
         print(f"recall          : {score.recall:.1%}")
@@ -379,6 +387,95 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if telemetry is not None:
         _dump_profile(args, telemetry)
     return 0
+
+
+def _run_soak(
+    args: argparse.Namespace,
+    pipeline: SketchVisorPipeline,
+    trace: Trace,
+    truth: GroundTruth,
+) -> int:
+    """Multi-epoch soak loop (``run --soak EPOCHS``).
+
+    Drives the same pipeline for EPOCHS consecutive epochs — a fresh
+    trace seed per epoch unless one was loaded from disk — so seeded
+    fault plans (which key on the epoch counter) exercise a different
+    fault mix every epoch.  Prints one summary line per epoch and a
+    final aggregate; exits nonzero if any epoch fails quorum.
+    """
+    quorum_failures = 0
+    totals = {
+        "faults": 0,
+        "failovers": 0,
+        "redeliveries": 0,
+        "redelivery_dups": 0,
+        "missing": 0,
+        "unrecovered": 0,
+    }
+    for epoch in range(args.soak):
+        if args.trace_file:
+            epoch_trace, epoch_truth = trace, truth
+        else:
+            epoch_trace = generate_trace(
+                TraceConfig(
+                    num_flows=args.flows, seed=args.seed + epoch
+                )
+            )
+            epoch_truth = GroundTruth.from_trace(epoch_trace)
+        try:
+            if args.task == "heavy_changer":
+                half = len(epoch_trace) // 2
+                result = pipeline.run_epoch_pair(
+                    Trace(epoch_trace.packets[:half]),
+                    Trace(epoch_trace.packets[half:]),
+                )
+            else:
+                result = pipeline.run_epoch(epoch_trace, epoch_truth)
+        except QuorumError as exc:
+            quorum_failures += 1
+            print(f"epoch {epoch:3d}: QUORUM FAILED -- {exc}")
+            continue
+        line = f"epoch {epoch:3d}:"
+        collection = result.collection
+        if collection is not None:
+            stats = collection.stats
+            failovers = list(getattr(collection, "failovers", ()))
+            unrecovered = sum(
+                len(record.unrecovered_hosts) for record in failovers
+            )
+            totals["faults"] += stats.faults_seen
+            totals["failovers"] += len(failovers)
+            totals["redeliveries"] += getattr(
+                stats, "redeliveries", 0
+            )
+            totals["redelivery_dups"] += getattr(
+                stats, "redelivery_dups", 0
+            )
+            totals["missing"] += len(collection.missing_hosts)
+            totals["unrecovered"] += unrecovered
+            line += (
+                f" {stats.faults_seen} fault(s),"
+                f" {len(failovers)} failover(s),"
+                f" {getattr(stats, 'redeliveries', 0)} redelivered,"
+                f" {len(collection.missing_hosts)} missing"
+            )
+        else:
+            line += " ok"
+        score = result.score
+        if score.recall is not None:
+            line += f", recall {score.recall:.1%}"
+        print(line)
+    print(
+        f"soak            : {args.soak} epoch(s), "
+        f"{totals['faults']} fault(s), "
+        f"{totals['failovers']} failover(s), "
+        f"{totals['redeliveries']} redelivered "
+        f"({totals['redelivery_dups']} dup), "
+        f"{totals['missing']} host-epoch(s) missing, "
+        f"{totals['unrecovered']} unrecovered, "
+        f"{quorum_failures} quorum failure(s)"
+    )
+    return 1 if quorum_failures else 0
 
 
 def _cmd_perf(args: argparse.Namespace) -> int:
@@ -734,6 +831,18 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="HOST[:PORT]",
         help="bind address for the aggregator listeners (default "
         "127.0.0.1:0 = ephemeral ports)",
+    )
+    run.add_argument(
+        "--soak",
+        type=int,
+        default=0,
+        metavar="EPOCHS",
+        help="run EPOCHS back-to-back epochs through one pipeline "
+        "(fresh trace seed per epoch unless --trace-file is given), "
+        "printing a per-epoch summary line and a final aggregate; "
+        "exits nonzero if any epoch fails quorum; designed for "
+        "sustained-chaos runs with --cluster --chaos "
+        "(see docs/robustness.md); ignored by --cores mode",
     )
     run.add_argument(
         "--checkpoint-dir",

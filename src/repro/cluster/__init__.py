@@ -16,10 +16,12 @@ from repro.cluster.aggregator import (
     Aggregator,
     PartialAggregate,
     assign_aggregator,
+    rendezvous_aggregator,
+    rendezvous_weight,
 )
 from repro.cluster.config import ClusterConfig, cluster_from_env
 from repro.cluster.framing import DEFAULT_MAX_FRAME_BYTES, FrameAssembler
-from repro.cluster.runner import ClusterCollector
+from repro.cluster.runner import ClusterCollector, FailoverRecord
 from repro.cluster.transport import (
     ACK,
     ACK_DUP,
@@ -39,9 +41,12 @@ __all__ = [
     "ClusterCollector",
     "ClusterConfig",
     "DEFAULT_MAX_FRAME_BYTES",
+    "FailoverRecord",
     "FrameAssembler",
     "HostChannel",
     "PartialAggregate",
     "assign_aggregator",
     "cluster_from_env",
+    "rendezvous_aggregator",
+    "rendezvous_weight",
 ]

@@ -24,6 +24,7 @@ partial's downstream iteration order is independent of socket timing.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass
 
 from repro.controlplane.merge import merge_fastpath_snapshots
@@ -124,6 +125,58 @@ class Aggregator:
         )
 
 
+_MASK64 = 0xFFFF_FFFF_FFFF_FFFF
+
+
+def _mix64(value: int) -> int:
+    """64-bit finalizer (murmur3's) — full avalanche, so per-pair
+    weights behave like independent uniform draws."""
+    value &= _MASK64
+    value ^= value >> 33
+    value = (value * 0xFF51_AFD7_ED55_8CCD) & _MASK64
+    value ^= value >> 33
+    value = (value * 0xC4CE_B9FE_1A85_EC53) & _MASK64
+    value ^= value >> 33
+    return value
+
+
+def rendezvous_weight(host_id: int, aggregator_id: int) -> int:
+    """The seeded 64-bit weight of placing ``host_id`` on
+    ``aggregator_id`` — a pure function of the pair."""
+    return _mix64(
+        ((host_id & 0xFFFF_FFFF) << 32) | (aggregator_id & 0xFFFF_FFFF)
+    )
+
+
+def rendezvous_aggregator(
+    host_id: int, candidates: Iterable[int]
+) -> int | None:
+    """Highest-random-weight (rendezvous) choice among ``candidates``.
+
+    The property fail-over rests on: removing an aggregator from the
+    candidate set only re-homes the hosts that were *on* it — every
+    other host keeps its placement, because each (host, aggregator)
+    weight is independent of the set.  Modulo placement has no such
+    stability: shrinking the divisor reshuffles nearly everyone.
+
+    Ties (already ~2^-64) break toward the lowest aggregator id.
+    Returns ``None`` when no candidate survives.
+    """
+    best: int | None = None
+    best_weight = -1
+    for aggregator_id in sorted(candidates):
+        weight = rendezvous_weight(host_id, aggregator_id)
+        if weight > best_weight:
+            best = aggregator_id
+            best_weight = weight
+    return best
+
+
 def assign_aggregator(host_id: int, num_aggregators: int) -> int:
-    """Deterministic host → aggregator placement (round-robin by id)."""
-    return host_id % max(1, num_aggregators)
+    """Deterministic host → aggregator placement over a full tier of
+    ``num_aggregators`` (rendezvous hashing; degenerate tiers of zero
+    or one aggregator always place on 0)."""
+    if num_aggregators <= 1:
+        return 0
+    choice = rendezvous_aggregator(host_id, range(num_aggregators))
+    return 0 if choice is None else choice

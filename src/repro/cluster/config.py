@@ -66,6 +66,22 @@ class ClusterConfig:
         epochs entirely (no connection churn, straight to the
         degraded merge) — the same policy the durability supervisor
         applies to crash-looping data planes.
+    failover:
+        ``True`` (default): when an aggregator's heartbeats go stale
+        the runner declares it dead, re-shards its hosts onto
+        survivors via rendezvous hashing, and redelivers the lost
+        reports.  ``False``: a dead shard's hosts go missing and the
+        epoch resolves through the quorum-gated degraded merge —
+        the pre-failover behaviour, kept for directed tests.
+    heartbeat_interval:
+        How often each live aggregator beats into the controller's
+        liveness table.
+    aggregator_watchdog:
+        Heartbeat staleness at which an aggregator is declared dead.
+        Must be at least twice the heartbeat interval; a false
+        positive (a live aggregator declared dead under load) is
+        safe — its shard is re-shipped to survivors and the dedup
+        set makes the merge count every host exactly once.
     """
 
     aggregators: int = 0
@@ -87,6 +103,9 @@ class ClusterConfig:
     max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
     quarantine_threshold: int = 3
     quarantine_epochs: int = 2
+    failover: bool = True
+    heartbeat_interval: float = 0.05
+    aggregator_watchdog: float = 0.4
 
     def __post_init__(self) -> None:
         if self.aggregators < 0:
@@ -106,9 +125,16 @@ class ClusterConfig:
             "idle_timeout",
             "epoch_deadline",
             "drain_timeout",
+            "heartbeat_interval",
+            "aggregator_watchdog",
         ):
             if getattr(self, name) <= 0:
                 raise ConfigError(f"{name} must be positive")
+        if self.aggregator_watchdog < 2 * self.heartbeat_interval:
+            raise ConfigError(
+                "aggregator_watchdog must be >= 2x heartbeat_interval "
+                "(one missed beat is jitter, not death)"
+            )
 
     def resolve_aggregators(self, num_hosts: int) -> int:
         """The actual tier size for ``num_hosts`` hosts."""

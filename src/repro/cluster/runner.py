@@ -26,20 +26,113 @@ Everything downstream — quorum, degraded-merge rescale, recorder —
 is reused, not reimplemented: the result's ``hosts_reported`` lets
 :meth:`Controller.aggregate` key its quorum math on hosts even when
 ``reports`` holds A partial aggregates instead of N raw reports.
+
+Aggregator fail-over
+--------------------
+The aggregator tier itself can fail mid-epoch (``agg_crash`` /
+``agg_hang`` faults, or a genuinely wedged listener).  Liveness is
+heartbeat-based: every listener beats into a shared table, and a
+watchdog declares an aggregator dead once its beats go stale —
+crashes and hangs are detected identically, because a dead process
+cannot send an error report.  Fail-over then proceeds in three steps:
+
+* **re-shard** — the dead aggregator leaves the rendezvous candidate
+  set, so only *its* hosts re-home (modulo placement would reshuffle
+  nearly everyone); channels still retrying re-resolve their route on
+  every attempt and land on the survivor automatically;
+* **forget** — the dead shard's partial aggregate died with it, so
+  the hosts it had ACKed are erased from the ``(host, epoch)`` dedup
+  set and the delivered set: their redelivered copies must merge as
+  first arrivals, not be dropped as duplicates;
+* **redeliver** — after the main wave, a sweep re-ships every
+  still-undelivered live host's report to the surviving tier (the
+  sweep loops, because a redelivery wave can strike *another*
+  scheduled aggregator fault).
+
+Because partials are canonicalized and sketches are linear, an epoch
+where a crashed aggregator's hosts all redelivered merges
+bit-identically to the no-crash epoch.  Hosts that stay unrecovered
+(no survivors, suppressed fail-over, epoch deadline) flow into the
+existing quorum-gated degraded merge — a lost shard degrades the
+epoch, it never silently loses it.
 """
 
 from __future__ import annotations
 
 import asyncio
+from dataclasses import dataclass
 
-from repro.cluster.aggregator import Aggregator, assign_aggregator
+from repro.cluster.aggregator import (
+    Aggregator,
+    assign_aggregator,
+    rendezvous_aggregator,
+)
 from repro.cluster.config import ClusterConfig
-from repro.cluster.transport import AggregatorListener, HostChannel
+from repro.cluster.transport import (
+    ACK_DUP,
+    AggregatorListener,
+    HostChannel,
+    _EPOCH_FATAL,
+)
 from repro.controlplane.transport import (
     CollectionResult,
     encode_report,
 )
 from repro.durability.supervisor import CircuitBreaker
+
+
+@dataclass
+class FailoverRecord:
+    """One aggregator the heartbeat watchdog declared dead.
+
+    ``shard_hosts`` is the shard at detection time: hosts the dead
+    aggregator had ACKed (their merged state died with it) plus live
+    hosts still routed to it.  After the redelivery sweep settles,
+    ``redelivered_hosts`` / ``unrecovered_hosts`` split that shard by
+    outcome — unrecovered hosts are exactly the ones handed to the
+    degraded merge.
+    """
+
+    aggregator_id: int
+    #: ``"agg_crash"`` / ``"agg_hang"``, or ``"unresponsive"`` when
+    #: the watchdog fired without a scheduled fault (a false positive
+    #: — safe by design, the shard is simply re-shipped).
+    kind: str
+    shard_hosts: tuple[int, ...]
+    #: Strike → watchdog declaration latency (seconds).
+    detect_seconds: float
+    redelivered_hosts: tuple[int, ...] = ()
+    unrecovered_hosts: tuple[int, ...] = ()
+    #: Strike → last shard report re-accepted by a survivor (seconds);
+    #: ``None`` when nothing was recovered.
+    recovery_seconds: float | None = None
+
+    @property
+    def recovered(self) -> bool:
+        return not self.unrecovered_hosts
+
+
+class _Router:
+    """Rendezvous routing over the live aggregator set.
+
+    One instance per epoch; the watchdog shrinks :attr:`live` as
+    aggregators die, and every :meth:`resolve` call sees the current
+    set — which is the whole fail-over re-route mechanism.
+    """
+
+    def __init__(self, addresses: list[tuple[str, int]]):
+        self.addresses = addresses
+        self.live: set[int] = set(range(len(addresses)))
+
+    def remove(self, aggregator_id: int) -> None:
+        self.live.discard(aggregator_id)
+
+    def target(self, host_id: int) -> int | None:
+        return rendezvous_aggregator(host_id, self.live)
+
+    def resolve(self, host_id: int) -> tuple[str, int] | None:
+        target = self.target(host_id)
+        return None if target is None else self.addresses[target]
 
 
 class ClusterCollector:
@@ -55,7 +148,9 @@ class ClusterCollector:
         report-path kinds produce byte-identical stats to the
         in-process collector under the same plan, the socket kinds
         (conn_refused, conn_reset, partial_write, slow_peer,
-        partition) only exist here.
+        partition) only exist here — and its aggregator schedule
+        arms the heartbeat watchdog with per-``(epoch, aggregator)``
+        crash/hang strikes.
     """
 
     def __init__(self, config: ClusterConfig, injector=None):
@@ -75,6 +170,8 @@ class ClusterCollector:
     # ------------------------------------------------------------------
     async def collect_async(self, reports, epoch: int) -> CollectionResult:
         cfg = self.config
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + cfg.epoch_deadline
         result = CollectionResult(epoch=epoch)
         stats = result.stats
 
@@ -95,7 +192,7 @@ class ClusterCollector:
         self.last_aggregators = num_aggregators
 
         aggregators: list[Aggregator] = []
-        collected: list = []
+        buckets: list[list] = []
         sinks: list = []
         if cfg.hierarchical:
             for agg_id in range(num_aggregators):
@@ -104,11 +201,39 @@ class ClusterCollector:
                 sinks.append(aggregator.add)
         else:
             # Flat baseline: every decoded report stays resident until
-            # the root merge, regardless of which listener took it.
-            sinks = [collected.append] * num_aggregators
+            # the root merge — but bucketed per listener, so a dead
+            # aggregator's resident reports can be discarded exactly
+            # like a dead partial.
+            for agg_id in range(num_aggregators):
+                bucket: list = []
+                buckets.append(bucket)
+                sinks.append(bucket.append)
+
+        injector = self.injector
+        # Seeded aggregator strikes for this epoch.  Group size (how
+        # many live hosts rendezvous onto each aggregator) bounds the
+        # rate-fired strike offsets; the earliest scheduled fault wins.
+        agg_faults = {}
+        if injector is not None:
+            group_sizes = {agg_id: 0 for agg_id in range(num_aggregators)}
+            for host_id in active:
+                group_sizes[
+                    assign_aggregator(host_id, num_aggregators)
+                ] += 1
+            for agg_id in range(num_aggregators):
+                schedule = injector.aggregator_schedule(
+                    epoch, agg_id, group_sizes[agg_id]
+                )
+                if schedule:
+                    agg_faults[agg_id] = schedule[0]
 
         seen: set[tuple[int, int]] = set()
         delivered: set[int] = set()
+        accept_times: dict[int, float] = {}
+
+        def on_accept(host_id: int, frame: bytes) -> None:
+            accept_times[host_id] = loop.time()
+
         listeners = [
             AggregatorListener(
                 agg_id,
@@ -119,6 +244,9 @@ class ClusterCollector:
                 delivered,
                 idle_timeout=cfg.idle_timeout,
                 max_frame_bytes=cfg.max_frame_bytes,
+                on_accept=on_accept,
+                fault=agg_faults.get(agg_id),
+                injector=injector,
             )
             for agg_id in range(num_aggregators)
         ]
@@ -130,31 +258,192 @@ class ClusterCollector:
             addresses.append(
                 await listener.start(cfg.listen_host, port)
             )
+        router = _Router(addresses)
+
+        # Liveness: every listener beats into this table; the watchdog
+        # (armed only when the plan can actually strike an aggregator,
+        # so chaos-free runs cannot flake on a loaded event loop)
+        # declares death on staleness.
+        last_beat: dict[int, float] = {}
+
+        def beat(agg_id: int) -> None:
+            last_beat[agg_id] = loop.time()
+
+        for listener in listeners:
+            listener.start_heartbeat(beat, cfg.heartbeat_interval)
+
+        failed: set[int] = set()
+        struck_times: dict[int, float] = {}
+        failover_records: list[FailoverRecord] = []
+
+        # Hosts down for the whole epoch (crash/partition faults burn
+        # their budget before any socket): redelivery cannot help them.
+        fatal_hosts: set[int] = set()
+        host_faults: dict[int, list] = {}
+        for host_id in active:
+            faults: list = []
+            if injector is not None:
+                faults = list(injector.schedule(epoch, host_id))
+                faults += list(injector.socket_schedule(epoch, host_id))
+            host_faults[host_id] = faults
+            if any(fault in _EPOCH_FATAL for fault in faults):
+                fatal_hosts.add(host_id)
+
+        async def fail_over(agg_id: int) -> None:
+            listener = listeners[agg_id]
+            now = loop.time()
+            # The shard at detection: lost (ACKed state died with the
+            # aggregator) plus live hosts still routed to it.
+            lost = list(listener.accepted)
+            stranded = [
+                host_id
+                for host_id in active
+                if host_id not in delivered
+                and host_id not in fatal_hosts
+                and router.target(host_id) == agg_id
+            ]
+            router.remove(agg_id)
+            failed.add(agg_id)
+            # Forget the dead shard's attendance: its merged partial
+            # is gone, so redelivered copies must count as first
+            # arrivals, not duplicates.
+            for host_id in lost:
+                seen.discard((host_id, epoch))
+                delivered.discard(host_id)
+                accept_times.pop(host_id, None)
+            if not cfg.hierarchical:
+                buckets[agg_id].clear()
+            await listener.close(0)
+            struck_at = (
+                listener.struck_at
+                if listener.struck_at is not None
+                else now
+            )
+            struck_times[agg_id] = struck_at
+            stats.failovers += 1
+            failover_records.append(
+                FailoverRecord(
+                    aggregator_id=agg_id,
+                    kind=(
+                        listener.struck.value
+                        if listener.struck is not None
+                        else "unresponsive"
+                    ),
+                    shard_hosts=tuple(sorted(set(lost) | set(stranded))),
+                    detect_seconds=max(0.0, now - struck_at),
+                )
+            )
+
+        async def watchdog_loop() -> None:
+            while True:
+                await asyncio.sleep(cfg.heartbeat_interval)
+                now = loop.time()
+                for agg_id in sorted(router.live):
+                    if (
+                        now - last_beat[agg_id]
+                        >= cfg.aggregator_watchdog
+                    ):
+                        await fail_over(agg_id)
+
+        watchdog: asyncio.Task | None = None
+        if agg_faults:
+            watchdog = asyncio.ensure_future(watchdog_loop())
 
         inflight = asyncio.Semaphore(cfg.max_inflight)
-        injector = self.injector
+
+        async def redeliver(host_id: int):
+            report = by_host[host_id]
+            channel = HostChannel(
+                host_id,
+                epoch,
+                lambda r=report: encode_report(r, epoch),
+                lambda h=host_id: router.resolve(h),
+                cfg,
+                stats,
+                injector=injector,
+                # A fresh retry budget, no injected faults: redelivery
+                # models the host's fail-over logic, not new chaos —
+                # though the surviving *aggregators'* own scheduled
+                # strikes still apply on arrival.
+                faults=[],
+                inflight=inflight,
+            )
+            frame = await channel.deliver()
+            if frame is not None:
+                stats.redeliveries += 1
+                if channel.last_ack == ACK_DUP:
+                    stats.redelivery_dups += 1
+            return frame
+
+        def remaining() -> float:
+            return deadline - loop.time()
+
+        async def settle() -> None:
+            """Converge after the main wave: wait out watchdog
+            detection of any silent aggregator, then sweep
+            still-undelivered hosts onto the survivors — looping,
+            because a redelivery wave can strike the next scheduled
+            aggregator fault."""
+            # Grace so a strike on the wave's very last frame has
+            # stale heartbeats by the first staleness check.
+            await asyncio.sleep(2 * cfg.heartbeat_interval)
+            swept_generation = 0
+            while remaining() > 0:
+                now = loop.time()
+                if any(
+                    now - last_beat[agg_id]
+                    >= 2 * cfg.heartbeat_interval
+                    for agg_id in router.live
+                ):
+                    # Beats have gone quiet but the watchdog has not
+                    # ruled yet; let it.
+                    await asyncio.sleep(cfg.heartbeat_interval / 2)
+                    continue
+                if not failover_records or not cfg.failover:
+                    break
+                if len(failover_records) == swept_generation:
+                    # No new failover since the last sweep: stable.
+                    break
+                if not router.live:
+                    break
+                undelivered = [
+                    host_id
+                    for host_id in active
+                    if host_id not in delivered
+                    and host_id not in fatal_hosts
+                ]
+                if not undelivered:
+                    break
+                swept_generation = len(failover_records)
+                sweep = [
+                    asyncio.ensure_future(redeliver(host_id))
+                    for host_id in undelivered
+                ]
+                frames = await self._gather_with_deadline(
+                    sweep, timeout=max(0.0, remaining())
+                )
+                if injector is not None:
+                    for host_id, frame in zip(undelivered, frames):
+                        if frame is not None:
+                            injector.remember(host_id, frame)
+
         try:
             tasks = []
             for host_id in active:
                 report = by_host[host_id]
-                faults = []
-                if injector is not None:
-                    faults = list(injector.schedule(epoch, host_id))
-                    faults += list(
-                        injector.socket_schedule(epoch, host_id)
-                    )
-                agg_id = assign_aggregator(host_id, num_aggregators)
                 channel = HostChannel(
                     host_id,
                     epoch,
                     # Late-bound encode: the frame exists only while
                     # this host holds an in-flight slot.
                     lambda r=report: encode_report(r, epoch),
-                    addresses[agg_id],
+                    # Late-bound route: each attempt re-resolves over
+                    # the live aggregator set.
+                    lambda h=host_id: router.resolve(h),
                     cfg,
                     stats,
                     injector=injector,
-                    faults=faults,
+                    faults=host_faults[host_id],
                     inflight=inflight,
                 )
                 tasks.append(
@@ -165,9 +454,43 @@ class ClusterCollector:
                 for host_id, frame in zip(active, frames):
                     if frame is not None:
                         injector.remember(host_id, frame)
+            if watchdog is not None:
+                await settle()
         finally:
+            if watchdog is not None:
+                watchdog.cancel()
+                try:
+                    await watchdog
+                except asyncio.CancelledError:
+                    pass
             for listener in listeners:
                 await listener.close(cfg.drain_timeout)
+
+        # Outcome bookkeeping per failover: which of the dead shard's
+        # hosts a survivor re-accepted, and how long recovery took.
+        for record in failover_records:
+            struck_at = struck_times[record.aggregator_id]
+            recovered = tuple(
+                host_id
+                for host_id in record.shard_hosts
+                if host_id in delivered
+            )
+            record.redelivered_hosts = recovered
+            record.unrecovered_hosts = tuple(
+                host_id
+                for host_id in record.shard_hosts
+                if host_id not in delivered
+            )
+            if recovered:
+                record.recovery_seconds = max(
+                    0.0,
+                    max(
+                        accept_times.get(host_id, struck_at)
+                        for host_id in recovered
+                    )
+                    - struck_at,
+                )
+        result.failovers = failover_records
 
         # Every host not acked-and-decoded is missing: quarantined
         # hosts, exhausted retriers, and deadline stragglers alike.
@@ -190,7 +513,9 @@ class ClusterCollector:
         if cfg.hierarchical:
             partials = [
                 partial
-                for partial in (agg.finish() for agg in aggregators)
+                for agg_id, aggregator in enumerate(aggregators)
+                if agg_id not in failed
+                for partial in (aggregator.finish(),)
                 if partial is not None
             ]
             result.reports = partials
@@ -199,6 +524,9 @@ class ClusterCollector:
                 (agg.peak_resident for agg in aggregators), default=0
             )
         else:
+            collected = [
+                report for bucket in buckets for report in bucket
+            ]
             result.reports = sorted(
                 collected, key=lambda report: report.host_id
             )
@@ -206,13 +534,16 @@ class ClusterCollector:
         return result
 
     # ------------------------------------------------------------------
-    async def _gather_with_deadline(self, tasks):
+    async def _gather_with_deadline(self, tasks, timeout=None):
         """Gather channel tasks under the epoch deadline; stragglers
         are cancelled and land in the missing set."""
         if not tasks:
             return []
         done, pending = await asyncio.wait(
-            tasks, timeout=self.config.epoch_deadline
+            tasks,
+            timeout=(
+                self.config.epoch_deadline if timeout is None else timeout
+            ),
         )
         for task in pending:
             task.cancel()

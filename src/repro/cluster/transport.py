@@ -40,7 +40,7 @@ from repro.controlplane.transport import (
     jittered_backoff,
     peek_header,
 )
-from repro.faults.plan import FaultKind
+from repro.faults.plan import AggregatorFault, FaultKind
 
 #: One-byte control responses from aggregator to host.
 ACK = b"\x06"
@@ -64,6 +64,14 @@ class AggregatorListener:
     list's ``append``-style callable); every defensive outcome is
     counted into the shared :class:`CollectionStats`.  All handler
     state runs on one event loop, so no locking is needed.
+
+    An optional scheduled :class:`~repro.faults.AggregatorFault` makes
+    the listener *itself* the failure: once it has accepted
+    ``fault.offset`` reports it strikes — a crash closes the server
+    and RSTs the triggering connection; a hang leaves the socket open
+    but swallows every subsequent byte without answering.  Either way
+    its heartbeats cease, which is the only failure signal the
+    controller's watchdog consumes.
     """
 
     def __init__(
@@ -78,6 +86,8 @@ class AggregatorListener:
         idle_timeout: float,
         max_frame_bytes: int,
         on_accept=None,
+        fault: AggregatorFault | None = None,
+        injector=None,
     ):
         self.aggregator_id = aggregator_id
         self.epoch = epoch
@@ -88,9 +98,37 @@ class AggregatorListener:
         self.idle_timeout = idle_timeout
         self.max_frame_bytes = max_frame_bytes
         self.on_accept = on_accept
+        self.fault = fault
+        self.injector = injector
         self.server: asyncio.AbstractServer | None = None
         self.address: tuple[str, int] | None = None
         self._handlers: set[asyncio.Task] = set()
+        #: Hosts this aggregator has ACKed this epoch, in arrival
+        #: order — the shard state that dies with it on a strike.
+        self.accepted: list[int] = []
+        #: The fault kind that struck, or ``None`` while healthy.
+        self.struck: FaultKind | None = None
+        self.struck_at: float | None = None
+        self._hung = False
+        self._heartbeat: asyncio.Task | None = None
+
+    @property
+    def alive(self) -> bool:
+        return self.struck is None
+
+    def start_heartbeat(self, beat, interval: float) -> None:
+        """Beat ``beat(aggregator_id)`` every ``interval`` seconds
+        until a fault strikes; the resulting silence is how the
+        controller detects the failure (no in-band error report — a
+        dead process cannot send one)."""
+
+        async def _loop() -> None:
+            while self.struck is None:
+                beat(self.aggregator_id)
+                await asyncio.sleep(interval)
+
+        beat(self.aggregator_id)
+        self._heartbeat = asyncio.ensure_future(_loop())
 
     async def start(self, host: str, port: int) -> tuple[str, int]:
         self.server = await asyncio.start_server(
@@ -102,6 +140,13 @@ class AggregatorListener:
 
     async def close(self, drain_timeout: float) -> None:
         """Stop accepting, give in-flight handlers a drain window."""
+        if self._heartbeat is not None:
+            self._heartbeat.cancel()
+            try:
+                await self._heartbeat
+            except asyncio.CancelledError:
+                pass
+            self._heartbeat = None
         if self.server is not None:
             self.server.close()
             await self.server.wait_closed()
@@ -119,17 +164,36 @@ class AggregatorListener:
         self._handlers.add(task)
         try:
             await self._serve_connection(reader, writer)
+        except asyncio.CancelledError:
+            # Listener shutdown (drain window expired, or a fail-over
+            # tearing down a dead aggregator mid-read): the connection
+            # dies, not the epoch.  Complete normally so the event
+            # loop's stream machinery does not log the cancellation.
+            if task is not None:
+                task.uncancel()
         finally:
             self._handlers.discard(task)
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionError, OSError):
+            except (ConnectionError, OSError, asyncio.CancelledError):
                 pass
 
     async def _serve_connection(self, reader, writer) -> None:
         assembler = FrameAssembler(self.max_frame_bytes)
         while True:
+            if self._hung:
+                # A hung aggregator sits on the connection forever:
+                # bytes are swallowed, nothing is acked, and no idle
+                # deadline fires — the *client's* ack timeout is what
+                # ends the exchange.
+                try:
+                    chunk = await reader.read(64 * 1024)
+                except (ConnectionError, OSError):
+                    return
+                if not chunk:
+                    return
+                continue
             try:
                 chunk = await asyncio.wait_for(
                     reader.read(64 * 1024), timeout=self.idle_timeout
@@ -161,6 +225,17 @@ class AggregatorListener:
 
     async def _process_frame(self, writer, frame: bytes) -> bool:
         """Decode + account one frame; False drops the connection."""
+        if self._hung:
+            # Struck mid-batch: the rest of this read's frames are
+            # swallowed too.
+            return True
+        if self.struck is not None:
+            return False
+        if (
+            self.fault is not None
+            and len(self.accepted) >= self.fault.offset
+        ):
+            return self._strike(writer)
         try:
             header = peek_header(frame)
             if header.epoch is not None and header.epoch != (
@@ -183,10 +258,33 @@ class AggregatorListener:
             return await self._respond(writer, ACK_DUP)
         self.seen.add(key)
         self.delivered.add(report.host_id)
+        self.accepted.append(report.host_id)
         self.sink(report)
         if self.on_accept is not None:
             self.on_accept(report.host_id, frame)
         return await self._respond(writer, ACK)
+
+    def _strike(self, writer) -> bool:
+        """Fire the scheduled aggregator fault.  The frame in hand is
+        never acked; whether the connection survives depends on how
+        the aggregator "died"."""
+        kind = self.fault.kind
+        self.struck = kind
+        self.struck_at = asyncio.get_running_loop().time()
+        if self.injector is not None:
+            self.injector.record(kind)
+        if kind is FaultKind.AGG_CRASH:
+            self.stats.agg_crashes += 1
+            # The process is gone: no new connections, and the one
+            # that tripped the fault dies with an RST.
+            if self.server is not None:
+                self.server.close()
+            with _suppress_conn_errors():
+                writer.transport.abort()
+            return False
+        self.stats.agg_hangs += 1
+        self._hung = True
+        return True
 
     async def _respond(self, writer, code: bytes) -> bool:
         try:
@@ -204,6 +302,13 @@ class HostChannel:
     the in-flight semaphore window (``frame_factory``), so an epoch
     never holds more than ``max_inflight`` encoded frames at once no
     matter how many hosts it spans.
+
+    ``address`` may be a ``(host, port)`` pair or a zero-arg callable
+    resolving to one (or ``None`` when no aggregator is reachable).
+    The callable form is how fail-over re-routes mid-flight: every
+    *attempt* re-resolves, so a host whose aggregator died between
+    retries lands its next attempt on the rendezvous survivor without
+    any channel-level coordination.
     """
 
     def __init__(
@@ -211,7 +316,7 @@ class HostChannel:
         host_id: int,
         epoch: int,
         frame_factory,
-        address: tuple[str, int],
+        address,
         config,
         stats: CollectionStats,
         injector=None,
@@ -227,6 +332,13 @@ class HostChannel:
         self.injector = injector
         self.faults = deque(faults or ())
         self.inflight = inflight
+        #: The final ack byte received (``ACK``/``ACK_DUP``), ``None``
+        #: until an attempt succeeds — lets redelivery distinguish "my
+        #: copy landed" from "someone already delivered it".
+        self.last_ack: bytes | None = None
+
+    def _resolve_address(self):
+        return self.address() if callable(self.address) else self.address
 
     # ------------------------------------------------------------------
     async def deliver(self) -> bytes | None:
@@ -343,9 +455,15 @@ class HostChannel:
         payloads: list[bytes],
     ) -> bool:
         cfg = self.config
+        address = self._resolve_address()
+        if address is None:
+            # No live aggregator to route to; indistinguishable from
+            # a dead listener on the host side.
+            self.stats.conn_refused += 1
+            return False
         try:
             reader, writer = await asyncio.wait_for(
-                asyncio.open_connection(*self.address),
+                asyncio.open_connection(*address),
                 timeout=cfg.connect_timeout,
             )
         except (ConnectionError, OSError, asyncio.TimeoutError):
@@ -408,6 +526,8 @@ class HostChannel:
                     reader.readexactly(1), timeout=cfg.ack_timeout
                 )
                 ok = ok and ack in _SUCCESS_ACKS
+                if ack in _SUCCESS_ACKS:
+                    self.last_ack = ack
             return ok
         except (
             ConnectionError,

@@ -120,6 +120,15 @@ def allow_v1_frames() -> bool:
     return bool(flag) and flag != "0"
 
 
+#: Ceiling on the backoff exponent: ``factor**_MAX_BACKOFF_EXPONENT``
+#: is where the schedule goes flat.  With the default factor of 2 that
+#: caps a 0.01 s base at ~11 minutes — long retry chains (fail-over
+#: redelivery loops, soak runs) plateau instead of overflowing into
+#: astronomically large float delays.  Attempts at or below the cap
+#: are bit-identical to the uncapped schedule.
+_MAX_BACKOFF_EXPONENT = 16
+
+
 def jittered_backoff(
     base: float,
     factor: float,
@@ -141,8 +150,14 @@ def jittered_backoff(
     :class:`ReportCollector` and the socket transport's
     :class:`~repro.cluster.transport.HostChannel` so both paths
     account identical backoff for identical fault schedules.
+
+    The exponent saturates at :data:`_MAX_BACKOFF_EXPONENT`, so the
+    sleep plateaus on long retry chains rather than growing without
+    bound (the jitter draw still varies per attempt past the cap).
     """
-    sleep = base * (factor ** (attempt - 1))
+    sleep = base * (
+        factor ** min(attempt - 1, _MAX_BACKOFF_EXPONENT)
+    )
     if jitter == 0.0:
         return sleep
     rng = random.Random(
@@ -379,6 +394,28 @@ class CollectionStats:
     #: Hosts skipped this epoch because their transport circuit
     #: breaker was open (consecutive failed epochs).
     quarantined_hosts: int = 0
+    # ------------------------------------------------------------------
+    # Aggregator-tier faults and fail-over accounting, filled only by
+    # the cluster runner.
+    #: Aggregators that crashed mid-epoch (listener gone, shard lost).
+    agg_crashes: int = 0
+    #: Aggregators that hung mid-epoch (connectable but silent).
+    agg_hangs: int = 0
+    #: Aggregators declared dead by the heartbeat watchdog and
+    #: re-sharded onto survivors.
+    failovers: int = 0
+    #: Host reports re-shipped to a surviving aggregator after their
+    #: shard died.
+    redeliveries: int = 0
+    #: Redeliveries answered ``ACK_DUP`` — the report had already
+    #: landed elsewhere (e.g. a mid-flight retry re-routed first), so
+    #: the dedup set collapsed the second copy.
+    redelivery_dups: int = 0
+
+    @property
+    def aggregator_faults(self) -> int:
+        """Aggregator-tier faults only (cluster transport)."""
+        return self.agg_crashes + self.agg_hangs
 
     @property
     def connection_faults(self) -> int:
@@ -401,6 +438,7 @@ class CollectionStats:
             + self.stale_frames
             + self.crashes
             + self.connection_faults
+            + self.aggregator_faults
         )
 
 
@@ -417,6 +455,10 @@ class CollectionResult:
     #: actually represents (``None`` on the flat path where one entry
     #: is one host).
     aggregated_from: int | None = None
+    #: One record per aggregator the heartbeat watchdog declared dead
+    #: this epoch (:class:`~repro.cluster.runner.FailoverRecord`);
+    #: empty everywhere but the cluster runner.
+    failovers: list = field(default_factory=list)
 
     @property
     def hosts_reported(self) -> int:

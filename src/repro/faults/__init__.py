@@ -23,19 +23,24 @@ without it.  See ``docs/robustness.md``.
 
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import (
+    AGGREGATOR_KINDS,
     DATAPLANE_KINDS,
     RETRIABLE_KINDS,
     SOCKET_KINDS,
+    AggregatorFault,
     DataPlaneFault,
     FaultKind,
     FaultPlan,
     FaultSpec,
+    failover_plan,
     faults_from_env,
     moderate_plan,
     socket_plan,
 )
 
 __all__ = [
+    "AGGREGATOR_KINDS",
+    "AggregatorFault",
     "DATAPLANE_KINDS",
     "DataPlaneFault",
     "FaultInjector",
@@ -44,6 +49,7 @@ __all__ = [
     "FaultSpec",
     "RETRIABLE_KINDS",
     "SOCKET_KINDS",
+    "failover_plan",
     "faults_from_env",
     "moderate_plan",
     "socket_plan",

@@ -13,7 +13,7 @@ from __future__ import annotations
 import random
 from collections import Counter
 
-from repro.faults.plan import FaultKind, FaultPlan
+from repro.faults.plan import AggregatorFault, FaultKind, FaultPlan
 
 #: Salt mixed into the corruption RNG so byte/bit choices do not reuse
 #: the schedule's draw stream.
@@ -44,6 +44,16 @@ class FaultInjector:
         for pre-cluster plans; see
         :meth:`~repro.faults.plan.FaultPlan.socket_schedule_for`)."""
         return self.plan.socket_schedule_for(epoch, host)
+
+    def aggregator_schedule(
+        self, epoch: int, aggregator: int, group_size: int
+    ) -> list[AggregatorFault]:
+        """The plan's aggregator fault list for one ``(epoch,
+        aggregator)`` cell (empty for pre-failover plans; see
+        :meth:`~repro.faults.plan.FaultPlan.aggregator_schedule_for`)."""
+        return self.plan.aggregator_schedule_for(
+            epoch, aggregator, group_size
+        )
 
     def record(self, kind: FaultKind) -> None:
         """Count one injected fault (called by the collector as each

@@ -67,6 +67,16 @@ class FaultKind(Enum):
     #: The host is network-partitioned from the controller for the
     #: whole epoch: every connection attempt fails (socket CRASH).
     PARTITION = "partition"
+    #: An *aggregator* process dies mid-epoch: its listener closes, its
+    #: partial aggregate (every report it had merged) is lost, and its
+    #: heartbeats cease.  Hosts re-shard to survivors via rendezvous
+    #: hashing and redeliver.
+    AGG_CRASH = "agg_crash"
+    #: An aggregator stops making progress mid-epoch: the listener
+    #: stays connectable but swallows frames without ACKing, and its
+    #: heartbeats cease.  Detected identically to a crash by the
+    #: controller's heartbeat watchdog.
+    AGG_HANG = "agg_hang"
 
 
 #: Fixed sampling order so rate draws are reproducible.  New kinds are
@@ -87,6 +97,8 @@ _KIND_ORDER = (
     FaultKind.CONN_RESET,
     FaultKind.PARTIAL_WRITE,
     FaultKind.SLOW_PEER,
+    FaultKind.AGG_CRASH,
+    FaultKind.AGG_HANG,
 )
 
 #: Kinds that strike the data plane mid-epoch rather than the report
@@ -112,17 +124,34 @@ SOCKET_KINDS = frozenset(
     }
 )
 
+#: Kinds that strike an *aggregator* rather than a host.  They are
+#: scheduled per ``(epoch, aggregator)`` by
+#: :meth:`FaultPlan.aggregator_schedule_for` from their own salted RNG
+#: stream and never appear in any host schedule, so adding aggregator
+#: rates to an existing plan leaves every host draw stream untouched.
+AGGREGATOR_KINDS = frozenset(
+    {FaultKind.AGG_CRASH, FaultKind.AGG_HANG}
+)
+
 #: Kinds a :class:`FaultSpec.packet_offset` may be attached to.  A
 #: report-path ``CRASH`` spec pinned to an offset is *promoted* to a
 #: data-plane crash: the historical crash fault only ever fired at
 #: report-send time, which made mid-epoch crash tests meaningless.
+#: For aggregator kinds the offset counts *accepted reports* instead
+#: of packets: the aggregator strikes once it has ACKed that many.
 _OFFSET_KINDS = frozenset(
     {FaultKind.CRASH, FaultKind.DATAPLANE_CRASH, FaultKind.HANG}
+    | AGGREGATOR_KINDS
 )
 
 #: Salt separating the packet-offset draw stream from the schedule's
 #: rate draws (same construction as the injector's corruption salt).
 _OFFSET_SALT = 0x0FF5_E7D0
+
+#: Salt for the aggregator fault stream — keyed by ``(epoch,
+#: aggregator)`` rather than ``(epoch, host)``, and salted so it can
+#: never collide with (or shift) a host cell's draws.
+_AGG_SALT = 0xA66F_A117
 
 #: Kinds that consume one delivery attempt and then clear on retry.
 RETRIABLE_KINDS = frozenset(
@@ -153,6 +182,11 @@ class FaultSpec:
     its shard.  It is only valid for ``CRASH`` / ``DATAPLANE_CRASH`` /
     ``HANG``; a ``CRASH`` spec carrying an offset is treated as a
     data-plane crash (the offset is where it strikes).
+
+    For aggregator kinds (``AGG_CRASH`` / ``AGG_HANG``) the ``host``
+    field names the *aggregator* id and ``packet_offset`` counts
+    accepted reports: the aggregator strikes once it has ACKed that
+    many host reports (``0`` = before the first ACK).
     """
 
     kind: FaultKind
@@ -181,6 +215,16 @@ class FaultSpec:
 class DataPlaneFault:
     """One scheduled mid-epoch fault: ``kind`` strikes after the host
     has processed ``offset`` packets of its shard."""
+
+    kind: FaultKind
+    offset: int
+
+
+@dataclass(frozen=True)
+class AggregatorFault:
+    """One scheduled aggregator fault: ``kind`` strikes aggregator
+    once it has *accepted* (ACKed) ``offset`` host reports this
+    epoch — ``offset=0`` strikes before the first ACK."""
 
     kind: FaultKind
     offset: int
@@ -231,6 +275,11 @@ class FaultPlan:
         if self.rates:
             rng = self.rng_for(epoch, host)
             for kind in _KIND_ORDER:
+                # Aggregator kinds are drawn per (epoch, aggregator)
+                # from their own salted stream; they never consume a
+                # host cell draw.
+                if kind in AGGREGATOR_KINDS:
+                    continue
                 rate = self.rates.get(kind, 0.0)
                 if rate > 0.0 and rng.random() < rate:
                     fired.append(kind)
@@ -259,6 +308,7 @@ class FaultPlan:
                 spec.matches(epoch, host)
                 and spec.kind not in DATAPLANE_KINDS
                 and spec.kind not in SOCKET_KINDS
+                and spec.kind not in AGGREGATOR_KINDS
                 and spec.packet_offset is None
             ):
                 faults.append(spec.kind)
@@ -316,6 +366,8 @@ class FaultPlan:
         for spec in self.specs:
             if not spec.matches(epoch, host):
                 continue
+            if spec.kind in AGGREGATOR_KINDS:
+                continue
             if spec.packet_offset is not None:
                 kind = (
                     FaultKind.DATAPLANE_CRASH
@@ -337,6 +389,48 @@ class FaultPlan:
         events.sort(key=lambda event: event.offset)
         return events
 
+    def aggregator_schedule_for(
+        self, epoch: int, aggregator: int, group_size: int
+    ) -> list[AggregatorFault]:
+        """Faults striking ``aggregator`` in ``epoch``, sorted by
+        accept-offset (the earliest strike wins; an aggregator only
+        dies once per epoch).
+
+        A pure function of ``(seed, epoch, aggregator)`` plus the
+        shard's ``group_size`` (how many hosts route to it), which
+        bounds the seeded strike offset so rate-fired faults land
+        while reports are actually arriving.  Drawn from a dedicated
+        salted stream: aggregator rates never perturb host schedules.
+
+        Specs reuse the ``host`` field as the aggregator id and
+        ``packet_offset`` as the accept-count offset.
+        """
+        events: list[AggregatorFault] = []
+        rng = self.aggregator_rng_for(epoch, aggregator)
+        for kind in _KIND_ORDER:
+            if kind not in AGGREGATOR_KINDS:
+                continue
+            rate = self.rates.get(kind, 0.0)
+            if rate > 0.0 and rng.random() < rate:
+                events.append(
+                    AggregatorFault(
+                        kind,
+                        rng.randrange(group_size) if group_size else 0,
+                    )
+                )
+        for spec in self.specs:
+            if spec.kind not in AGGREGATOR_KINDS:
+                continue
+            if not spec.matches(epoch, aggregator):
+                continue
+            if spec.packet_offset is not None:
+                offset = min(spec.packet_offset, max(0, group_size))
+            else:
+                offset = rng.randrange(group_size) if group_size else 0
+            events.append(AggregatorFault(spec.kind, offset))
+        events.sort(key=lambda event: event.offset)
+        return events
+
     def rng_for(self, epoch: int, host: int) -> random.Random:
         """Dedicated RNG for one ``(epoch, host)`` cell (also used to
         pick corruption offsets, so bit-flips are reproducible too)."""
@@ -355,6 +449,18 @@ class FaultPlan:
             ^ (_OFFSET_SALT & 0xFFFF_FFFF) << 32
             ^ (epoch & 0xFFFF) << 16
             ^ (host & 0xFFFF)
+        )
+
+    def aggregator_rng_for(
+        self, epoch: int, aggregator: int
+    ) -> random.Random:
+        """Salted RNG for an ``(epoch, aggregator)`` cell's fault
+        draws, deliberately separate from every host stream."""
+        return random.Random(
+            (self.seed & 0xFFFF_FFFF) << 40
+            ^ (_AGG_SALT & 0xFFFF_FFFF) << 32
+            ^ (epoch & 0xFFFF) << 16
+            ^ (aggregator & 0xFFFF)
         )
 
     @property
@@ -467,6 +573,26 @@ def socket_plan(seed: int = 0) -> FaultPlan:
             FaultKind.DROP: 0.02,
             FaultKind.BITFLIP: 0.01,
             FaultKind.DUPLICATE: 0.01,
+        },
+    )
+
+
+def failover_plan(seed: int = 0) -> FaultPlan:
+    """Sustained aggregator-failure chaos for fail-over soaks: per
+    epoch each aggregator carries a 15% crash / 5% hang chance, over a
+    light connection-reset mix on the host side.
+
+    With a ``ceil(sqrt(N))`` tier this kills roughly one aggregator
+    every few epochs at 256 hosts — every soak run exercises detection,
+    re-sharding, and redelivery, while surviving aggregators absorb the
+    dead shard so no epoch is lost.
+    """
+    return FaultPlan(
+        seed=seed,
+        rates={
+            FaultKind.AGG_CRASH: 0.15,
+            FaultKind.AGG_HANG: 0.05,
+            FaultKind.CONN_RESET: 0.03,
         },
     )
 

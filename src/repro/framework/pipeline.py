@@ -733,6 +733,10 @@ class SketchVisorPipeline:
         transport_missing = (
             collection is not None and collection.missing_hosts
         )
+        unrecovered_shard = collection is not None and any(
+            failover.unrecovered_hosts
+            for failover in getattr(collection, "failovers", ())
+        )
         if any(o.quarantined for o in outcomes):
             observer.maybe_dump("quarantine")
         elif dp_missing or any(o.gave_up for o in outcomes):
@@ -743,6 +747,11 @@ class SketchVisorPipeline:
             pass
         elif transport_quarantined:
             observer.maybe_dump("quarantine")
+        elif unrecovered_shard:
+            # An aggregator died and redelivery could not rescue every
+            # host on its shard — the epoch merged degraded (or failed
+            # quorum upstream); capture the fail-over timeline.
+            observer.maybe_dump("aggregator_failover")
         elif transport_missing:
             observer.maybe_dump("crash")
         return result

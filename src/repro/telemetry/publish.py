@@ -169,6 +169,8 @@ def publish_collection_epoch(
     )
     events.inc(getattr(stats, "slow_peers", 0), kind="slow_peer")
     events.inc(getattr(stats, "partitions", 0), kind="partition")
+    events.inc(getattr(stats, "agg_crashes", 0), kind="agg_crash")
+    events.inc(getattr(stats, "agg_hangs", 0), kind="agg_hang")
     registry.counter(
         "sketchvisor_transport_retries_total",
         "Report delivery retries (attempts beyond each host's first)",
@@ -216,6 +218,33 @@ def publish_cluster_epoch(
         "Peak sketch-carrying objects resident in one aggregator "
         "(hierarchical) or the controller (flat) in the latest epoch",
     ).set(collector.last_peak_resident)
+    failovers = registry.counter(
+        "sketchvisor_aggregator_failovers_total",
+        "Aggregators declared dead by the heartbeat watchdog and "
+        "re-sharded onto survivors, by failure kind",
+    )
+    for record in getattr(collection, "failovers", ()):
+        failovers.inc(1, kind=record.kind)
+    registry.counter(
+        "sketchvisor_aggregator_redeliveries_total",
+        "Host reports re-shipped to a surviving aggregator after "
+        "their shard died",
+    ).inc(getattr(stats, "redeliveries", 0))
+    registry.counter(
+        "sketchvisor_aggregator_redelivery_dups_total",
+        "Redeliveries collapsed by (host, epoch) dedup because the "
+        "report had already landed elsewhere",
+    ).inc(getattr(stats, "redelivery_dups", 0))
+    registry.counter(
+        "sketchvisor_aggregator_unrecovered_host_epochs_total",
+        "Shard hosts still missing after fail-over settled (degraded-"
+        "merge input)",
+    ).inc(
+        sum(
+            len(record.unrecovered_hosts)
+            for record in getattr(collection, "failovers", ())
+        )
+    )
 
 
 def publish_worker_crashes(

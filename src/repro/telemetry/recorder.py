@@ -188,6 +188,11 @@ class FlightRecorder:
                     ),
                     ("slow_peers", getattr(stats, "slow_peers", 0)),
                     ("partitions", getattr(stats, "partitions", 0)),
+                    (
+                        "agg_crashes",
+                        getattr(stats, "agg_crashes", 0),
+                    ),
+                    ("agg_hangs", getattr(stats, "agg_hangs", 0)),
                 )
                 if value
             }
@@ -209,6 +214,18 @@ class FlightRecorder:
                 )
             for host_id in collection.missing_hosts:
                 self.record("missing_report", epoch=epoch, host=host_id)
+            for failover in getattr(collection, "failovers", ()):
+                self.record(
+                    "aggregator_failover",
+                    epoch=epoch,
+                    aggregator=failover.aggregator_id,
+                    fault=failover.kind,
+                    shard_hosts=list(failover.shard_hosts),
+                    redelivered=list(failover.redelivered_hosts),
+                    unrecovered=list(failover.unrecovered_hosts),
+                    detect_seconds=failover.detect_seconds,
+                    recovery_seconds=failover.recovery_seconds,
+                )
         for outcome in outcomes or ():
             if outcome.checkpoint_writes:
                 self.record(

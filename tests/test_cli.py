@@ -269,3 +269,74 @@ class TestAccuracyCLI:
             document.split('id="dash-data">')[1].split("</script>")[0]
         )
         assert len(payload["rows"]) == 2
+
+
+class TestClusterCli:
+    """``run --cluster`` exit codes and the ``--soak`` loop."""
+
+    def _quorum_fail_plan(self, tmp_path):
+        """Pin PARTITION on 3 of 4 hosts: below the 50% quorum."""
+        from repro.faults import FaultPlan
+        from repro.faults.plan import FaultKind, FaultSpec
+
+        path = tmp_path / "quorum_fail.json"
+        FaultPlan(
+            seed=3,
+            specs=[
+                FaultSpec(kind=FaultKind.PARTITION, host=host)
+                for host in (0, 1, 2)
+            ],
+        ).save(path)
+        return path
+
+    def test_cluster_below_quorum_exits_nonzero(
+        self, tmp_path, capsys
+    ):
+        code = main(
+            [
+                "run",
+                "--cluster", "4",
+                "--aggregators", "2",
+                "--flows", "300",
+                "--chaos", str(self._quorum_fail_plan(tmp_path)),
+            ]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "QUORUM FAILED" in captured.err
+        assert "quorum requires 2" in captured.err
+
+    def test_soak_runs_multiple_epochs(self, capsys):
+        code = main(
+            [
+                "run",
+                "--cluster", "8",
+                "--aggregators", "3",
+                "--flows", "300",
+                "--soak", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "epoch   0:" in out
+        assert "epoch   1:" in out
+        assert "soak" in out
+        assert "0 quorum failure(s)" in out
+
+    def test_soak_quorum_failures_exit_nonzero(
+        self, tmp_path, capsys
+    ):
+        code = main(
+            [
+                "run",
+                "--cluster", "4",
+                "--aggregators", "2",
+                "--flows", "300",
+                "--chaos", str(self._quorum_fail_plan(tmp_path)),
+                "--soak", "2",
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "QUORUM FAILED" in out
+        assert "2 quorum failure(s)" in out

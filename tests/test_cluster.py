@@ -12,6 +12,7 @@ from repro.cluster import (
     PartialAggregate,
     assign_aggregator,
     cluster_from_env,
+    rendezvous_aggregator,
 )
 from repro.common.errors import ConfigError
 from repro.controlplane.controller import Controller
@@ -26,6 +27,7 @@ from repro.faults import (
     FaultKind,
     FaultPlan,
     FaultSpec,
+    failover_plan,
     socket_plan,
 )
 from repro.framework.pipeline import PipelineConfig, SketchVisorPipeline
@@ -526,3 +528,285 @@ class TestSocketSchedules:
                         FaultKind.BITFLIP,
                         FaultKind.DUPLICATE,
                     )
+
+
+# ---------------------------------------------------------------------------
+# Rendezvous placement: minimal disruption under tier shrink.
+# ---------------------------------------------------------------------------
+class TestRendezvousPlacement:
+    def test_assignment_is_deterministic(self):
+        first = [assign_aggregator(h, 5) for h in range(64)]
+        second = [assign_aggregator(h, 5) for h in range(64)]
+        assert first == second
+
+    def test_all_groups_receive_hosts(self):
+        for num_aggregators in (1, 3, 8):
+            groups = {
+                assign_aggregator(h, num_aggregators)
+                for h in range(64)
+            }
+            assert groups == set(range(num_aggregators))
+
+    def test_removal_only_rehomes_the_dead_shard(self):
+        """The fail-over property modulo placement lacks: when one
+        aggregator leaves the candidate set, every host NOT on its
+        shard keeps its assignment."""
+        candidates = set(range(8))
+        before = {
+            h: rendezvous_aggregator(h, candidates)
+            for h in range(256)
+        }
+        for dead in range(8):
+            survivors = candidates - {dead}
+            for h in range(256):
+                after = rendezvous_aggregator(h, survivors)
+                if before[h] == dead:
+                    assert after in survivors
+                else:
+                    assert after == before[h]
+
+    def test_empty_candidate_set_routes_nowhere(self):
+        assert rendezvous_aggregator(3, set()) is None
+
+
+# ---------------------------------------------------------------------------
+# Aggregator fault schedules: seeded, additive, isolated.
+# ---------------------------------------------------------------------------
+class TestAggregatorSchedules:
+    def test_schedule_is_deterministic(self):
+        def draws(plan):
+            return [
+                [
+                    (fault.kind, fault.offset)
+                    for fault in plan.aggregator_schedule_for(
+                        epoch, agg, 5
+                    )
+                ]
+                for epoch in range(10)
+                for agg in range(4)
+            ]
+
+        assert draws(failover_plan(seed=9)) == draws(
+            failover_plan(seed=9)
+        )
+
+    def test_aggregator_kinds_do_not_perturb_host_draws(self):
+        """Adding agg_crash/agg_hang rates to a plan must leave the
+        host-level report and socket schedules bit-identical — the
+        aggregator stream is salted separately."""
+        base = FaultPlan(
+            seed=4,
+            rates={
+                FaultKind.DROP: 0.2,
+                FaultKind.CONN_RESET: 0.1,
+            },
+        )
+        extended = FaultPlan(
+            seed=4,
+            rates={
+                FaultKind.DROP: 0.2,
+                FaultKind.CONN_RESET: 0.1,
+                FaultKind.AGG_CRASH: 0.5,
+                FaultKind.AGG_HANG: 0.3,
+            },
+        )
+        for epoch in range(6):
+            for host in range(8):
+                assert base.schedule_for(
+                    epoch, host
+                ) == extended.schedule_for(epoch, host)
+                assert base.socket_schedule_for(
+                    epoch, host
+                ) == extended.socket_schedule_for(epoch, host)
+
+    def test_host_schedules_never_contain_aggregator_kinds(self):
+        plan = failover_plan(seed=2)
+        for epoch in range(8):
+            for host in range(16):
+                kinds = set(plan.schedule_for(epoch, host)) | set(
+                    plan.socket_schedule_for(epoch, host)
+                )
+                assert FaultKind.AGG_CRASH not in kinds
+                assert FaultKind.AGG_HANG not in kinds
+
+    def test_pinned_spec_offset_is_clamped(self):
+        plan = FaultPlan(
+            seed=0,
+            specs=[
+                FaultSpec(
+                    FaultKind.AGG_CRASH,
+                    epoch=0,
+                    host=1,
+                    packet_offset=99,
+                )
+            ],
+        )
+        [fault] = plan.aggregator_schedule_for(0, 1, 5)
+        assert fault.kind is FaultKind.AGG_CRASH
+        assert fault.offset == 5
+
+
+# ---------------------------------------------------------------------------
+# Aggregator fail-over over real sockets.
+# ---------------------------------------------------------------------------
+class TestAggregatorFailover:
+    """A struck aggregator re-shards, redelivers, and merges exactly.
+
+    Redelivery counts and detection latencies are timing-dependent, so
+    assertions stick to conservation and bit-identity — never exact
+    retry/redelivery tallies.
+    """
+
+    def _merge(self, collection, epoch, quorum=0.5):
+        return Controller(
+            RecoveryMode.SKETCHVISOR, quorum=quorum
+        ).aggregate(
+            collection.reports,
+            expected_hosts=NUM_HOSTS,
+            missing_hosts=collection.missing_hosts,
+            epoch=epoch,
+            reported_hosts=collection.hosts_reported,
+        )
+
+    def _clean_matrix(self, reports, epoch):
+        collection = ClusterCollector(
+            ClusterConfig(**FAST)
+        ).collect(reports, epoch)
+        return self._merge(collection, epoch).sketch.to_matrix()
+
+    def _strike_collect(
+        self, reports, kind, epoch=0, agg=0, offset=2, **cfg_kwargs
+    ):
+        specs = [
+            FaultSpec(kind, epoch=epoch, host=agg, packet_offset=offset)
+        ]
+        injector = FaultInjector(FaultPlan(seed=2, specs=specs))
+        collector = ClusterCollector(
+            ClusterConfig(**FAST, **cfg_kwargs), injector=injector
+        )
+        return collector.collect(reports, epoch)
+
+    def test_crash_with_full_redelivery_is_bit_identical(
+        self, reports
+    ):
+        collection = self._strike_collect(
+            reports, FaultKind.AGG_CRASH
+        )
+        assert collection.missing_hosts == []
+        assert collection.hosts_reported == NUM_HOSTS
+        assert collection.stats.agg_crashes == 1
+        assert collection.stats.failovers == 1
+        [record] = collection.failovers
+        assert record.aggregator_id == 0
+        assert record.kind == "agg_crash"
+        assert record.recovered
+        assert record.unrecovered_hosts == ()
+        assert set(record.redelivered_hosts) == set(
+            record.shard_hosts
+        )
+        assert record.shard_hosts  # the dead shard was not empty
+        assert record.detect_seconds >= 0.0
+        assert record.recovery_seconds is not None
+        network = self._merge(collection, 0)
+        assert network.degraded is None
+        assert np.array_equal(
+            network.sketch.to_matrix(),
+            self._clean_matrix(reports, 0),
+        )
+
+    def test_hang_recovers_bit_identically(self, reports):
+        collection = self._strike_collect(
+            reports, FaultKind.AGG_HANG, offset=1
+        )
+        assert collection.missing_hosts == []
+        assert collection.hosts_reported == NUM_HOSTS
+        assert collection.stats.agg_hangs == 1
+        assert collection.stats.failovers == 1
+        [record] = collection.failovers
+        assert record.kind == "agg_hang"
+        assert record.recovered
+        network = self._merge(collection, 0)
+        assert network.degraded is None
+        assert np.array_equal(
+            network.sketch.to_matrix(),
+            self._clean_matrix(reports, 0),
+        )
+
+    def test_suppressed_failover_degrades_instead_of_losing(
+        self, reports
+    ):
+        """``failover=False``: the watchdog still detects the death
+        (and forgets the dead shard's attendance), but no redelivery
+        sweep runs — the un-recovered hosts flow into the quorum-gated
+        degraded merge, never silently vanish."""
+        collection = self._strike_collect(
+            reports, FaultKind.AGG_CRASH, failover=False
+        )
+        assert collection.missing_hosts  # the lost shard stays lost
+        [record] = collection.failovers
+        assert collection.missing_hosts == sorted(
+            record.unrecovered_hosts
+        )
+        assert (
+            collection.hosts_reported
+            + len(collection.missing_hosts)
+            == NUM_HOSTS
+        )
+        network = self._merge(collection, 0, quorum=0.25)
+        assert network.degraded is not None
+        assert sorted(network.degraded.missing_hosts) == sorted(
+            collection.missing_hosts
+        )
+
+    def test_flat_mode_discards_and_recovers_the_dead_bucket(
+        self, reports
+    ):
+        collection = self._strike_collect(
+            reports, FaultKind.AGG_CRASH, hierarchical=False
+        )
+        assert collection.missing_hosts == []
+        assert [r.host_id for r in collection.reports] == list(
+            range(NUM_HOSTS)
+        )
+        base = ReportCollector().collect(
+            {r.host_id: encode_report(r, 0) for r in reports}, 0
+        )
+        for a, b in zip(base.reports, collection.reports):
+            assert a.host_id == b.host_id
+            assert np.array_equal(
+                a.sketch.to_matrix(), b.sketch.to_matrix()
+            )
+
+    def test_sustained_chaos_soak_conserves_every_host(self, reports):
+        """failover_plan chaos over several epochs: every host is
+        accounted for every epoch (delivered or missing — never
+        dropped on the floor), failover records partition their shards
+        exactly, and clean-recovery epochs merge bit-identically."""
+        injector = FaultInjector(failover_plan(seed=31))
+        collector = ClusterCollector(
+            ClusterConfig(**FAST), injector=injector
+        )
+        total_failovers = 0
+        for epoch in range(5):
+            collection = collector.collect(reports, epoch)
+            assert (
+                collection.hosts_reported
+                + len(collection.missing_hosts)
+                == NUM_HOSTS
+            )
+            for record in collection.failovers:
+                total_failovers += 1
+                assert set(record.redelivered_hosts) | set(
+                    record.unrecovered_hosts
+                ) == set(record.shard_hosts)
+                assert set(record.unrecovered_hosts) <= set(
+                    collection.missing_hosts
+                )
+            if not collection.missing_hosts:
+                network = self._merge(collection, epoch)
+                assert np.array_equal(
+                    network.sketch.to_matrix(),
+                    self._clean_matrix(reports, epoch),
+                )
+        assert total_failovers >= 1
+        assert injector.injected.get("agg_crash", 0) >= 1

@@ -11,6 +11,7 @@ hang, never an unhandled exception, never a mis-split next frame.
 
 from __future__ import annotations
 
+import asyncio
 import random
 import socket
 import struct
@@ -18,11 +19,22 @@ import zlib
 
 import pytest
 
-from repro.cluster import FrameAssembler
+from repro.cluster import (
+    ACK,
+    DEFAULT_MAX_FRAME_BYTES,
+    AggregatorListener,
+    ClusterConfig,
+    FrameAssembler,
+    HostChannel,
+)
 from repro.common.errors import ConfigError, CorruptFrameError
-from repro.controlplane.transport import decode_report, encode_report
+from repro.controlplane.transport import (
+    CollectionStats,
+    decode_report,
+    encode_report,
+)
 from repro.dataplane.host import Host
-from repro.faults import FaultInjector, FaultPlan
+from repro.faults import FaultInjector, FaultKind, FaultPlan
 from repro.sketches.countmin import CountMinSketch
 from repro.traffic.generator import TraceConfig, generate_trace
 
@@ -218,3 +230,146 @@ class TestHostileStreams:
         assert frames == [frame]
         assert assembler.mid_frame
         assert assembler.pending_bytes == len(cut)
+
+
+class TestListenerExchange:
+    """Live ``AggregatorListener`` exchanges: reassembly across many
+    TCP writes while slow peers stall alongside, and ACK delivery for
+    an in-flight connection during listener drain."""
+
+    def _frame(self, host_id: int) -> bytes:
+        trace = generate_trace(TraceConfig(num_flows=120, seed=4))
+        host = Host(
+            host_id,
+            CountMinSketch(width=256, depth=2, seed=2),
+            fastpath_bytes=4096,
+        )
+        return encode_report(host.run_epoch(trace), epoch=7)
+
+    def _listener(self, sink, stats, idle_timeout=0.2):
+        return AggregatorListener(
+            0,
+            7,
+            sink,
+            stats,
+            seen=set(),
+            delivered=set(),
+            idle_timeout=idle_timeout,
+            max_frame_bytes=DEFAULT_MAX_FRAME_BYTES,
+        )
+
+    def test_multi_chunk_frame_interleaved_with_slow_peers(self):
+        """One sender dribbles its frame across 5 paced TCP writes
+        while a slow-peer channel stalls mid-frame on the same
+        listener: the dribbled frame is reassembled and ACKed, the
+        slow peer is hung up on and succeeds on retry."""
+
+        async def run():
+            stats = CollectionStats()
+            got: list = []
+            listener = self._listener(got.append, stats)
+            address = await listener.start("127.0.0.1", 0)
+            frame_a, frame_b = self._frame(1), self._frame(2)
+
+            async def chunked_sender() -> bytes:
+                reader, writer = await asyncio.open_connection(
+                    *address
+                )
+                try:
+                    step = max(1, len(frame_a) // 5)
+                    chunks = [
+                        frame_a[i : i + step]
+                        for i in range(0, len(frame_a), step)
+                    ]
+                    assert len(chunks) >= 3
+                    for chunk in chunks:
+                        writer.write(chunk)
+                        await writer.drain()
+                        # Pause between writes — long enough that the
+                        # kernel flushes each as its own segment, well
+                        # under the listener's idle deadline.
+                        await asyncio.sleep(0.03)
+                    return await asyncio.wait_for(
+                        reader.readexactly(1), timeout=5.0
+                    )
+                finally:
+                    writer.close()
+
+            cfg = ClusterConfig(
+                connect_timeout=2.0,
+                ack_timeout=2.0,
+                idle_timeout=0.2,
+                backoff_base=0.002,
+            )
+            channel = HostChannel(
+                2,
+                7,
+                frame_factory=lambda: frame_b,
+                address=address,
+                config=cfg,
+                stats=stats,
+                faults=[FaultKind.SLOW_PEER],
+            )
+            ack, delivered = await asyncio.gather(
+                chunked_sender(), channel.deliver()
+            )
+            await listener.close(1.0)
+            assert ack == ACK
+            assert delivered == frame_b
+            assert stats.slow_peers == 1
+            assert stats.retries == 1
+            assert stats.corrupt_frames == 0
+            assert sorted(report.host_id for report in got) == [1, 2]
+
+        asyncio.run(run())
+
+    def test_ack_reaches_client_during_listener_drain(self):
+        """``close(drain_timeout)`` stops accepting immediately but
+        the in-flight connection finishes its exchange: the tail of a
+        parked frame still lands, decodes, and is ACKed inside the
+        drain window."""
+
+        async def run():
+            stats = CollectionStats()
+            got: list = []
+            listener = self._listener(got.append, stats)
+            address = await listener.start("127.0.0.1", 0)
+            frame = self._frame(1)
+            reader, writer = await asyncio.open_connection(*address)
+            try:
+                writer.write(frame[:-6])
+                await writer.drain()
+                # Let the handler pick up the partial frame before the
+                # drain starts.
+                await asyncio.sleep(0.05)
+                close_task = asyncio.create_task(listener.close(2.0))
+                await asyncio.sleep(0.05)
+                # The server socket is gone: new connections fail ...
+                refused = False
+                try:
+                    _, probe = await asyncio.wait_for(
+                        asyncio.open_connection(*address), timeout=0.5
+                    )
+                except (
+                    ConnectionError,
+                    OSError,
+                    asyncio.TimeoutError,
+                ):
+                    refused = True
+                else:
+                    probe.close()
+                assert refused
+                # ... but the parked exchange still completes.
+                writer.write(frame[-6:])
+                await writer.drain()
+                ack = await asyncio.wait_for(
+                    reader.readexactly(1), timeout=5.0
+                )
+                assert ack == ACK
+            finally:
+                writer.close()
+            await close_task
+            assert [report.host_id for report in got] == [1]
+            assert stats.corrupt_frames == 0
+
+        asyncio.run(run())

@@ -156,6 +156,74 @@ class TestRetriableFaults:
             ReportCollector(backoff_jitter=-0.1)
 
 
+class TestBackoffCap:
+    """The exponent saturates: sleeps stop growing past the cap."""
+
+    def test_exponent_saturates(self):
+        from repro.controlplane.transport import (
+            _MAX_BACKOFF_EXPONENT,
+            jittered_backoff,
+        )
+
+        base, factor = 0.01, 2.0
+        # Below (and at) the cap the schedule is the plain exponential.
+        for attempt in range(1, _MAX_BACKOFF_EXPONENT + 2):
+            assert jittered_backoff(
+                base, factor, 0.0, 0, 0, 0, attempt
+            ) == pytest.approx(base * factor ** (attempt - 1))
+        # Past the cap every attempt sleeps the same finite amount —
+        # a long-haul retry loop no longer overflows toward inf.
+        ceiling = jittered_backoff(
+            base, factor, 0.0, 0, 0, 0, _MAX_BACKOFF_EXPONENT + 1
+        )
+        assert ceiling == base * factor**_MAX_BACKOFF_EXPONENT
+        for attempt in (_MAX_BACKOFF_EXPONENT + 2, 100, 100_000):
+            assert (
+                jittered_backoff(base, factor, 0.0, 0, 0, 0, attempt)
+                == ceiling
+            )
+
+    def test_collector_and_cluster_schedules_bit_identical(self):
+        """The in-process collector and the real-socket HostChannel
+        must draw the *same* jittered sleep for the same
+        (epoch, host, attempt) — including deep in the capped region —
+        so chaos runs stay reproducible across transports."""
+        from repro.cluster import ClusterConfig, HostChannel
+        from repro.controlplane.transport import (
+            _MAX_BACKOFF_EXPONENT,
+            CollectionStats,
+        )
+
+        params = dict(
+            backoff_base=0.05,
+            backoff_factor=2.0,
+            backoff_jitter=0.2,
+            jitter_seed=7,
+        )
+        collector = ReportCollector(**params)
+        cfg = ClusterConfig(**params)
+        attempts = [1, 2, 3, 5, 9] + [
+            _MAX_BACKOFF_EXPONENT,
+            _MAX_BACKOFF_EXPONENT + 1,
+            _MAX_BACKOFF_EXPONENT + 10,
+            1_000,
+        ]
+        for epoch in range(2):
+            for host in range(4):
+                channel = HostChannel(
+                    host,
+                    epoch,
+                    frame_factory=lambda: b"",
+                    address=("127.0.0.1", 0),
+                    config=cfg,
+                    stats=CollectionStats(),
+                )
+                for attempt in attempts:
+                    assert collector.backoff_for(
+                        epoch, host, attempt
+                    ) == channel._backoff(attempt)
+
+
 class TestCrash:
     def test_crashed_host_is_missing(self, reports):
         collector, injector = collector_with(
