@@ -665,6 +665,130 @@ def _cmd_dash(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Long-running service mode: stream windows, serve HTTP."""
+    import math
+
+    from repro.serve import (
+        MeasurementService,
+        QUERY_ENDPOINTS,
+        ReplaySource,
+        ServeConfig,
+        SyntheticSource,
+    )
+
+    if args.trace_file:
+        trace = _load_any(args.trace_file)
+        probe = trace
+        source = ReplaySource(
+            trace,
+            chunk_packets=args.chunk_packets,
+            rate_pps=args.rate,
+            loop=args.loop,
+        )
+    else:
+        config = TraceConfig(num_flows=args.flows, seed=args.seed)
+        probe = generate_trace(config)
+        source = SyntheticSource(
+            config,
+            chunk_packets=args.chunk_packets,
+            rate_pps=args.rate,
+        )
+
+    window_packets = args.window_packets
+    if window_packets is None and args.window_seconds is None:
+        if args.trace_file and args.windows:
+            # `--windows N` over a replayed trace: split it into N
+            # equal windows, so the run is bit-identical to running
+            # the same N slices as batch epochs through `repro run`.
+            window_packets = max(
+                1, math.ceil(len(trace) / args.windows)
+            )
+        else:
+            # One window per trace pass / generated segment.
+            window_packets = len(probe)
+
+    truth_bytes = GroundTruth.from_trace(probe).total_bytes
+    if window_packets is not None:
+        # Scale the heavy-hitter threshold to the expected bytes per
+        # *window*, not per probe trace.
+        truth_bytes *= min(1.0, window_packets / len(probe))
+    kwargs: dict = {}
+    if args.task in ("heavy_hitter", "heavy_changer"):
+        kwargs["threshold"] = args.threshold_fraction * truth_bytes
+    elif args.task in ("ddos", "superspreader"):
+        kwargs["threshold"] = args.spread_threshold
+    tasks = [create_task(args.task, args.solution, **kwargs)]
+    if not args.no_aux:
+        # Fill the remaining query endpoints so /query/cardinality
+        # and /query/fsd answer alongside the primary task.
+        aux = {
+            "cardinality": args.cardinality_solution,
+            "flow_size_distribution": args.fsd_solution,
+        }
+        for name, solution in aux.items():
+            if name != args.task:
+                tasks.append(create_task(name, solution))
+
+    config_kwargs: dict = {}
+    if args.chaos:
+        config_kwargs["faults"] = FaultPlan.load(args.chaos)
+    if args.slo:
+        config_kwargs["slo"] = args.slo
+    if args.recorder_out:
+        config_kwargs["recorder_path"] = args.recorder_out
+    service = MeasurementService(
+        tasks,
+        source,
+        ServeConfig(
+            host=args.host,
+            port=args.port,
+            window_packets=window_packets,
+            window_seconds=args.window_seconds,
+            max_windows=args.windows or None,
+            ring_windows=args.ring_windows,
+            stale_after=args.stale_after,
+            recorder_max_dumps=args.recorder_max_dumps,
+        ),
+        dataplane=DataPlaneMode(args.dataplane),
+        recovery=RecoveryMode(args.recovery),
+        pipeline_config=PipelineConfig(
+            num_hosts=args.hosts,
+            fastpath_bytes=args.fastpath_bytes,
+            telemetry=Telemetry(),
+            shadow_samples=args.shadow_samples,
+            **config_kwargs,
+        ),
+    )
+    port = service.start_http()
+    # Parsed by tests/CI to find the ephemeral port -- keep the shape.
+    print(
+        f"serving on http://{args.host}:{port} "
+        f"({args.task}/{args.solution}, "
+        + (
+            f"{window_packets}-packet windows"
+            if window_packets is not None
+            else f"{args.window_seconds:g}s windows"
+        )
+        + (f", {args.windows} window(s) max" if args.windows else "")
+        + ")",
+        flush=True,
+    )
+    print(
+        "endpoints: /metrics /dash /healthz /readyz "
+        + " ".join(f"/query/{name}" for name in QUERY_ENDPOINTS),
+        flush=True,
+    )
+    code = service.run()
+    print(
+        f"served {service.windows_processed} window(s), "
+        f"{service.quorum_failures} quorum failure(s); "
+        f"exit {code}",
+        flush=True,
+    )
+    return code
+
+
 def _cmd_convert(args: argparse.Namespace) -> int:
     trace = _load_any(args.source)
     _save_any(trace, args.destination)
@@ -1067,6 +1191,151 @@ def build_parser() -> argparse.ArgumentParser:
         help="append frames instead of repainting (for logs/pipes)",
     )
     dash.set_defaults(func=_cmd_dash)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the streaming measurement daemon with the live "
+        "HTTP observability plane (see docs/observability.md)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="HTTP bind address"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="HTTP port (default 0 = ephemeral; the bound port is "
+        "printed on startup)",
+    )
+    serve.add_argument(
+        "--task",
+        choices=sorted(TASK_REGISTRY),
+        default="heavy_hitter",
+    )
+    serve.add_argument("--solution", default="deltoid")
+    serve.add_argument(
+        "--trace-file",
+        help="replay this trace instead of generating traffic",
+    )
+    serve.add_argument(
+        "--loop",
+        action="store_true",
+        help="with --trace-file, restart the trace when it ends "
+        "(endless soak from one capture)",
+    )
+    serve.add_argument("--flows", type=int, default=2000)
+    serve.add_argument("--seed", type=int, default=1)
+    serve.add_argument("--hosts", type=int, default=2)
+    serve.add_argument("--fastpath-bytes", type=int, default=8192)
+    serve.add_argument(
+        "--window-packets",
+        type=int,
+        metavar="N",
+        help="close a window every N packets (deterministic; "
+        "default: one window per trace pass / generated segment, or "
+        "trace length / --windows when replaying a bounded run)",
+    )
+    serve.add_argument(
+        "--window-seconds",
+        type=float,
+        metavar="S",
+        help="close a window after S wall-clock seconds",
+    )
+    serve.add_argument(
+        "--windows",
+        type=int,
+        default=0,
+        metavar="K",
+        help="stop after K windows (default 0 = run until SIGTERM)",
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        metavar="PPS",
+        help="pace the source to this packet rate (default: as fast "
+        "as the pipeline drains)",
+    )
+    serve.add_argument(
+        "--chunk-packets",
+        type=int,
+        default=512,
+        metavar="N",
+        help="packets per source chunk (pacing/shutdown granularity)",
+    )
+    serve.add_argument(
+        "--ring-windows",
+        type=int,
+        default=8,
+        metavar="K",
+        help="recent windows retained for the query endpoints",
+    )
+    serve.add_argument(
+        "--stale-after",
+        type=float,
+        metavar="S",
+        help="seconds without a window advance before /healthz flips "
+        "unhealthy (default: derived from --window-seconds)",
+    )
+    serve.add_argument(
+        "--dataplane",
+        choices=[mode.value for mode in DataPlaneMode],
+        default=DataPlaneMode.SKETCHVISOR.value,
+    )
+    serve.add_argument(
+        "--recovery",
+        choices=[mode.value for mode in RecoveryMode],
+        default=RecoveryMode.SKETCHVISOR.value,
+    )
+    serve.add_argument("--threshold-fraction", type=float, default=0.005)
+    serve.add_argument("--spread-threshold", type=int, default=100)
+    serve.add_argument(
+        "--no-aux",
+        action="store_true",
+        help="serve only the primary task (skip the cardinality and "
+        "flow-size-distribution query endpoints)",
+    )
+    serve.add_argument(
+        "--cardinality-solution",
+        default="lc",
+        help="solution backing /query/cardinality",
+    )
+    serve.add_argument(
+        "--fsd-solution",
+        default="mrac",
+        help="solution backing /query/fsd",
+    )
+    serve.add_argument(
+        "--shadow-samples",
+        type=int,
+        default=0,
+        metavar="N",
+        help="shadow ground-truth sample size per window (0 disables)",
+    )
+    serve.add_argument(
+        "--slo",
+        metavar="POLICY.json",
+        help="accuracy SLO policy evaluated online every window",
+    )
+    serve.add_argument(
+        "--chaos",
+        metavar="PLAN.json",
+        help="inject faults from a FaultPlan JSON into every window",
+    )
+    serve.add_argument(
+        "--recorder-out",
+        metavar="FILE.json",
+        help="flight-recorder dump base path; dumps rotate with "
+        "timestamp/window suffixes (see --recorder-max-dumps) and a "
+        "final flush happens on shutdown",
+    )
+    serve.add_argument(
+        "--recorder-max-dumps",
+        type=int,
+        default=8,
+        metavar="K",
+        help="rotated recorder dumps kept on disk (default 8)",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     return parser
 

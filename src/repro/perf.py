@@ -29,6 +29,11 @@ PROFILING_OVERHEAD_CEILING_PCT = 10.0
 CHECKPOINT_OVERHEAD_CEILING = 0.10
 CLUSTER_RSS_RATIO_CEILING = 0.8
 CLUSTER_RSS_EXPONENT_CEILING = 0.75
+FAILOVER_UNACCOUNTED_CEILING = 0.0
+FAILOVER_REDELIVERY_OVERHEAD_CEILING = 0.5
+#: Recovery latency is watchdog-interval-bound, so the ceiling is a
+#: coarse are-we-still-sane bound rather than a tight perf target.
+FAILOVER_RECOVERY_P95_CEILING_SECONDS = 10.0
 #: Allowed fractional drop below the best prior non-smoke speedup.
 SPEEDUP_DROP_TOLERANCE = 0.15
 
@@ -163,6 +168,26 @@ SERIES_BY_FILE: dict[str, tuple[SeriesSpec, ...]] = {
             "cluster_rss_exponent", "Cluster RSS growth exponent",
             "", ("summary", "rss_growth_exponent"),
             gate="ceiling", limit=CLUSTER_RSS_EXPONENT_CEILING,
+        ),
+    ),
+    "BENCH_failover": (
+        SeriesSpec(
+            "failover_unaccounted", "Failover unaccounted host-epochs",
+            "", ("summary", "unaccounted_host_epochs"),
+            gate="ceiling", limit=FAILOVER_UNACCOUNTED_CEILING,
+        ),
+        SeriesSpec(
+            "failover_redelivery_overhead",
+            "Failover redelivery overhead",
+            "frac", ("summary", "redelivery_overhead"),
+            gate="ceiling",
+            limit=FAILOVER_REDELIVERY_OVERHEAD_CEILING,
+        ),
+        SeriesSpec(
+            "failover_recovery_p95", "Failover recovery p95",
+            "s", ("summary", "recovery_p95_seconds"),
+            gate="ceiling",
+            limit=FAILOVER_RECOVERY_P95_CEILING_SECONDS,
         ),
     ),
 }

@@ -430,3 +430,57 @@ def publish_monitor_epoch(
         "sketchvisor_monitor_epochs_total",
         "Epochs processed by the monitoring loop",
     ).inc(1)
+
+
+def publish_serve_window(
+    registry: MetricsRegistry, record, seconds: float
+) -> None:
+    """Publish one recovered serve-mode window (WindowRecord)."""
+    registry.counter(
+        "sketchvisor_serve_windows_total",
+        "Windows recovered by the streaming service",
+    ).inc(1)
+    registry.counter(
+        "sketchvisor_serve_packets_total",
+        "Packets ingested into recovered windows",
+    ).inc(record.packets)
+    registry.counter(
+        "sketchvisor_serve_bytes_total",
+        "Bytes ingested into recovered windows",
+    ).inc(record.bytes)
+    registry.gauge(
+        "sketchvisor_serve_window_id",
+        "Id of the latest recovered window",
+    ).set(record.window_id)
+    registry.gauge(
+        "sketchvisor_serve_last_window_unix_seconds",
+        "Wall-clock close time of the latest recovered window",
+    ).set(record.closed_at)
+    registry.histogram(
+        "sketchvisor_serve_window_seconds",
+        "Pipeline wall time to recover one window",
+        buckets=EPOCH_SECONDS_BUCKETS,
+    ).observe(seconds)
+    if record.degraded:
+        registry.counter(
+            "sketchvisor_serve_degraded_windows_total",
+            "Windows merged in degraded mode by the service",
+        ).inc(1)
+
+
+def publish_serve_quorum_failure(registry: MetricsRegistry) -> None:
+    """Count a serve-mode window whose merge failed quorum."""
+    registry.counter(
+        "sketchvisor_serve_quorum_failures_total",
+        "Windows the service could not merge for lack of quorum",
+    ).inc(1)
+
+
+def publish_http_request(
+    registry: MetricsRegistry, path: str, code: int
+) -> None:
+    """Count one observability-plane HTTP request."""
+    registry.counter(
+        "sketchvisor_serve_http_requests_total",
+        "Observability-plane HTTP requests, by path and status",
+    ).inc(1, path=path, code=code)

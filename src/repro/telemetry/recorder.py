@@ -58,12 +58,28 @@ class FlightRecorder:
     ----------
     capacity:
         Maximum events retained; older events are evicted FIFO.
+    max_dumps:
+        ``None`` (the default) writes every dump to the exact path it
+        was asked for, overwriting prior incidents — the historical
+        batch behavior, where CI uploads the artifact immediately.
+        An integer switches to *rotation*: each dump gets a
+        timestamp/sequence/reason-suffixed filename derived from the
+        requested path, and the oldest rotated siblings are swept so
+        at most ``max_dumps`` artifacts remain.  A long-running
+        ``repro serve`` process under repeated SLO breaches keeps the
+        most recent N incident dumps instead of just the last one.
     """
 
-    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        max_dumps: int | None = None,
+    ):
         self.capacity = max(1, int(capacity))
         self._ring: deque[RecorderEvent] = deque(maxlen=self.capacity)
         self._seq = 0
+        self.max_dumps = max_dumps
+        self._dump_seq = 0
         #: Paths of every dump written so far (latest last).
         self.dumps: list[Path] = []
 
@@ -265,18 +281,56 @@ class FlightRecorder:
                 scale=degraded.scale,
             )
 
-    def dump(self, path: str | Path, reason: str = "manual") -> Path:
-        """Write the ring to ``path`` as a JSON artifact.
+    def _rotated_path(self, requested: Path, reason: str) -> Path:
+        """Timestamp/sequence/reason-suffixed sibling of ``requested``.
 
-        Returns the path written.  The parent directory is created if
-        needed; an existing file is overwritten (the newest incident
-        wins — CI uploads the artifact immediately).
+        The name sorts chronologically (UTC timestamp first, then a
+        monotonic per-process sequence for same-second dumps), so the
+        rotation sweep can order artifacts lexicographically.
         """
-        destination = Path(path)
+        stamp = time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())
+        suffix = requested.suffix or ".json"
+        name = (
+            f"{requested.stem}-{stamp}-{self._dump_seq:04d}"
+            f"-{reason}{suffix}"
+        )
+        self._dump_seq += 1
+        return requested.with_name(name)
+
+    def _sweep(self, requested: Path) -> None:
+        """Unlink the oldest rotated siblings beyond ``max_dumps``."""
+        suffix = requested.suffix or ".json"
+        siblings = sorted(
+            requested.parent.glob(f"{requested.stem}-*{suffix}")
+        )
+        keep = max(1, self.max_dumps)
+        for stale in siblings[: max(0, len(siblings) - keep)]:
+            try:
+                stale.unlink()
+            except OSError:  # pragma: no cover - best-effort sweep
+                pass
+
+    def dump(self, path: str | Path, reason: str = "manual") -> Path:
+        """Write the ring to a JSON artifact; returns the path written.
+
+        With ``max_dumps`` unset the artifact lands at exactly
+        ``path``, overwriting any prior incident (the newest wins —
+        CI uploads the artifact immediately).  With ``max_dumps`` set
+        the artifact gets a rotated timestamp/reason-suffixed name
+        next to ``path`` and the oldest rotated siblings are swept so
+        at most ``max_dumps`` remain.
+        """
+        requested = Path(path)
+        if self.max_dumps is None:
+            destination = requested
+        else:
+            destination = self._rotated_path(requested, reason)
         if destination.parent != Path(""):
             destination.parent.mkdir(parents=True, exist_ok=True)
         destination.write_text(
             json.dumps(self.to_json(reason), indent=2) + "\n"
         )
+        if self.max_dumps is not None:
+            self._sweep(requested)
         self.dumps.append(destination)
         return destination

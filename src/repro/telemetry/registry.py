@@ -17,6 +17,7 @@ exposition or JSON snapshots.
 from __future__ import annotations
 
 import re
+import threading
 from bisect import bisect_left
 from collections.abc import Iterator, Sequence
 
@@ -148,6 +149,10 @@ class MetricFamily:
         self.kind = kind
         self.help = help
         self._children: dict[LabelKey, object] = {}
+        # Guards the children dict against concurrent label binding
+        # and iteration; a registry shares its own lock with every
+        # family it creates so exporters see a coherent snapshot.
+        self._lock = threading.RLock()
 
     # Subclasses set this to the child class.
     _child_type: type = object
@@ -160,18 +165,25 @@ class MetricFamily:
         key = _label_key(labels)
         child = self._children.get(key)
         if child is None:
-            child = self._make_child()
-            self._children[key] = child
+            with self._lock:
+                child = self._children.get(key)
+                if child is None:
+                    child = self._make_child()
+                    self._children[key] = child
         return child
 
     def samples(self) -> Iterator[tuple[dict[str, str], object]]:
         """Yield ``(labels, child)`` pairs in insertion order."""
-        for key, child in self._children.items():
+        with self._lock:
+            items = list(self._children.items())
+        for key, child in items:
             yield dict(key), child
 
     def total(self) -> float:
         """Sum of all children's scalar values (tests, summaries)."""
-        return sum(child.value for child in self._children.values())
+        with self._lock:
+            children = list(self._children.values())
+        return sum(child.value for child in children)
 
 
 class CounterFamily(MetricFamily):
@@ -227,6 +239,11 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._families: dict[str, MetricFamily] = {}
+        # One lock for the whole registry, shared with every family it
+        # creates: a scrape thread walking ``families()`` while an
+        # epoch thread registers new families (or binds new label
+        # sets) must never see a dict mutate mid-iteration.
+        self._lock = threading.RLock()
 
     # -- registration --------------------------------------------------
     def _get_or_create(self, name: str, kind: str, factory) -> MetricFamily:
@@ -237,9 +254,13 @@ class MetricsRegistry:
                     f"invalid metric name {name!r}: must match "
                     f"{METRIC_NAME_RE.pattern}"
                 )
-            family = factory()
-            self._families[name] = family
-        elif family.kind != kind:
+            with self._lock:
+                family = self._families.get(name)
+                if family is None:
+                    family = factory()
+                    family._lock = self._lock
+                    self._families[name] = family
+        if family.kind != kind:
             raise ConfigError(
                 f"metric {name!r} already registered as {family.kind}, "
                 f"not {kind}"
@@ -268,7 +289,9 @@ class MetricsRegistry:
 
     # -- access --------------------------------------------------------
     def families(self) -> Iterator[MetricFamily]:
-        yield from self._families.values()
+        with self._lock:
+            families = list(self._families.values())
+        yield from families
 
     def value(self, name: str, **labels) -> float | None:
         """One child's scalar value, or None if never published."""
@@ -319,4 +342,5 @@ class MetricsRegistry:
         return out
 
     def reset(self) -> None:
-        self._families.clear()
+        with self._lock:
+            self._families.clear()

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -19,6 +20,9 @@ from repro.perf import (
     validate_entry,
     write_perf_dashboard,
 )
+
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
 
 
 def _dataplane_entry(
@@ -169,6 +173,52 @@ class TestGating:
         points = series_points(runs, spec)
         assert points[0].violation is None
         assert points[1].violation is not None
+
+    def test_failover_gates(self):
+        specs = {
+            spec.key: spec
+            for spec in SERIES_BY_FILE["BENCH_failover"]
+        }
+        assert set(specs) == {
+            "failover_unaccounted",
+            "failover_redelivery_overhead",
+            "failover_recovery_p95",
+        }
+        # Conservation is a hard zero: a single unaccounted
+        # host-epoch is a violation.
+        assert specs["failover_unaccounted"].limit == 0.0
+        runs = [
+            {
+                "git_sha": "a",
+                "summary": {
+                    "unaccounted_host_epochs": 0,
+                    "redelivery_overhead": 0.09,
+                    "recovery_p95_seconds": 2.6,
+                },
+            },
+            {
+                "git_sha": "b",
+                "summary": {
+                    "unaccounted_host_epochs": 1,
+                    "redelivery_overhead": 0.7,
+                    "recovery_p95_seconds": 30.0,
+                },
+            },
+        ]
+        for spec in specs.values():
+            points = series_points(runs, spec)
+            assert points[0].violation is None, spec.key
+            assert points[1].violation is not None, spec.key
+
+    def test_committed_failover_trajectory_is_clean(self):
+        trajectory = load_trajectory(REPO_ROOT / "BENCH_failover.json")
+        assert not trajectory.problems
+        for spec in SERIES_BY_FILE["BENCH_failover"]:
+            points = series_points(trajectory.runs, spec)
+            assert points, spec.key
+            assert all(
+                point.violation is None for point in points
+            ), spec.key
 
 
 # ----------------------------------------------------------------------

@@ -103,6 +103,46 @@ class TestDump:
         ]
 
 
+class TestDumpRotation:
+    def test_rotated_names_carry_stamp_and_reason(self, tmp_path):
+        recorder = FlightRecorder(max_dumps=4)
+        recorder.record("tick")
+        target = tmp_path / "serve_recorder.json"
+        first = recorder.dump(target, reason="slo_breach")
+        second = recorder.dump(target, reason="shutdown")
+        assert first != second
+        assert not target.exists()  # rotation never writes the base
+        assert first.name.startswith("serve_recorder-")
+        assert first.name.endswith("-slo_breach.json")
+        assert second.name.endswith("-shutdown.json")
+        assert json.loads(second.read_text())["reason"] == "shutdown"
+        assert recorder.dumps == [first, second]
+
+    def test_sweep_keeps_newest_max_dumps(self, tmp_path):
+        recorder = FlightRecorder(max_dumps=3)
+        recorder.record("tick")
+        target = tmp_path / "dump.json"
+        written = [
+            recorder.dump(target, reason="breach") for _ in range(7)
+        ]
+        remaining = sorted(tmp_path.glob("dump-*.json"))
+        assert remaining == sorted(written[-3:])
+
+    def test_max_dumps_floor_never_deletes_fresh_dump(self, tmp_path):
+        recorder = FlightRecorder(max_dumps=0)
+        recorder.record("tick")
+        path = recorder.dump(tmp_path / "dump.json", reason="crash")
+        assert path.exists()
+
+    def test_default_is_legacy_fixed_path(self, tmp_path):
+        recorder = FlightRecorder()
+        assert recorder.max_dumps is None
+        recorder.record("tick")
+        target = tmp_path / "dump.json"
+        assert recorder.dump(target) == target
+        assert list(tmp_path.iterdir()) == [target]
+
+
 # ----------------------------------------------------------------------
 def _report(host_id=0, high_water=0, kickouts=0):
     return SimpleNamespace(
